@@ -1,0 +1,97 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (Figures 2-10, Tables 1-2), plus the ablations and
+// the scalability projection described in DESIGN.md.
+//
+//	experiments            # full suite (NAS class A) — takes a while
+//	experiments -quick     # class W, reduced sweeps
+//	experiments -only fig9 # one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ibflow/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "class W and reduced sweep points")
+	only := flag.String("only", "", "comma-separated subset, e.g. fig2,fig9,table1,ablations,scaling")
+	csv := flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+	flag.Parse()
+
+	o := bench.Opts{Quick: *quick}
+	want := map[string]bool{}
+	for _, k := range strings.Split(*only, ",") {
+		if k != "" {
+			want[strings.ToLower(strings.TrimSpace(k))] = true
+		}
+	}
+	sel := func(keys ...string) bool {
+		if len(want) == 0 {
+			return true
+		}
+		for _, k := range keys {
+			if want[k] {
+				return true
+			}
+		}
+		return false
+	}
+
+	type exp struct {
+		keys []string
+		run  func() bench.Table
+	}
+	experiments := []exp{
+		{[]string{"fig2", "micro"}, func() bench.Table { return bench.Figure2(o) }},
+		{[]string{"fig3", "micro"}, func() bench.Table { return bench.Figure3(o) }},
+		{[]string{"fig4", "micro"}, func() bench.Table { return bench.Figure4(o) }},
+		{[]string{"fig5", "micro"}, func() bench.Table { return bench.Figure5(o) }},
+		{[]string{"fig6", "micro"}, func() bench.Table { return bench.Figure6(o) }},
+		{[]string{"fig7", "micro"}, func() bench.Table { return bench.Figure7(o) }},
+		{[]string{"fig8", "micro"}, func() bench.Table { return bench.Figure8(o) }},
+		{[]string{"fig9", "nas"}, func() bench.Table { t, _ := bench.Figure9(o); return t }},
+		{[]string{"fig10", "nas"}, func() bench.Table { t, _ := bench.Figure10(o); return t }},
+		{[]string{"table1", "nas"}, func() bench.Table { return bench.Table1(o) }},
+		{[]string{"table2", "nas"}, func() bench.Table { return bench.Table2(o) }},
+		{[]string{"demotion", "ablations"}, func() bench.Table { return bench.AblationDemotion(o) }},
+		{[]string{"growth", "ablations"}, func() bench.Table { return bench.AblationGrowth(o) }},
+		{[]string{"ecm", "ablations"}, func() bench.Table { return bench.AblationECMThreshold(o) }},
+		{[]string{"rnr", "ablations"}, func() bench.Table { return bench.AblationRNRTimeout(o) }},
+		{[]string{"eager", "ablations"}, func() bench.Table { return bench.AblationEagerThreshold(o) }},
+		{[]string{"shrink", "ablations"}, func() bench.Table { return bench.AblationShrink(o) }},
+		{[]string{"rdma", "extensions"}, func() bench.Table { return bench.ExtensionRDMAChannel(o) }},
+		{[]string{"collectives", "ablations"}, func() bench.Table { return bench.AblationCollectives(o) }},
+		{[]string{"ud", "extensions"}, func() bench.Table { return bench.ExtensionUDChannel(o) }},
+		{[]string{"fattree", "extensions"}, func() bench.Table { return bench.ExtensionFatTree(o) }},
+		{[]string{"middleware", "extensions"}, func() bench.Table { return bench.ExtensionMiddleware(o) }},
+		{[]string{"scaling"}, func() bench.Table { return bench.ScalingMeasured(o) }},
+		{[]string{"scaling"}, func() bench.Table { return bench.ScalingTable(o) }},
+	}
+
+	mode := "full (class A)"
+	if *quick {
+		mode = "quick (class W)"
+	}
+	fmt.Printf("# ibflow experiment suite — %s\n\n", mode)
+	ran := 0
+	for _, e := range experiments {
+		if !sel(e.keys...) {
+			continue
+		}
+		t := e.run()
+		if *csv {
+			fmt.Printf("# %s\n%s\n", t.Title, t.CSV())
+		} else {
+			fmt.Println(t.String())
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matched -only=%s\n", *only)
+		os.Exit(2)
+	}
+}

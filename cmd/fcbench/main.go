@@ -1,0 +1,75 @@
+// Command fcbench runs the paper's micro-benchmarks (latency and
+// window-based bandwidth) on the simulated InfiniBand cluster.
+//
+// Examples:
+//
+//	fcbench -test latency -scheme static -prepost 100
+//	fcbench -test bandwidth -scheme dynamic -prepost 10 -size 4 -blocking=false
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ibflow/internal/bench"
+	"ibflow/internal/core"
+	"ibflow/internal/mpi"
+)
+
+func schemeFor(name string, prepost, dynmax int) (core.Params, error) {
+	switch name {
+	case "hardware":
+		return core.Hardware(prepost), nil
+	case "static":
+		return core.Static(prepost), nil
+	case "dynamic":
+		return core.Dynamic(prepost, dynmax), nil
+	}
+	return core.Params{}, fmt.Errorf("unknown scheme %q (hardware|static|dynamic)", name)
+}
+
+func main() {
+	test := flag.String("test", "latency", "benchmark: latency or bandwidth")
+	scheme := flag.String("scheme", "static", "flow control scheme: hardware, static, dynamic")
+	prepost := flag.Int("prepost", 100, "pre-posted buffers per connection")
+	dynmax := flag.Int("dynmax", 300, "dynamic scheme growth cap")
+	size := flag.Int("size", 4, "message size in bytes (bandwidth; latency sweeps sizes)")
+	window := flag.Int("window", 0, "bandwidth window size (0 = sweep)")
+	reps := flag.Int("reps", 10, "bandwidth repetitions")
+	iters := flag.Int("iters", 200, "latency ping-pong iterations")
+	blocking := flag.Bool("blocking", true, "use blocking MPI_Send/Recv")
+	rdma := flag.Bool("rdma", false, "use the RDMA-write eager channel (ICS'03 extension)")
+	flag.Parse()
+
+	fc, err := schemeFor(*scheme, *prepost, *dynmax)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	tune := func(o *mpi.Options) { o.Chan.RDMAEager = *rdma }
+
+	switch *test {
+	case "latency":
+		fmt.Printf("# one-way latency, scheme=%s prepost=%d rdma=%v\n", *scheme, *prepost, *rdma)
+		fmt.Printf("%-10s %s\n", "size(B)", "latency(us)")
+		for _, s := range []int{4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384} {
+			fmt.Printf("%-10d %.2f\n", s, bench.LatencyOpts(fc, s, *iters, tune))
+		}
+	case "bandwidth":
+		fmt.Printf("# bandwidth MB/s, scheme=%s prepost=%d size=%dB blocking=%v\n",
+			*scheme, *prepost, *size, *blocking)
+		windows := []int{1, 2, 4, 8, 16, 24, 32, 48, 64, 80, 100}
+		if *window > 0 {
+			windows = []int{*window}
+		}
+		fmt.Printf("%-10s %s\n", "window", "MB/s")
+		for _, w := range windows {
+			fmt.Printf("%-10d %.1f\n", w, bench.BandwidthOpts(fc, *size, w, *reps, *blocking, tune))
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -test %q\n", *test)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,3 @@
+module ibflow
+
+go 1.22

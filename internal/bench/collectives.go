@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"fmt"
+
+	"ibflow/internal/coll"
+	"ibflow/internal/core"
+	"ibflow/internal/mpi"
+	"ibflow/internal/sim"
+)
+
+// collTime measures the average virtual time of one collective invocation
+// on an 8-rank cluster under the static scheme with ample buffers.
+func collTime(iters int, body func(c *mpi.Comm, scratch []byte)) sim.Time {
+	const ranks = 8
+	w := mpi.NewWorld(ranks, mpi.DefaultOptions(core.Static(100)))
+	if err := w.Run(func(c *mpi.Comm) {
+		scratch := make([]byte, 1<<21)
+		for i := 0; i < iters; i++ {
+			body(c, scratch)
+		}
+	}); err != nil {
+		panic(fmt.Sprintf("bench: collective run failed: %v", err))
+	}
+	return w.Time() / sim.Time(iters)
+}
+
+// AblationCollectives compares the default collective algorithms against
+// the variants in internal/coll on small and large payloads.
+func AblationCollectives(o Opts) Table {
+	iters := 8
+	if o.Quick {
+		iters = 4
+	}
+	t := Table{
+		Title:   "Ablation: collective algorithms (8 ranks, us per operation)",
+		Columns: []string{"operation", "payload", "default", "variant", "variant name"},
+		Note:    "Bruck wins for tiny all-to-all blocks; ring/SAG win once bandwidth-bound",
+	}
+	row := func(op, payload string, def, variant sim.Time, name string) {
+		t.AddRow(op, payload, f1(def.Micros()), f1(variant.Micros()), name)
+	}
+
+	for _, block := range []int{8, 4096} {
+		block := block
+		def := collTime(iters, func(c *mpi.Comm, s []byte) {
+			coll.Alltoall(c, s[:c.Size()*block], s[1<<20:1<<20+c.Size()*block], block)
+		})
+		bruck := collTime(iters, func(c *mpi.Comm, s []byte) {
+			coll.AlltoallBruck(c, s[:c.Size()*block], s[1<<20:1<<20+c.Size()*block], block)
+		})
+		row("alltoall", fmt.Sprintf("%dB blocks", block), def, bruck, "bruck")
+	}
+
+	for _, size := range []int{1024, 512 * 1024} {
+		size := size
+		def := collTime(iters, func(c *mpi.Comm, s []byte) {
+			coll.Bcast(c, 0, s[:size])
+		})
+		sag := collTime(iters, func(c *mpi.Comm, s []byte) {
+			coll.BcastSAG(c, 0, s[:size])
+		})
+		row("bcast", fmt.Sprintf("%dB", size), def, sag, "scatter+allgather")
+	}
+
+	for _, size := range []int{64, 1 << 20} {
+		size := size
+		def := collTime(iters, func(c *mpi.Comm, s []byte) {
+			coll.Allreduce(c, s[:size], coll.SumF64)
+		})
+		ring := collTime(iters, func(c *mpi.Comm, s []byte) {
+			coll.AllreduceRing(c, s[:size], coll.SumF64)
+		})
+		row("allreduce", fmt.Sprintf("%dB", size), def, ring, "ring")
+	}
+	return t
+}

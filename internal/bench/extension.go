@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"fmt"
+
+	"ibflow/internal/core"
+	"ibflow/internal/mpi"
+	"ibflow/internal/sim"
+)
+
+// ExtensionRDMAChannel compares the send/receive-based eager channel (the
+// paper's baseline implementation) against the RDMA-write-based channel
+// of the authors' companion ICS'03 design, which the paper's §7 says its
+// results carry over to — including the extra sender/receiver cooperation
+// the dynamic scheme needs there.
+func ExtensionRDMAChannel(o Opts) Table {
+	t := Table{
+		Title:   "Extension: send/recv vs RDMA-based eager channel",
+		Columns: []string{"channel", "lat 4B (us)", "bw 4B w=64 (MB/s)", "LU time (s)", "LU max posted"},
+		Note:    "the companion ICS'03 design reports ~0.7us lower small-message latency",
+	}
+	for _, rdma := range []bool{false, true} {
+		name := "send/recv"
+		if rdma {
+			name = "rdma-write"
+		}
+		tune := func(op *mpi.Options) { op.Chan.RDMAEager = rdma }
+		lat := latencyTuned(core.Static(100), 4, o.latIters(), tune)
+		bw := bandwidthTuned(core.Dynamic(10, dynMax), 4, 64, o.bwReps(), false, tune)
+		res, err := RunNASOpts("LU", o.class(), 8, core.Dynamic(1, dynMax), tune)
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(name, f2(lat), f1(bw), fmt.Sprintf("%.3f", res.Time.Seconds()),
+			fmt.Sprint(res.MaxPosted))
+	}
+	return t
+}
+
+// LatencyOpts is Latency with an options hook.
+func LatencyOpts(fc core.Params, size, iters int, tune func(*mpi.Options)) float64 {
+	return latencyTuned(fc, size, iters, tune)
+}
+
+// BandwidthOpts is Bandwidth with an options hook.
+func BandwidthOpts(fc core.Params, size, window, reps int, blocking bool,
+	tune func(*mpi.Options)) float64 {
+	return bandwidthTuned(fc, size, window, reps, blocking, tune)
+}
+
+// bandwidthTuned is Bandwidth with an options hook.
+func bandwidthTuned(fc core.Params, size, window, reps int, blocking bool,
+	tune func(*mpi.Options)) float64 {
+	const warmup = 6
+	var start sim.Time
+	opts := mpi.DefaultOptions(fc)
+	if tune != nil {
+		tune(&opts)
+	}
+	w := mpi.NewWorld(2, opts)
+	const tag, ackTag = 1, 2
+	err := w.Run(func(c *mpi.Comm) {
+		ack := make([]byte, 4)
+		if c.Rank() == 0 {
+			data := make([]byte, size)
+			for r := 0; r < warmup+reps; r++ {
+				if r == warmup {
+					start = c.Time()
+				}
+				if blocking {
+					for i := 0; i < window; i++ {
+						c.Send(1, tag, data)
+					}
+				} else {
+					reqs := make([]*mpi.Request, window)
+					for i := 0; i < window; i++ {
+						reqs[i] = c.Isend(1, tag, data)
+					}
+					c.Waitall(reqs...)
+				}
+				c.Recv(1, ackTag, ack)
+			}
+		} else {
+			buf := make([]byte, size)
+			bufs := make([][]byte, window)
+			for i := range bufs {
+				bufs[i] = make([]byte, size)
+			}
+			for r := 0; r < warmup+reps; r++ {
+				if blocking {
+					for i := 0; i < window; i++ {
+						c.Recv(0, tag, buf)
+					}
+				} else {
+					reqs := make([]*mpi.Request, window)
+					for i := 0; i < window; i++ {
+						reqs[i] = c.Irecv(0, tag, bufs[i])
+					}
+					c.Waitall(reqs...)
+				}
+				c.Send(0, ackTag, ack)
+			}
+		}
+	})
+	if err != nil {
+		panic(fmt.Sprintf("bench: tuned bandwidth run failed: %v", err))
+	}
+	bytes := float64(size) * float64(window) * float64(reps)
+	elapsed := w.Time() - start
+	return bytes / elapsed.Seconds() / 1e6
+}

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"fmt"
+
+	"ibflow/internal/coll"
+	"ibflow/internal/ib"
+	"ibflow/internal/mpi"
+)
+
+// ExtensionFatTree runs an all-to-all-heavy workload on a two-level fat
+// tree with an oversubscribed trunk — the environment the paper's
+// large-scale-cluster discussion points toward — and compares the three
+// schemes. Congested trunks slow receivers down, which is exactly when
+// flow control earns its keep.
+func ExtensionFatTree(o Opts) Table {
+	ranks := 32
+	rounds := 4
+	if o.Quick {
+		ranks, rounds = 16, 2
+	}
+	const burst = 12 // messages per sender per incast round
+	const size = 1024
+
+	t := Table{
+		Title: fmt.Sprintf("Extension: fat tree incast (%d ranks, radix 8, 4:1 oversubscribed, %d rounds x %d msgs)",
+			ranks, rounds, burst),
+		Columns: []string{"scheme", "time (ms)", "RNR NAKs", "max posted", "buffer KB/proc"},
+		Note:    "trunk congestion piles bursts onto one receiver: dynamic provisions, hardware retries, static stalls",
+	}
+	for _, fc := range Schemes(2, dynMax) {
+		opts := mpi.DefaultOptions(fc)
+		opts.IB.Topology = ib.TopoFatTree
+		opts.IB.LeafRadix = 8
+		opts.IB.Oversub = 4
+		opts.TimeLimit = timeLimit
+		w := mpi.NewWorld(ranks, opts)
+		if err := w.Run(func(c *mpi.Comm) {
+			n, me := c.Size(), c.Rank()
+			data := make([]byte, size)
+			buf := make([]byte, size)
+			// Rotating incast: every round one rank absorbs a burst
+			// from everyone else, funnelled through the trunk.
+			for r := 0; r < rounds; r++ {
+				root := (r * 5) % n
+				if me == root {
+					for s := 0; s < n; s++ {
+						if s == root {
+							continue
+						}
+						for i := 0; i < burst; i++ {
+							c.Recv(s, r, buf)
+						}
+					}
+				} else {
+					var reqs []*mpi.Request
+					for i := 0; i < burst; i++ {
+						reqs = append(reqs, c.Isend(root, r, data))
+					}
+					c.Waitall(reqs...)
+				}
+				coll.Barrier(c)
+			}
+		}); err != nil {
+			panic(fmt.Sprintf("bench: fat tree run failed: %v", err))
+		}
+		st := w.Stats()
+		t.AddRow(fc.Kind.String(),
+			fmt.Sprintf("%.2f", w.Time().Seconds()*1e3),
+			fmt.Sprint(st.RNRNaks),
+			fmt.Sprint(st.MaxPosted),
+			fmt.Sprintf("%.0f", float64(st.BufBytesInUse)/float64(ranks)/1024))
+	}
+	return t
+}

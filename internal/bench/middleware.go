@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"fmt"
+
+	"ibflow/internal/core"
+	"ibflow/internal/dsm"
+	"ibflow/internal/mpi"
+	"ibflow/internal/pfs"
+)
+
+// ExtensionMiddleware checks the paper's §8 conjecture that its flow
+// control results carry over to other InfiniBand middleware: a parallel
+// file system checkpoint storm (every client writes at once) and a DSM
+// page storm (every rank faults on one hot home), both at pre-post 1.
+func ExtensionMiddleware(o Opts) Table {
+	ranks := 8
+	ckptKB := 192
+	pages := 32
+	if o.Quick {
+		ckptKB, pages = 96, 16
+	}
+	t := Table{
+		Title:   fmt.Sprintf("Extension: middleware storms at pre-post 1 (%d ranks)", ranks),
+		Columns: []string{"scheme", "PFS ckpt (ms)", "PFS RNR", "DSM storm (ms)", "DSM RNR", "DSM max posted"},
+		Note: "PFS checkpoints are rendezvous-dominated and self-regulate (the Figures 7-8 lesson); " +
+			"the DSM's small-request storms surface the user-level schemes' control-message costs",
+	}
+	for _, fc := range []core.Params{core.Hardware(1), core.Static(1), core.Dynamic(1, dynMax)} {
+		// Parallel file system: 2 servers, 6 clients all checkpointing.
+		opts := mpi.DefaultOptions(fc)
+		opts.TimeLimit = timeLimit
+		w := mpi.NewWorld(ranks, opts)
+		if err := w.Run(func(c *mpi.Comm) {
+			fs := pfs.Mount(c, 2)
+			if fs.IsServer() {
+				return
+			}
+			data := make([]byte, ckptKB*1024)
+			fs.Write(fmt.Sprintf("ckpt-%d", c.Rank()), 0, data)
+			fs.Unmount()
+		}); err != nil {
+			panic(fmt.Sprintf("bench: pfs run failed: %v", err))
+		}
+		pfsTime := w.Time()
+		pfsRNR := w.Stats().RNRNaks
+
+		// DSM: everyone pulls every page homed at rank 0.
+		opts2 := mpi.DefaultOptions(fc)
+		opts2.TimeLimit = timeLimit
+		w2 := mpi.NewWorld(ranks, opts2)
+		if err := w2.Run(func(c *mpi.Comm) {
+			s := dsm.New(c, pages*c.Size()) // pages*n so rank 0 homes `pages` of them
+			if c.Rank() == 0 {
+				for p := 0; p < pages; p++ {
+					s.Write(p*c.Size(), 8, []byte{byte(p)})
+				}
+			}
+			s.Barrier()
+			for p := 0; p < pages; p++ {
+				if s.Read(p * c.Size())[8] != byte(p) {
+					c.Abort("dsm storm corrupted")
+				}
+			}
+			s.Barrier()
+		}); err != nil {
+			panic(fmt.Sprintf("bench: dsm run failed: %v", err))
+		}
+		st2 := w2.Stats()
+		t.AddRow(fc.Kind.String(),
+			fmt.Sprintf("%.2f", pfsTime.Seconds()*1e3),
+			fmt.Sprint(pfsRNR),
+			fmt.Sprintf("%.2f", w2.Time().Seconds()*1e3),
+			fmt.Sprint(st2.RNRNaks),
+			fmt.Sprint(st2.MaxPosted))
+	}
+	return t
+}

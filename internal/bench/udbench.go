@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"fmt"
+
+	"ibflow/internal/core"
+	"ibflow/internal/ib"
+	"ibflow/internal/mpi"
+	"ibflow/internal/rdc"
+	"ibflow/internal/sim"
+)
+
+// ExtensionUDChannel compares the Reliable Connection channel against a
+// software-reliable Unreliable Datagram channel (internal/rdc) on an
+// all-to-all small-message workload — the paper's future-work transport
+// direction. The RC design pays buffer memory per connection; the UD
+// design pays one shared pool per process and software retransmission.
+func ExtensionUDChannel(o Opts) Table {
+	ranks := 16
+	msgs := 60
+	if o.Quick {
+		ranks, msgs = 8, 30
+	}
+	const size = 512
+
+	t := Table{
+		Title:   fmt.Sprintf("Extension: RC vs UD+software reliability (%d ranks, all-to-all %d x %dB)", ranks, msgs, size),
+		Columns: []string{"channel", "time (ms)", "buffer KB/proc", "retransmits", "drops"},
+		Note:    "UD buffer memory is O(pool), not O(peers x pre-post): the large-cluster trade",
+	}
+
+	// Reliable Connection: the paper's design, static scheme.
+	{
+		w := mpi.NewWorld(ranks, mpi.DefaultOptions(core.Static(10)))
+		if err := w.Run(func(c *mpi.Comm) {
+			n, me := c.Size(), c.Rank()
+			data := make([]byte, size)
+			var reqs []*mpi.Request
+			for p := 1; p < n; p++ {
+				peer := (me + p) % n
+				for i := 0; i < msgs; i++ {
+					reqs = append(reqs, c.Isend(peer, i, data))
+				}
+			}
+			buf := make([]byte, size)
+			for p := 1; p < n; p++ {
+				peer := (me - p + n) % n
+				for i := 0; i < msgs; i++ {
+					c.Recv(peer, i, buf)
+				}
+			}
+			c.Waitall(reqs...)
+		}); err != nil {
+			panic(err)
+		}
+		st := w.Stats()
+		t.AddRow("RC static-10",
+			fmt.Sprintf("%.2f", w.Time().Seconds()*1e3),
+			fmt.Sprintf("%.0f", float64(st.BufBytesInUse)/float64(ranks)/1024),
+			fmt.Sprint(st.Retransmits), "0")
+	}
+
+	// UD + software reliability with a fixed shared pool.
+	{
+		eng := sim.NewEngine()
+		f := ib.NewFabric(eng, ib.DefaultConfig(), ranks)
+		cfg := rdc.DefaultConfig()
+		delivered := 0
+		eps := make([]*rdc.Endpoint, ranks)
+		for i := 0; i < ranks; i++ {
+			eps[i] = rdc.New(eng, f.HCA(i), cfg, ranks, func(src int, data []byte) {
+				delivered++
+			})
+		}
+		eng.At(0, func() {
+			for me := 0; me < ranks; me++ {
+				for p := 1; p < ranks; p++ {
+					peer := (me + p) % ranks
+					for i := 0; i < msgs; i++ {
+						eps[me].Send(peer, make([]byte, size))
+					}
+				}
+			}
+		})
+		if err := eng.Run(sim.MaxTime); err != nil {
+			panic(err)
+		}
+		want := ranks * (ranks - 1) * msgs
+		if delivered != want {
+			panic(fmt.Sprintf("bench: UD channel delivered %d of %d", delivered, want))
+		}
+		var retx, drops uint64
+		var poolBytes int
+		for _, e := range eps {
+			retx += e.Stats().Retransmits
+			drops += e.UDStats().Dropped
+			poolBytes = e.Stats().PoolBytes
+		}
+		t.AddRow(fmt.Sprintf("UD pool-%d", cfg.Pool),
+			fmt.Sprintf("%.2f", eng.Now().Seconds()*1e3),
+			fmt.Sprintf("%.0f", float64(poolBytes)/1024),
+			fmt.Sprint(retx), fmt.Sprint(drops))
+	}
+	return t
+}

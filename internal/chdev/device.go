@@ -1,0 +1,949 @@
+package chdev
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ibflow/internal/core"
+	"ibflow/internal/ib"
+	"ibflow/internal/mem"
+	"ibflow/internal/sim"
+	"ibflow/internal/trace"
+)
+
+// Handler is the upcall interface the MPI layer implements. The device
+// calls it from inside its progress engine; handlers must not block.
+type Handler interface {
+	// DeliverEager hands over a complete small message for communicator
+	// comm. data is only valid during the call (it aliases a pre-pinned
+	// buffer about to be re-posted); the handler must copy it out,
+	// charging the copy via Device.ChargeCopy.
+	DeliverEager(p *sim.Proc, src, tag int, comm uint16, data []byte)
+	// DeliverRndvStart announces an incoming rendezvous. The handler
+	// calls Device.AcceptRndv (now or later) once a matching receive
+	// buffer exists.
+	DeliverRndvStart(p *sim.Proc, r *RndvIn)
+	// DeliverRndvDone reports that an accepted rendezvous finished: the
+	// data is in the buffer passed to AcceptRndv.
+	DeliverRndvDone(p *sim.Proc, r *RndvIn)
+	// SendDone reports that the send identified by token completed in
+	// the MPI sense (its user buffer is reusable).
+	SendDone(token any)
+}
+
+// RndvIn is an incoming rendezvous transfer in progress.
+type RndvIn struct {
+	Src, Tag int
+	Comm     uint16
+	Len      int
+	UserData any // free for the MPI layer (the matched request)
+
+	conn      *conn
+	senderReq uint64
+	myReq     uint64
+	accepted  bool
+	buf       []byte
+}
+
+// rndvOut is an outgoing rendezvous transfer in progress.
+type rndvOut struct {
+	id      uint64
+	tag     int
+	comm    uint16
+	data    []byte
+	token   any
+	starved bool
+	peerReq uint64
+}
+
+// ctxKind classifies outstanding work requests.
+type ctxKind int
+
+const (
+	ctxBuf      ctxKind = iota // pool buffer to release on completion
+	ctxRndvData                // RDMA write of rendezvous payload
+)
+
+type sendCtx struct {
+	kind ctxKind
+	buf  []byte
+	out  *rndvOut
+	conn *conn
+}
+
+type recvSlot struct {
+	conn *conn
+	buf  []byte
+}
+
+// backlogEntry is a send held back by user-level flow control: either a
+// pre-encoded eager packet or a rendezvous start kept in order behind
+// eager traffic.
+type backlogEntry struct {
+	buf  []byte // eager: encoded packet (nil for rendezvous entries)
+	n    int    // eager: packet length
+	rndv *rndvOut
+}
+
+// conn is one connection (virtual channel + queue pair) to a peer rank.
+type conn struct {
+	peer     int
+	qp       *ib.QP
+	vc       *core.VC
+	backlog  []backlogEntry
+	sendRndv map[uint64]*rndvOut
+	recvRndv map[uint64]*RndvIn
+
+	// Explicit-credit-message silence gate state.
+	lastSend sim.Time   // last outgoing traffic on this connection
+	ecmTimer *sim.Timer // deferred ECM when the gate is still closed
+
+	// RDMA eager channel state (Config.RDMAEager). The receiver owns
+	// persistent slots; the sender tracks them through explicit FIFO
+	// used/free lists: the receiver frees slots in exactly the order
+	// they were written, so each piggybacked credit releases the
+	// longest-used slot. (A plain round-robin cursor corrupts data the
+	// moment the slot count grows mid-stream.)
+	slots    [][]byte       // receiver-side slot views
+	slotsOut []ib.RemoteKey // sender-side remote slot addresses
+	slotFree []int          // sender-side free slot indices, FIFO
+	slotUsed []int          // sender-side in-flight slot indices, FIFO
+}
+
+// Stats aggregates a device's flow control and transport counters.
+type Stats struct {
+	Rank          int
+	Conns         int    // established connections
+	MsgsSent      uint64 // every message posted (data + control), Table 1
+	EagerSent     uint64
+	Demoted       uint64
+	Backlogged    uint64
+	ECMsSent      uint64 // explicit credit messages, Table 1
+	GrowthEvents  uint64
+	ShrinkEvents  uint64
+	MaxPosted     int // max pre-post over connections, Table 2
+	SumPosted     int // current pre-post total (buffer memory proxy)
+	RNRNaks       uint64
+	Retransmits   uint64
+	WastedBytes   uint64
+	RegHits       uint64
+	RegMisses     uint64
+	BufBytesInUse int // pre-posted receive buffer memory, bytes
+}
+
+// Device is one rank's channel device.
+type Device struct {
+	eng     *sim.Engine
+	hca     *ib.HCA
+	cq      *ib.CQ
+	cfg     *Config
+	params  core.Params
+	rank    int
+	size    int
+	handler Handler
+
+	pool   *mem.BufPool
+	regs   *mem.RegCache
+	conns  []*conn
+	qpConn map[*ib.QP]*conn
+	peers  []*Device
+
+	wridSeq  uint64
+	rndvSeq  uint64
+	sendCtxs map[uint64]sendCtx
+	recvCtxs map[uint64]recvSlot
+
+	setups int // on-demand connection setups initiated
+}
+
+// New creates a channel device for rank on hca. Wire must be called on the
+// full device set before any communication.
+func New(eng *sim.Engine, hca *ib.HCA, cfg Config, params core.Params, rank, size int, h Handler) *Device {
+	if err := params.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.BufSize <= HeaderSize {
+		panic(fmt.Sprintf("chdev: buffer size %d below header size %d", cfg.BufSize, HeaderSize))
+	}
+	return &Device{
+		eng:      eng,
+		hca:      hca,
+		cq:       hca.NewCQ(),
+		cfg:      &cfg,
+		params:   params,
+		rank:     rank,
+		size:     size,
+		handler:  h,
+		pool:     mem.NewBufPool(cfg.BufSize),
+		regs:     mem.NewRegCache(hca),
+		conns:    make([]*conn, size),
+		qpConn:   make(map[*ib.QP]*conn),
+		sendCtxs: make(map[uint64]sendCtx),
+		recvCtxs: make(map[uint64]recvSlot),
+	}
+}
+
+// Wire connects a full set of devices: every pair eagerly unless OnDemand
+// is configured, in which case connections appear at first use.
+func Wire(devs []*Device) {
+	for _, d := range devs {
+		d.peers = devs
+	}
+	if devs[0].cfg.OnDemand {
+		return
+	}
+	for i := range devs {
+		for j := i + 1; j < len(devs); j++ {
+			establish(devs[i], devs[j])
+		}
+	}
+}
+
+// establish creates the QP pair and virtual channels between two devices
+// and pre-posts the initial buffers on both sides. With the RDMA eager
+// channel, pre-posting means allocating persistent slots and exchanging
+// their addresses (part of connection setup); a small fixed descriptor
+// pool still backs control traffic.
+func establish(a, b *Device) {
+	qa := a.hca.NewQP(a.cq, a.cq)
+	qb := b.hca.NewQP(b.cq, b.cq)
+	ib.Connect(qa, qb)
+	ca := &conn{peer: b.rank, qp: qa, vc: core.NewVC(&a.params),
+		sendRndv: make(map[uint64]*rndvOut), recvRndv: make(map[uint64]*RndvIn)}
+	cb := &conn{peer: a.rank, qp: qb, vc: core.NewVC(&b.params),
+		sendRndv: make(map[uint64]*rndvOut), recvRndv: make(map[uint64]*RndvIn)}
+	a.conns[b.rank] = ca
+	b.conns[a.rank] = cb
+	a.qpConn[qa] = ca
+	b.qpConn[qb] = cb
+	if a.cfg.RDMAEager {
+		a.prepost(ca, a.cfg.CtrlPrepost)
+		b.prepost(cb, b.cfg.CtrlPrepost)
+		mrA := a.allocSlots(ca, ca.vc.Posted())
+		mrB := b.allocSlots(cb, cb.vc.Posted())
+		// Slot addresses are exchanged during connection setup.
+		b.announceSlots(cb, mrA, ca.vc.Posted())
+		a.announceSlots(ca, mrB, cb.vc.Posted())
+	} else {
+		a.prepost(ca, ca.vc.Posted())
+		b.prepost(cb, cb.vc.Posted())
+	}
+}
+
+// allocSlots allocates and registers n persistent eager slots on the
+// receiver side of c and returns the backing region.
+func (d *Device) allocSlots(c *conn, n int) *ib.MR {
+	region := make([]byte, n*d.cfg.BufSize)
+	mr := d.hca.RegisterMemory(region)
+	for i := 0; i < n; i++ {
+		c.slots = append(c.slots, region[i*d.cfg.BufSize:(i+1)*d.cfg.BufSize])
+	}
+	return mr
+}
+
+// announceSlots appends n remote slots backed by mr to the sender side of
+// c (called at setup directly, or on receipt of a PktRingExt).
+func (d *Device) announceSlots(c *conn, mr *ib.MR, n int) {
+	base := mr.Len()/d.cfg.BufSize - n // new slots are the region's tail
+	for i := 0; i < n; i++ {
+		c.slotFree = append(c.slotFree, len(c.slotsOut))
+		c.slotsOut = append(c.slotsOut, ib.RemoteKey{MR: mr, Offset: (base + i) * d.cfg.BufSize})
+	}
+}
+
+// releaseSlots moves n slots from the in-flight list back to the free
+// list; the receiver processes (and therefore frees) slots in write
+// order, so the FIFO head is always the slot a returning credit means.
+func (c *conn) releaseSlots(n int) {
+	if n > len(c.slotUsed) {
+		n = len(c.slotUsed)
+	}
+	c.slotFree = append(c.slotFree, c.slotUsed[:n]...)
+	c.slotUsed = c.slotUsed[n:]
+}
+
+// tr records a trace event if tracing is enabled.
+func (d *Device) tr(kind trace.Kind, peer int, arg int64) {
+	if d.cfg.Tracer != nil {
+		d.cfg.Tracer.Add(trace.Event{T: d.eng.Now(), Rank: d.rank, Peer: peer, Kind: kind, Arg: arg})
+	}
+}
+
+// pktKind maps a wire packet type to its send-side trace kind.
+func pktKind(t PktType) trace.Kind {
+	switch t {
+	case PktEager:
+		return trace.SendEager
+	case PktRTS:
+		return trace.SendRTS
+	case PktCTS:
+		return trace.SendCTS
+	case PktFin:
+		return trace.SendFin
+	case PktCredit:
+		return trace.SendECM
+	case PktRingExt:
+		return trace.SendRingExt
+	}
+	return trace.Kind(0)
+}
+
+// Rank returns the device's rank.
+func (d *Device) Rank() int { return d.rank }
+
+// Size returns the job size.
+func (d *Device) Size() int { return d.size }
+
+// Engine returns the simulation engine.
+func (d *Device) Engine() *sim.Engine { return d.eng }
+
+// Config returns the device configuration.
+func (d *Device) Config() *Config { return d.cfg }
+
+// Params returns the flow control parameters.
+func (d *Device) Params() core.Params { return d.params }
+
+// ChargeCopy charges the virtual clock for an n-byte host copy.
+func (d *Device) ChargeCopy(p *sim.Proc, n int) { p.Sleep(d.cfg.CopyTime(n)) }
+
+// conn returns the connection to peer, establishing it on demand.
+func (d *Device) conn(p *sim.Proc, peer int) *conn {
+	if peer == d.rank || peer < 0 || peer >= d.size {
+		panic(fmt.Sprintf("chdev: rank %d has no connection to %d", d.rank, peer))
+	}
+	c := d.conns[peer]
+	if c == nil {
+		if !d.cfg.OnDemand {
+			panic("chdev: devices not wired")
+		}
+		p.Sleep(d.cfg.ConnSetup)
+		establish(d, d.peers[peer])
+		d.setups++
+		c = d.conns[peer]
+	}
+	return c
+}
+
+// prepost takes n fresh buffers from the pool and posts them as receive
+// descriptors on c.
+func (d *Device) prepost(c *conn, n int) {
+	for i := 0; i < n; i++ {
+		d.postRecvBuf(c, d.pool.Get())
+	}
+}
+
+func (d *Device) postRecvBuf(c *conn, buf []byte) {
+	d.wridSeq++
+	d.recvCtxs[d.wridSeq] = recvSlot{conn: c, buf: buf}
+	c.qp.PostRecv(d.wridSeq, buf)
+}
+
+// postPacket posts an encoded packet of n bytes from a pool buffer.
+func (d *Device) postPacket(c *conn, buf []byte, n int, ctx sendCtx) {
+	d.wridSeq++
+	ctx.conn = c
+	if ctx.buf == nil && ctx.kind == ctxBuf {
+		ctx.buf = buf
+	}
+	d.sendCtxs[d.wridSeq] = ctx
+	c.qp.PostSend(d.wridSeq, buf[:n])
+	c.vc.CountMsg()
+	c.lastSend = d.eng.Now()
+	d.tr(pktKind(PktType(buf[0])), c.peer, int64(n))
+}
+
+// Send transmits data to rank dst with the given tag. token is handed back
+// through Handler.SendDone when the send completes in the MPI sense.
+// blocking marks MPI_Send-style calls whose credit-starved small messages
+// may demote to a rendezvous handshake; non-blocking starved sends queue
+// in the backlog instead.
+func (d *Device) Send(p *sim.Proc, dst, tag int, comm uint16, data []byte, token any, blocking bool) {
+	// Every MPI call enters the progress engine first (as MPICH's ADI
+	// does): arrivals processed here return piggybacked credits, which
+	// keeps symmetric patterns flowing eagerly even at pre-post 1.
+	d.ProgressOnce(p)
+	c := d.conn(p, dst)
+	p.Sleep(d.cfg.SWSend)
+	if len(data) <= d.cfg.EagerThreshold() {
+		switch c.vc.DecideEager(blocking) {
+		case core.ActionSend:
+			d.postEager(p, c, tag, comm, data, 0)
+			d.handler.SendDone(token)
+		case core.ActionDemote:
+			d.tr(trace.Demoted, c.peer, int64(len(data)))
+			d.startRndv(p, c, tag, comm, data, token, true)
+		case core.ActionBacklog:
+			d.tr(trace.Backlogged, c.peer, int64(len(data)))
+			d.enqueueEager(p, c, tag, comm, data, token)
+			d.drainBacklog(p, c)
+		}
+		return
+	}
+	d.sendRndvPath(p, c, tag, comm, data, token)
+}
+
+// SendSync transmits data with synchronous-mode semantics (MPI_Ssend):
+// the rendezvous protocol is used regardless of size, so the send only
+// completes once the receiver has matched it.
+func (d *Device) SendSync(p *sim.Proc, dst, tag int, comm uint16, data []byte, token any) {
+	d.ProgressOnce(p)
+	c := d.conn(p, dst)
+	p.Sleep(d.cfg.SWSend)
+	d.sendRndvPath(p, c, tag, comm, data, token)
+}
+
+// sendRndvPath routes a message through the rendezvous protocol. The RTS
+// occupies a receiver buffer like any other send, so under user-level
+// schemes it consumes a credit; at zero credits (or behind a non-empty
+// backlog, preserving matching order) it waits in the backlog, which
+// throttles rendezvous floods to the pre-post depth — the self-regulation
+// the paper observes in Figures 7-8.
+func (d *Device) sendRndvPath(p *sim.Proc, c *conn, tag int, comm uint16, data []byte, token any) {
+	out := d.newRndvOut(p, c, tag, comm, data, token, false)
+	if d.cfg.RDMAEager {
+		// Control traffic rides the descriptor pool, outside the
+		// slot credit system — but it must not overtake backlogged
+		// eager traffic (MPI's non-overtaking order).
+		if len(c.backlog) > 0 {
+			out.starved = true
+			c.vc.QueueFree()
+			c.backlog = append(c.backlog, backlogEntry{rndv: out})
+			return
+		}
+		d.sendRTS(p, c, out, false)
+		return
+	}
+	consumed, queue := c.vc.DecideRTS()
+	if queue {
+		out.starved = true
+		c.backlog = append(c.backlog, backlogEntry{rndv: out})
+		d.drainBacklog(p, c)
+		return
+	}
+	d.sendRTS(p, c, out, consumed)
+}
+
+// postEager encodes and posts an eager data packet (credit already
+// consumed by the caller's DecideEager).
+func (d *Device) postEager(p *sim.Proc, c *conn, tag int, comm uint16, data []byte, extraFlags uint8) {
+	buf := d.pool.Get()
+	h := Header{
+		Type:      PktEager,
+		Flags:     FlagCredit | extraFlags,
+		Comm:      comm,
+		Src:       int32(d.rank),
+		Tag:       int32(tag),
+		Len:       uint32(len(data)),
+		Piggyback: uint32(c.vc.TakePiggyback()),
+	}
+	h.Encode(buf)
+	copy(buf[HeaderSize:], data)
+	p.Sleep(d.cfg.CopyTime(HeaderSize + len(data)))
+	d.postEagerPacket(c, buf, HeaderSize+len(data))
+}
+
+// postEagerPacket ships an encoded eager packet over whichever eager
+// channel is configured: a send/receive descriptor or an RDMA write into
+// the next persistent slot.
+func (d *Device) postEagerPacket(c *conn, buf []byte, n int) {
+	if !d.cfg.RDMAEager {
+		d.postPacket(c, buf, n, sendCtx{kind: ctxBuf})
+		return
+	}
+	if len(c.slotFree) == 0 {
+		// No free persistent slot. User-level schemes never get here
+		// (credits equal free slots); the hardware scheme has no
+		// bookkeeping, so it falls back to the send/receive channel
+		// and its RNR backstop, as the real RDMA-channel designs do.
+		d.postPacket(c, buf, n, sendCtx{kind: ctxBuf})
+		return
+	}
+	idx := c.slotFree[0]
+	c.slotFree = c.slotFree[1:]
+	c.slotUsed = append(c.slotUsed, idx)
+	d.wridSeq++
+	d.sendCtxs[d.wridSeq] = sendCtx{kind: ctxBuf, buf: buf, conn: c}
+	c.qp.PostWriteNotify(d.wridSeq, buf[:n], c.slotsOut[idx], uint64(idx))
+	c.vc.CountMsg()
+	c.lastSend = d.eng.Now()
+	d.tr(trace.SendEager, c.peer, int64(n))
+}
+
+// enqueueEager copies a starved eager send into the backlog. The user
+// buffer is immediately reusable, so SendDone fires now.
+func (d *Device) enqueueEager(p *sim.Proc, c *conn, tag int, comm uint16, data []byte, token any) {
+	buf := d.pool.Get()
+	h := Header{
+		Type:  PktEager,
+		Flags: FlagCredit | FlagStarved,
+		Comm:  comm,
+		Src:   int32(d.rank),
+		Tag:   int32(tag),
+		Len:   uint32(len(data)),
+	}
+	h.Encode(buf)
+	copy(buf[HeaderSize:], data)
+	p.Sleep(d.cfg.CopyTime(HeaderSize + len(data)))
+	c.backlog = append(c.backlog, backlogEntry{buf: buf, n: HeaderSize + len(data)})
+	d.handler.SendDone(token)
+}
+
+// drainBacklog sends backlogged messages in FIFO order while credits last.
+func (d *Device) drainBacklog(p *sim.Proc, c *conn) bool {
+	did := false
+	for len(c.backlog) > 0 {
+		e := c.backlog[0]
+		if e.rndv != nil {
+			// RDMA-channel RTS entries queued only for ordering
+			// drain without a credit; an RC-channel RTS needs one.
+			consumed := false
+			if d.cfg.RDMAEager {
+				c.vc.DrainFree()
+			} else {
+				if !c.vc.CanDrainBacklog() {
+					break
+				}
+				consumed = true
+			}
+			c.backlog = c.backlog[1:]
+			d.tr(trace.Drained, c.peer, 0)
+			d.sendRTS(p, c, e.rndv, consumed)
+			did = true
+			continue
+		}
+		if !c.vc.CanDrainBacklog() {
+			break
+		}
+		c.backlog = c.backlog[1:]
+		d.tr(trace.Drained, c.peer, int64(e.n))
+		binary.LittleEndian.PutUint32(e.buf[16:], uint32(c.vc.TakePiggyback()))
+		d.postEagerPacket(c, e.buf, e.n)
+		did = true
+	}
+	return did
+}
+
+// newRndvOut registers the source buffer (pin-down cached) and creates the
+// outgoing rendezvous state.
+func (d *Device) newRndvOut(p *sim.Proc, c *conn, tag int, comm uint16, data []byte, token any, starved bool) *rndvOut {
+	d.rndvSeq++
+	out := &rndvOut{id: d.rndvSeq, tag: tag, comm: comm, data: data, token: token, starved: starved}
+	c.sendRndv[out.id] = out
+	if len(data) > 0 {
+		_, cost := d.regs.Register(data)
+		p.Sleep(cost)
+	}
+	return out
+}
+
+// startRndv begins a rendezvous for data (used for large messages and for
+// credit-starved demoted small ones).
+func (d *Device) startRndv(p *sim.Proc, c *conn, tag int, comm uint16, data []byte, token any, starved bool) {
+	out := d.newRndvOut(p, c, tag, comm, data, token, starved)
+	d.sendRTS(p, c, out, false)
+}
+
+// sendRTS posts the Rendezvous Start control message. consumed records
+// whether a user-level credit backs it; credit-less RTS (a demoted small
+// send, or the hardware scheme) is optimistic: InfiniBand's end-to-end
+// flow control is the backstop.
+func (d *Device) sendRTS(p *sim.Proc, c *conn, out *rndvOut, consumed bool) {
+	buf := d.pool.Get()
+	flags := uint8(0)
+	if out.starved {
+		flags |= FlagStarved
+	}
+	if consumed {
+		flags |= FlagCredit
+	}
+	h := Header{
+		Type:      PktRTS,
+		Flags:     flags,
+		Comm:      out.comm,
+		Src:       int32(d.rank),
+		Tag:       int32(out.tag),
+		Len:       uint32(len(out.data)),
+		Piggyback: uint32(c.vc.TakePiggyback()),
+		ReqID:     out.id,
+	}
+	h.Encode(buf)
+	p.Sleep(d.cfg.CopyTime(HeaderSize))
+	d.postPacket(c, buf, HeaderSize, sendCtx{kind: ctxBuf})
+}
+
+// AcceptRndv supplies the receive buffer for an announced rendezvous and
+// sends the CTS reply carrying the registered destination.
+func (d *Device) AcceptRndv(p *sim.Proc, r *RndvIn, buf []byte) {
+	if r.accepted {
+		panic("chdev: rendezvous accepted twice")
+	}
+	if len(buf) < r.Len {
+		panic(fmt.Sprintf("chdev: rendezvous buffer %d bytes for %d-byte message", len(buf), r.Len))
+	}
+	r.accepted = true
+	r.buf = buf
+	c := r.conn
+	d.rndvSeq++
+	r.myReq = d.rndvSeq
+	c.recvRndv[r.myReq] = r
+
+	h := Header{
+		Type:      PktCTS,
+		Src:       int32(d.rank),
+		Len:       uint32(r.Len),
+		Piggyback: uint32(c.vc.TakePiggyback()),
+		ReqID:     r.senderReq,
+		PeerReqID: r.myReq,
+	}
+	if r.Len > 0 {
+		mr, cost := d.regs.Register(buf[:r.Len])
+		p.Sleep(cost)
+		h.MRID = uint32(mr.ID())
+	}
+	pkt := d.pool.Get()
+	h.Encode(pkt)
+	p.Sleep(d.cfg.CopyTime(HeaderSize))
+	d.postPacket(c, pkt, HeaderSize, sendCtx{kind: ctxBuf})
+}
+
+// sendFin posts the rendezvous completion control message.
+func (d *Device) sendFin(p *sim.Proc, c *conn, peerReq uint64) {
+	buf := d.pool.Get()
+	h := Header{
+		Type:      PktFin,
+		Src:       int32(d.rank),
+		Piggyback: uint32(c.vc.TakePiggyback()),
+		ReqID:     peerReq,
+	}
+	h.Encode(buf)
+	d.postPacket(c, buf, HeaderSize, sendCtx{kind: ctxBuf})
+}
+
+// sendECM posts an explicit credit message. Under the optimistic policy it
+// bypasses user-level flow control entirely; under the pessimistic policy
+// (for the deadlock demonstration) it needs a credit like any other send.
+// It may run from a timer event, so it never charges process time.
+func (d *Device) sendECM(c *conn) bool {
+	flags := uint8(0)
+	if d.cfg.PessimisticECM {
+		if c.vc.Credits() == 0 || c.vc.BacklogLen() > 0 {
+			return false // cannot send: this is how deadlock happens
+		}
+		if c.vc.DecideEager(false) != core.ActionSend {
+			return false
+		}
+		flags |= FlagCredit
+	}
+	buf := d.pool.Get()
+	h := Header{
+		Type:      PktCredit,
+		Flags:     flags,
+		Src:       int32(d.rank),
+		Piggyback: uint32(c.vc.TakeECM()),
+	}
+	h.Encode(buf)
+	d.postPacket(c, buf, HeaderSize, sendCtx{kind: ctxBuf})
+	return true
+}
+
+// ProgressOnce drains the completion queue, the backlogs and any due
+// explicit credit messages. It reports whether it accomplished anything.
+func (d *Device) ProgressOnce(p *sim.Proc) bool {
+	did := false
+	for {
+		wc, ok := d.cq.Poll()
+		if !ok {
+			break
+		}
+		did = true
+		d.handleWC(p, wc)
+	}
+	for _, c := range d.conns {
+		if c == nil {
+			continue
+		}
+		if d.drainBacklog(p, c) {
+			did = true
+		}
+		if d.cfg.Debug {
+			c.vc.CheckInvariants()
+		}
+	}
+	return did
+}
+
+// flushCredits sends explicit credit messages for connections whose owed
+// credits crossed the threshold with no outgoing traffic to ride on. The
+// progress engine calls it when the process is about to block — the moment
+// it knows the MPI layer has nothing else to say to the peer.
+func (d *Device) flushCredits(p *sim.Proc) bool {
+	did := false
+	for _, c := range d.conns {
+		if c == nil {
+			continue
+		}
+		if !d.cfg.RDMAEager {
+			// Shrinking persistent slots would need another
+			// cooperation round; not modelled.
+			c.vc.MaybeShrink(p.Now())
+		}
+		if c.vc.NeedECM() && d.maybeSendECM(c) {
+			did = true
+		}
+	}
+	return did
+}
+
+// maybeSendECM sends an explicit credit message if the connection has been
+// outbound-silent long enough; otherwise it arms a timer so the credits
+// still flow even if this rank stays parked (liveness: a peer may be
+// blocked waiting for exactly these credits).
+func (d *Device) maybeSendECM(c *conn) bool {
+	now := d.eng.Now()
+	silence := d.cfg.ECMSilence
+	if now-c.lastSend >= silence {
+		return d.sendECM(c)
+	}
+	if c.ecmTimer == nil {
+		c.ecmTimer = sim.NewTimer(d.eng, func() {
+			if c.vc.NeedECM() && d.eng.Now()-c.lastSend >= d.cfg.ECMSilence {
+				d.sendECM(c)
+			} else if c.vc.NeedECM() {
+				c.ecmTimer.Reset(d.cfg.ECMSilence)
+			}
+		})
+	}
+	if !c.ecmTimer.Armed() {
+		c.ecmTimer.Reset(c.lastSend + silence - now)
+	}
+	return false
+}
+
+// WaitProgress runs the progress engine until done() holds, blocking on
+// the completion queue when there is nothing to do.
+func (d *Device) WaitProgress(p *sim.Proc, done func() bool) {
+	for !done() {
+		if d.ProgressOnce(p) {
+			continue
+		}
+		if done() {
+			return
+		}
+		if d.flushCredits(p) {
+			continue
+		}
+		d.cq.Wait(p)
+	}
+}
+
+// Quiescent reports whether the device has no outstanding protocol work:
+// nothing backlogged, no rendezvous in flight, every posted send retired.
+// MPI finalize blocks until the device quiesces so that sends buffered in
+// the backlog reach the wire even if the application makes no further MPI
+// calls.
+func (d *Device) Quiescent() bool {
+	if len(d.sendCtxs) > 0 {
+		return false
+	}
+	for _, c := range d.conns {
+		if c == nil {
+			continue
+		}
+		if len(c.backlog) > 0 || len(c.sendRndv) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Poke runs one progress pass and flushes credits; used by periodic
+// progress points that must not block (e.g. MPI_Test).
+func (d *Device) Poke(p *sim.Proc) {
+	d.ProgressOnce(p)
+	d.flushCredits(p)
+}
+
+// handleWC dispatches one completion.
+func (d *Device) handleWC(p *sim.Proc, wc ib.WC) {
+	switch wc.Opcode {
+	case ib.OpSendComplete, ib.OpWriteComplete:
+		ctx, ok := d.sendCtxs[wc.WRID]
+		if !ok {
+			panic("chdev: unknown send completion")
+		}
+		delete(d.sendCtxs, wc.WRID)
+		if wc.Status != ib.StatusSuccess {
+			panic(fmt.Sprintf("chdev: transport error %v on rank %d", wc.Status, d.rank))
+		}
+		switch ctx.kind {
+		case ctxBuf:
+			d.pool.Put(ctx.buf)
+		case ctxRndvData:
+			d.sendFin(p, ctx.conn, ctx.out.peerReq)
+			delete(ctx.conn.sendRndv, ctx.out.id)
+			d.handler.SendDone(ctx.out.token)
+		}
+	case ib.OpRecvComplete:
+		slot, ok := d.recvCtxs[wc.WRID]
+		if !ok {
+			panic("chdev: unknown recv completion")
+		}
+		delete(d.recvCtxs, wc.WRID)
+		d.handlePacket(p, slot.conn, slot.buf, false)
+	case ib.OpRecvImm:
+		// RDMA eager arrival detected (models memory polling).
+		c, ok := d.qpConn[wc.QP]
+		if !ok {
+			panic("chdev: notify on unknown QP")
+		}
+		d.handlePacket(p, c, c.slots[int(wc.Imm)], true)
+	default:
+		panic(fmt.Sprintf("chdev: unexpected completion opcode %v", wc.Opcode))
+	}
+}
+
+// handlePacket processes one arrived packet and re-posts (or retires) the
+// buffer it occupied. viaRDMA marks packets that arrived through the
+// persistent-slot eager channel, whose slots free implicitly.
+func (d *Device) handlePacket(p *sim.Proc, c *conn, buf []byte, viaRDMA bool) {
+	h := DecodeHeader(buf)
+	switch {
+	case viaRDMA:
+		p.Sleep(d.cfg.SWRecvRDMA)
+	case h.Type.Control():
+		p.Sleep(d.cfg.SWRecvCtrl)
+	default:
+		p.Sleep(d.cfg.SWRecv)
+	}
+	if h.Piggyback > 0 {
+		c.vc.AddCredits(int(h.Piggyback))
+		if d.cfg.RDMAEager {
+			c.releaseSlots(int(h.Piggyback))
+		}
+		d.drainBacklog(p, c)
+	}
+	if h.Flags&FlagStarved != 0 {
+		if d.cfg.RDMAEager {
+			// Growth on the RDMA channel needs cooperation: the
+			// new slots only become usable once the sender
+			// learns their addresses from a ring-extension
+			// message, which itself carries the new credits.
+			if grow := c.vc.OnStarvedFeedbackRDMA(p.Now()); grow > 0 {
+				d.tr(trace.Grew, c.peer, int64(c.vc.Posted()))
+				mr := d.allocSlots(c, grow)
+				d.sendRingExt(p, c, mr, grow)
+			}
+		} else if grow := c.vc.OnStarvedFeedback(p.Now()); grow > 0 {
+			d.tr(trace.Grew, c.peer, int64(c.vc.Posted()))
+			d.prepost(c, grow)
+		}
+	}
+	switch h.Type {
+	case PktEager:
+		d.handler.DeliverEager(p, int(h.Src), int(h.Tag), h.Comm, buf[HeaderSize:HeaderSize+int(h.Len)])
+	case PktRTS:
+		r := &RndvIn{
+			Src:       int(h.Src),
+			Tag:       int(h.Tag),
+			Comm:      h.Comm,
+			Len:       int(h.Len),
+			conn:      c,
+			senderReq: h.ReqID,
+		}
+		d.handler.DeliverRndvStart(p, r)
+	case PktCTS:
+		out, ok := c.sendRndv[h.ReqID]
+		if !ok {
+			panic("chdev: CTS for unknown rendezvous")
+		}
+		out.peerReq = h.PeerReqID
+		if len(out.data) == 0 {
+			d.sendFin(p, c, out.peerReq)
+			delete(c.sendRndv, out.id)
+			d.handler.SendDone(out.token)
+		} else {
+			mr := c.qp.Peer().HCA().LookupMR(int(h.MRID))
+			d.wridSeq++
+			d.sendCtxs[d.wridSeq] = sendCtx{kind: ctxRndvData, out: out, conn: c}
+			c.qp.PostWrite(d.wridSeq, out.data, ib.RemoteKey{MR: mr})
+			c.vc.CountMsg()
+			d.tr(trace.SendRDMAData, c.peer, int64(len(out.data)))
+		}
+	case PktFin:
+		r, ok := c.recvRndv[h.ReqID]
+		if !ok {
+			panic("chdev: FIN for unknown rendezvous")
+		}
+		delete(c.recvRndv, h.ReqID)
+		d.handler.DeliverRndvDone(p, r)
+	case PktCredit:
+		// Credits were handled above.
+	case PktRingExt:
+		// New persistent slots at the peer: resolve the region and
+		// take the credits that come with them.
+		mr := c.qp.Peer().HCA().LookupMR(int(h.MRID))
+		d.announceSlots(c, mr, int(h.Len))
+		c.vc.AddCredits(int(h.Len))
+		d.drainBacklog(p, c)
+	default:
+		panic(fmt.Sprintf("chdev: bad packet type %v", h.Type))
+	}
+	d.tr(trace.Recv, c.peer, int64(h.Type))
+	if viaRDMA {
+		// The slot frees implicitly; only the credit accounting runs.
+		c.vc.BufferProcessed(h.Flags&FlagCredit != 0, p.Now())
+		return
+	}
+	if c.vc.BufferProcessed(h.Flags&FlagCredit != 0, p.Now()) {
+		d.postRecvBuf(c, buf)
+	} else {
+		d.tr(trace.Shrank, c.peer, int64(c.vc.Posted()))
+		d.pool.Put(buf)
+	}
+}
+
+// sendRingExt announces grow new slots backed by mr to the peer.
+func (d *Device) sendRingExt(p *sim.Proc, c *conn, mr *ib.MR, grow int) {
+	buf := d.pool.Get()
+	h := Header{
+		Type:      PktRingExt,
+		Src:       int32(d.rank),
+		Len:       uint32(grow),
+		MRID:      uint32(mr.ID()),
+		Piggyback: uint32(c.vc.TakePiggyback()),
+	}
+	h.Encode(buf)
+	d.postPacket(c, buf, HeaderSize, sendCtx{kind: ctxBuf})
+}
+
+// Stats aggregates the device's counters.
+func (d *Device) Stats() Stats {
+	s := Stats{Rank: d.rank, RegHits: d.regs.Hits(), RegMisses: d.regs.Misses()}
+	for _, c := range d.conns {
+		if c == nil {
+			continue
+		}
+		s.Conns++
+		vs := c.vc.Stats()
+		s.MsgsSent += vs.MsgsSent
+		s.EagerSent += vs.EagerSent
+		s.Demoted += vs.Demoted
+		s.Backlogged += vs.Backlogged
+		s.ECMsSent += vs.ECMsSent
+		s.GrowthEvents += vs.GrowthEvents
+		s.ShrinkEvents += vs.ShrinkEvents
+		if vs.MaxPosted > s.MaxPosted {
+			s.MaxPosted = vs.MaxPosted
+		}
+		s.SumPosted += c.vc.Posted()
+		qs := c.qp.Stats()
+		s.RNRNaks += qs.RNRNaks
+		s.Retransmits += qs.Retransmits
+		s.WastedBytes += qs.WastedBytes
+	}
+	s.BufBytesInUse = s.SumPosted * d.cfg.BufSize
+	return s
+}
+
+// ConnSetups reports on-demand connection establishments initiated here.
+func (d *Device) ConnSetups() int { return d.setups }

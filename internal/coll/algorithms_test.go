@@ -1,0 +1,151 @@
+package coll
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"ibflow/internal/core"
+	"ibflow/internal/enc"
+	"ibflow/internal/mpi"
+)
+
+func TestBruckMatchesPairwise(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5, 7, 8} {
+		n := n
+		t.Run(fmt.Sprint(n), func(t *testing.T) {
+			runN(t, n, func(c *mpi.Comm) {
+				const block = 8
+				send := make([]byte, n*block)
+				for j := 0; j < n; j++ {
+					for b := 0; b < block; b++ {
+						send[j*block+b] = byte(c.Rank()*n + j)
+					}
+				}
+				want := make([]byte, n*block)
+				Alltoall(c, send, want, block)
+				got := make([]byte, n*block)
+				AlltoallBruck(c, send, got, block)
+				if !bytes.Equal(got, want) {
+					c.Abort(fmt.Sprintf("bruck != pairwise\n got %v\nwant %v", got, want))
+				}
+			})
+		})
+	}
+}
+
+func TestBcastSAGMatchesBinomial(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 8} {
+		for _, size := range []int{64, 1000, 64 * 1024} {
+			n, size := n, size
+			t.Run(fmt.Sprintf("n%d-%dB", n, size), func(t *testing.T) {
+				runN(t, n, func(c *mpi.Comm) {
+					data := make([]byte, size)
+					if c.Rank() == 1%n {
+						for i := range data {
+							data[i] = byte(i * 31)
+						}
+					}
+					BcastSAG(c, 1%n, data)
+					for i := range data {
+						if data[i] != byte(i*31) {
+							c.Abort(fmt.Sprintf("sag bcast corrupted at %d", i))
+						}
+					}
+				})
+			})
+		}
+	}
+}
+
+func TestAllreduceRingMatchesRecursiveDoubling(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5, 8} {
+		n := n
+		t.Run(fmt.Sprint(n), func(t *testing.T) {
+			runN(t, n, func(c *mpi.Comm) {
+				vals := make([]float64, 64)
+				for i := range vals {
+					vals[i] = float64(c.Rank()*100 + i)
+				}
+				a := enc.F64Bytes(vals)
+				b := enc.F64Bytes(vals)
+				Allreduce(c, a, SumF64)
+				AllreduceRing(c, b, SumF64)
+				if !bytes.Equal(a, b) {
+					c.Abort("ring allreduce disagrees with recursive doubling")
+				}
+			})
+		})
+	}
+}
+
+func TestChunkRanges(t *testing.T) {
+	r := chunkRanges(100, 3, 8)
+	if len(r) != 3 || r[0] != [2]int{0, 32} || r[1] != [2]int{32, 64} || r[2] != [2]int{64, 100} {
+		t.Errorf("ranges = %v", r)
+	}
+	// Fewer bytes than ranks: early ranks get empty ranges.
+	r = chunkRanges(8, 4, 8)
+	total := 0
+	for _, x := range r {
+		total += x[1] - x[0]
+	}
+	if total != 8 {
+		t.Errorf("coverage lost: %v", r)
+	}
+}
+
+// Property: Bruck equals pairwise for random payload content.
+func TestPropertyBruckEquivalence(t *testing.T) {
+	prop := func(seed uint8, nSel uint8) bool {
+		n := int(nSel%7) + 2
+		const block = 4
+		ok := true
+		w := mpi.NewWorld(n, mpi.DefaultOptions(core.Static(16)))
+		err := w.Run(func(c *mpi.Comm) {
+			send := make([]byte, n*block)
+			for i := range send {
+				send[i] = byte(int(seed) + c.Rank()*37 + i*11)
+			}
+			want := make([]byte, n*block)
+			got := make([]byte, n*block)
+			Alltoall(c, send, want, block)
+			AlltoallBruck(c, send, got, block)
+			if !bytes.Equal(got, want) {
+				ok = false
+			}
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCollectivesOnSubcommunicators(t *testing.T) {
+	runN(t, 8, func(c *mpi.Comm) {
+		row := c.Split(c.Rank()/4, c.Rank()) // two rows of 4
+		buf := enc.F64Bytes([]float64{float64(c.Rank())})
+		Allreduce(row, buf, SumF64)
+		want := 0.0
+		base := (c.Rank() / 4) * 4
+		for i := 0; i < 4; i++ {
+			want += float64(base + i)
+		}
+		if got := enc.F64s(buf)[0]; got != want {
+			c.Abort(fmt.Sprintf("row allreduce got %v want %v", got, want))
+		}
+		// Broadcast within the row from row-rank 2.
+		data := make([]byte, 32)
+		if row.Rank() == 2 {
+			for i := range data {
+				data[i] = byte(base + i)
+			}
+		}
+		Bcast(row, 2, data)
+		if data[1] != byte(base+1) {
+			c.Abort("row bcast wrong")
+		}
+	})
+}

@@ -1,0 +1,110 @@
+package coll
+
+import (
+	"fmt"
+	"testing"
+
+	"ibflow/internal/enc"
+	"ibflow/internal/mpi"
+)
+
+func TestScanInclusive(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 8} {
+		n := n
+		t.Run(fmt.Sprint(n), func(t *testing.T) {
+			runN(t, n, func(c *mpi.Comm) {
+				buf := enc.I64Bytes([]int64{int64(c.Rank() + 1)})
+				Scan(c, buf, SumI64)
+				want := int64((c.Rank() + 1) * (c.Rank() + 2) / 2)
+				if got := enc.I64s(buf)[0]; got != want {
+					c.Abort(fmt.Sprintf("scan got %d want %d", got, want))
+				}
+			})
+		})
+	}
+}
+
+func TestExscanExclusive(t *testing.T) {
+	runN(t, 6, func(c *mpi.Comm) {
+		buf := enc.I64Bytes([]int64{int64(c.Rank() + 1)})
+		Exscan(c, buf, SumI64)
+		if c.Rank() == 0 {
+			return // rank 0's buffer is unspecified (left as input)
+		}
+		want := int64(c.Rank() * (c.Rank() + 1) / 2)
+		if got := enc.I64s(buf)[0]; got != want {
+			c.Abort(fmt.Sprintf("exscan got %d want %d", got, want))
+		}
+	})
+}
+
+func TestGathervScattervRoundTrip(t *testing.T) {
+	runN(t, 5, func(c *mpi.Comm) {
+		n, me := c.Size(), c.Rank()
+		const root = 2
+		counts := make([]int, n)
+		offs := make([]int, n)
+		total := 0
+		for i := 0; i < n; i++ {
+			counts[i] = (i + 1) * 3
+			offs[i] = total
+			total += counts[i]
+		}
+		mine := make([]byte, counts[me])
+		for i := range mine {
+			mine[i] = byte(me*10 + i)
+		}
+		var all []byte
+		if me == root {
+			all = make([]byte, total)
+		}
+		Gatherv(c, root, mine, all, counts, offs)
+		if me == root {
+			for i := 0; i < n; i++ {
+				for k := 0; k < counts[i]; k++ {
+					if all[offs[i]+k] != byte(i*10+k) {
+						c.Abort("gatherv corrupted")
+					}
+				}
+			}
+		}
+		// Scatter the gathered data back out and compare.
+		out := make([]byte, counts[me])
+		Scatterv(c, root, all, counts, offs, out)
+		for i := range out {
+			if out[i] != mine[i] {
+				c.Abort("scatterv corrupted")
+			}
+		}
+	})
+}
+
+func TestGathervZeroLengthContributions(t *testing.T) {
+	runN(t, 4, func(c *mpi.Comm) {
+		n, me := c.Size(), c.Rank()
+		counts := make([]int, n)
+		offs := make([]int, n)
+		total := 0
+		for i := 0; i < n; i++ {
+			if i%2 == 0 {
+				counts[i] = 4
+			}
+			offs[i] = total
+			total += counts[i]
+		}
+		mine := make([]byte, counts[me])
+		for i := range mine {
+			mine[i] = byte(me)
+		}
+		var all []byte
+		if me == 0 {
+			all = make([]byte, total)
+		}
+		Gatherv(c, 0, mine, all, counts, offs)
+		if me == 0 {
+			if all[offs[2]] != 2 {
+				c.Abort("even contribution missing")
+			}
+		}
+	})
+}

@@ -1,0 +1,344 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ibflow/internal/sim"
+)
+
+func TestConstructorsValidate(t *testing.T) {
+	for _, p := range []Params{Hardware(10), Static(10), Dynamic(1, 100)} {
+		p := p
+		if err := p.Validate(); err != nil {
+			t.Errorf("%v: %v", p.Kind, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	cases := []Params{
+		{Kind: KindStatic, Prepost: 0, ECMThreshold: 5},
+		{Kind: KindStatic, Prepost: 10, ECMThreshold: 0},
+		{Kind: KindDynamic, Prepost: 10, ECMThreshold: 5, Max: 5, Increment: 1},
+		{Kind: KindDynamic, Prepost: 1, ECMThreshold: 5, Max: 10, Increment: 0, Growth: GrowLinear},
+		{Kind: Kind(99), Prepost: 1},
+		{Kind: KindStatic, Prepost: 1, ECMThreshold: 1, ShrinkIdle: sim.Second, ShrinkFloor: 0},
+	}
+	for i, p := range cases {
+		p := p
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, p)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if KindHardware.String() != "hardware" || KindStatic.String() != "static" ||
+		KindDynamic.String() != "dynamic" {
+		t.Error("kind strings wrong")
+	}
+	if GrowLinear.String() != "linear" || GrowExponential.String() != "exponential" {
+		t.Error("growth strings wrong")
+	}
+	if DemoteToRendezvous.String() != "demote" || PureBacklog.String() != "backlog" {
+		t.Error("policy strings wrong")
+	}
+	if ActionSend.String() != "send" || ActionDemote.String() != "demote" ||
+		ActionBacklog.String() != "backlog" {
+		t.Error("action strings wrong")
+	}
+}
+
+func TestHardwareNeverBlocks(t *testing.T) {
+	p := Hardware(1)
+	vc := NewVC(&p)
+	for i := 0; i < 1000; i++ {
+		if a := vc.DecideEager(true); a != ActionSend {
+			t.Fatalf("hardware decision %d = %v", i, a)
+		}
+	}
+	if vc.NeedECM() {
+		t.Error("hardware scheme must never want an ECM")
+	}
+	if !vc.BufferProcessed(true, 0) {
+		t.Error("hardware scheme always reposts")
+	}
+}
+
+func TestStaticConsumesAndDemotes(t *testing.T) {
+	p := Static(3)
+	vc := NewVC(&p)
+	for i := 0; i < 3; i++ {
+		if a := vc.DecideEager(true); a != ActionSend {
+			t.Fatalf("send %d = %v, want send", i, a)
+		}
+	}
+	if vc.Credits() != 0 {
+		t.Fatalf("credits = %d, want 0", vc.Credits())
+	}
+	if a := vc.DecideEager(true); a != ActionDemote {
+		t.Fatalf("starved send = %v, want demote", a)
+	}
+	vc.AddCredits(1)
+	if a := vc.DecideEager(true); a != ActionSend {
+		t.Fatalf("after credit return = %v, want send", a)
+	}
+	st := vc.Stats()
+	if st.EagerSent != 4 || st.Demoted != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestPureBacklogPolicyQueuesFIFO(t *testing.T) {
+	p := Static(2)
+	p.ZeroCredit = PureBacklog
+	vc := NewVC(&p)
+	vc.DecideEager(true)
+	vc.DecideEager(true)
+	for i := 0; i < 3; i++ {
+		if a := vc.DecideEager(true); a != ActionBacklog {
+			t.Fatalf("decision = %v, want backlog", a)
+		}
+	}
+	if vc.BacklogLen() != 3 {
+		t.Fatalf("backlog = %d", vc.BacklogLen())
+	}
+	if vc.CanDrainBacklog() {
+		t.Fatal("drained without credits")
+	}
+	vc.AddCredits(2)
+	if !vc.CanDrainBacklog() || !vc.CanDrainBacklog() {
+		t.Fatal("failed to drain with credits")
+	}
+	if vc.CanDrainBacklog() {
+		t.Fatal("drained a third message with two credits")
+	}
+	if vc.BacklogLen() != 1 {
+		t.Fatalf("backlog = %d, want 1", vc.BacklogLen())
+	}
+	if vc.Stats().MaxBacklogLen != 3 {
+		t.Errorf("MaxBacklogLen = %d, want 3", vc.Stats().MaxBacklogLen)
+	}
+}
+
+func TestBacklogForcesOrderEvenWithDemotion(t *testing.T) {
+	// Once anything is backlogged, later sends must not overtake it.
+	p := Static(1)
+	p.ZeroCredit = PureBacklog
+	vc := NewVC(&p)
+	vc.DecideEager(true) // consumes the only credit
+	if a := vc.DecideEager(true); a != ActionBacklog {
+		t.Fatalf("= %v", a)
+	}
+	vc.AddCredits(5)
+	if a := vc.DecideEager(true); a != ActionBacklog {
+		t.Fatalf("send overtook a non-empty backlog: %v", a)
+	}
+}
+
+func TestPiggybackAndECMAccounting(t *testing.T) {
+	p := Static(10)
+	vc := NewVC(&p)
+	for i := 0; i < 4; i++ {
+		vc.BufferProcessed(true, 0)
+	}
+	vc.BufferProcessed(false, 0) // control message: no credit owed
+	if vc.Owed() != 4 {
+		t.Fatalf("owed = %d, want 4", vc.Owed())
+	}
+	if vc.NeedECM() {
+		t.Error("ECM below threshold 5")
+	}
+	vc.BufferProcessed(true, 0)
+	if !vc.NeedECM() {
+		t.Error("ECM wanted at threshold 5")
+	}
+	if n := vc.TakeECM(); n != 5 {
+		t.Errorf("TakeECM = %d, want 5", n)
+	}
+	if vc.Owed() != 0 || vc.NeedECM() {
+		t.Error("owed not cleared")
+	}
+	vc.BufferProcessed(true, 0)
+	if n := vc.TakePiggyback(); n != 1 {
+		t.Errorf("TakePiggyback = %d, want 1", n)
+	}
+	st := vc.Stats()
+	if st.ECMsSent != 1 || st.CreditsByECM != 5 || st.CreditsPiggy != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestECMThresholdCappedByPrepost(t *testing.T) {
+	p := Static(1) // threshold 5 would never fire
+	vc := NewVC(&p)
+	vc.BufferProcessed(true, 0)
+	if !vc.NeedECM() {
+		t.Error("prepost=1 must return its single credit eagerly")
+	}
+}
+
+func TestDynamicGrowthLinear(t *testing.T) {
+	p := Dynamic(1, 10)
+	vc := NewVC(&p)
+	if g := vc.OnStarvedFeedback(0); g != 2 {
+		t.Fatalf("grow = %d, want 2", g)
+	}
+	if vc.Posted() != 3 || vc.Owed() != 2 {
+		t.Fatalf("posted = %d owed = %d", vc.Posted(), vc.Owed())
+	}
+	for i := 0; i < 10; i++ {
+		vc.OnStarvedFeedback(0)
+	}
+	if vc.Posted() != 10 {
+		t.Fatalf("posted = %d, want capped at 10", vc.Posted())
+	}
+	if g := vc.OnStarvedFeedback(0); g != 0 {
+		t.Fatalf("grow at cap = %d, want 0", g)
+	}
+	if vc.Stats().MaxPosted != 10 {
+		t.Errorf("MaxPosted = %d", vc.Stats().MaxPosted)
+	}
+}
+
+func TestDynamicGrowthExponential(t *testing.T) {
+	p := Dynamic(1, 100)
+	p.Growth = GrowExponential
+	vc := NewVC(&p)
+	want := []int{2, 4, 8, 16, 32, 64, 100, 100}
+	for i, w := range want {
+		vc.OnStarvedFeedback(0)
+		if vc.Posted() != w {
+			t.Fatalf("step %d: posted = %d, want %d", i, vc.Posted(), w)
+		}
+	}
+}
+
+func TestGrowthCooldownPacesIncreases(t *testing.T) {
+	p := Dynamic(1, 100) // cooldown 10us
+	vc := NewVC(&p)
+	if g := vc.OnStarvedFeedback(sim.Microsecond); g == 0 {
+		t.Fatal("first feedback must grow")
+	}
+	if g := vc.OnStarvedFeedback(2 * sim.Microsecond); g != 0 {
+		t.Fatalf("feedback inside the cooldown grew by %d", g)
+	}
+	if g := vc.OnStarvedFeedback(20 * sim.Microsecond); g == 0 {
+		t.Fatal("feedback after the cooldown must grow")
+	}
+	if vc.Stats().GrowthEvents != 2 {
+		t.Errorf("growth events = %d, want 2", vc.Stats().GrowthEvents)
+	}
+}
+
+func TestStaticNeverGrows(t *testing.T) {
+	p := Static(4)
+	vc := NewVC(&p)
+	if g := vc.OnStarvedFeedback(0); g != 0 {
+		t.Errorf("static grew by %d", g)
+	}
+	if vc.Posted() != 4 {
+		t.Errorf("posted = %d", vc.Posted())
+	}
+}
+
+func TestShrinkRetiresBuffersAfterIdle(t *testing.T) {
+	p := Dynamic(1, 50)
+	p.ShrinkIdle = 100 * sim.Microsecond
+	p.ShrinkFloor = 2
+	vc := NewVC(&p)
+	vc.OnStarvedFeedback(10 * sim.Microsecond) // posted 3
+	vc.OnStarvedFeedback(30 * sim.Microsecond) // posted 5 (past the cooldown)
+	if vc.Posted() != 5 {
+		t.Fatalf("posted = %d", vc.Posted())
+	}
+	vc.MaybeShrink(50 * sim.Microsecond) // too soon
+	if !vc.BufferProcessed(true, 0) {
+		t.Fatal("retired a buffer before idle period")
+	}
+	vc.MaybeShrink(500 * sim.Microsecond)
+	retired := 0
+	for i := 0; i < 10; i++ {
+		if !vc.BufferProcessed(true, 0) {
+			retired++
+		}
+	}
+	if retired != 3 || vc.Posted() != 2 {
+		t.Errorf("retired = %d posted = %d, want 3 and 2", retired, vc.Posted())
+	}
+	if vc.Stats().ShrinkEvents != 3 {
+		t.Errorf("ShrinkEvents = %d", vc.Stats().ShrinkEvents)
+	}
+}
+
+func TestCheckInvariantsCatchesCorruption(t *testing.T) {
+	p := Static(2)
+	vc := NewVC(&p)
+	vc.CheckInvariants() // healthy
+	vc.credits = -1
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on negative credits")
+		}
+	}()
+	vc.CheckInvariants()
+}
+
+// Property: simulate both ends of a channel with random traffic; the sum
+// credits + owed + in-flight-consuming + occupied buffers always equals the
+// posted count, credits never go negative, and posted never exceeds Max.
+func TestPropertyCreditConservation(t *testing.T) {
+	prop := func(ops []uint8, dynamic bool) bool {
+		var p Params
+		if dynamic {
+			p = Dynamic(2, 64)
+		} else {
+			p = Static(4)
+		}
+		sender := NewVC(&p)   // A's view toward B
+		receiver := NewVC(&p) // B's bookkeeping for A (same direction)
+		inflight := 0         // credit-consuming messages sent, unprocessed
+		occupied := 0         // processed... nothing pending return besides owed
+		for _, op := range ops {
+			switch op % 4 {
+			case 0: // A sends eager
+				switch sender.DecideEager(true) {
+				case ActionSend:
+					inflight++
+				case ActionDemote:
+					// B sees starvation feedback.
+					receiver.OnStarvedFeedback(0)
+				case ActionBacklog:
+					if sender.CanDrainBacklog() {
+						inflight++
+					}
+				}
+			case 1: // B processes one arrival
+				if inflight > 0 {
+					inflight--
+					receiver.BufferProcessed(true, 0)
+				}
+			case 2: // piggyback return
+				sender.AddCredits(receiver.TakePiggyback())
+			case 3: // explicit credit message
+				if receiver.NeedECM() {
+					sender.AddCredits(receiver.TakeECM())
+				}
+			}
+			sender.CheckInvariants()
+			receiver.CheckInvariants()
+			if sender.Credits() < 0 {
+				return false
+			}
+			total := sender.Credits() + receiver.Owed() + inflight + occupied
+			if total != receiver.Posted() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,195 @@
+// Package core implements the paper's contribution: the three flow control
+// schemes for MPI over InfiniBand Reliable Connections.
+//
+//   - Hardware-based: no MPI-level bookkeeping; every message is posted
+//     directly and the HCA's RNR NAK / timed-retry machinery throttles a
+//     fast sender.
+//   - User-level static: credit-based flow control with a fixed number of
+//     pre-posted receive buffers per connection. Credits flow back by
+//     piggybacking on every message header and, for asymmetric patterns,
+//     by explicit credit messages (ECMs) once a threshold accumulates.
+//   - User-level dynamic: starts each connection with a small pre-post
+//     count and grows it when feedback flags ("this message was starved /
+//     went through the backlog") arrive, adapting buffer usage to the
+//     application's communication pattern.
+//
+// The package is pure bookkeeping: it decides, counts and enforces
+// invariants. The channel device (internal/chdev) owns the actual buffers,
+// packets and progress engine and consults a VC (virtual channel) for every
+// decision.
+package core
+
+import (
+	"fmt"
+
+	"ibflow/internal/sim"
+)
+
+// Kind selects one of the paper's three flow control schemes.
+type Kind int
+
+const (
+	// KindHardware relies entirely on InfiniBand end-to-end flow control.
+	KindHardware Kind = iota
+	// KindStatic is user-level credit-based flow control with a fixed
+	// pre-post count.
+	KindStatic
+	// KindDynamic is user-level credit-based flow control that grows the
+	// pre-post count from feedback.
+	KindDynamic
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindHardware:
+		return "hardware"
+	case KindStatic:
+		return "static"
+	case KindDynamic:
+		return "dynamic"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Growth selects how the dynamic scheme increases the pre-post count.
+type Growth int
+
+const (
+	// GrowLinear adds Increment buffers per feedback event (the paper's
+	// implementation).
+	GrowLinear Growth = iota
+	// GrowExponential doubles the pre-post count per feedback event,
+	// bounded by Max (mentioned as an alternative in the paper).
+	GrowExponential
+)
+
+func (g Growth) String() string {
+	if g == GrowExponential {
+		return "exponential"
+	}
+	return "linear"
+}
+
+// ZeroCreditPolicy selects what a user-level scheme does with a small send
+// that finds no credits.
+type ZeroCreditPolicy int
+
+const (
+	// DemoteToRendezvous converts the send to the rendezvous protocol
+	// whose control messages are optimistic; the handshake both moves
+	// the data (zero-copy) and carries piggybacked credits back. This is
+	// our reading of the paper's "when there are no credits, only
+	// Rendezvous protocol is used" (see DESIGN.md).
+	DemoteToRendezvous ZeroCreditPolicy = iota
+	// PureBacklog queues the send until credits return (the MVICH
+	// behaviour); kept for the ablation study.
+	PureBacklog
+)
+
+func (z ZeroCreditPolicy) String() string {
+	if z == PureBacklog {
+		return "backlog"
+	}
+	return "demote"
+}
+
+// Params configures a flow control scheme for every connection of a job.
+type Params struct {
+	Kind Kind
+
+	// Prepost is the per-connection receive buffer count: fixed for the
+	// hardware and static schemes, the starting point for dynamic.
+	Prepost int
+
+	// ECMThreshold is the accumulated-credit count that triggers an
+	// explicit credit message when piggybacking has no traffic to ride
+	// on. The paper uses 5. The effective threshold is capped at the
+	// current pre-post count, otherwise a pre-post of 1 could never
+	// return its only credit and the job would deadlock.
+	ECMThreshold int
+
+	// ZeroCredit selects the no-credit behaviour for small sends.
+	ZeroCredit ZeroCreditPolicy
+
+	// Growth, Increment and Max control dynamic growth. Increment is
+	// the linear step (buffers per feedback event). GrowthCooldown
+	// paces growth: starvation feedback arriving within the cooldown
+	// of the previous increase is ignored, so a single burst does not
+	// trigger one increase per message (important on the RDMA channel,
+	// where every increase costs an explicit slot-announcement
+	// message).
+	Growth         Growth
+	Increment      int
+	Max            int
+	GrowthCooldown sim.Time
+
+	// ShrinkIdle enables the paper's future-work credit decrease: after
+	// a connection has seen no buffer pressure for this long, the
+	// receiver lets the pre-post count decay to ShrinkFloor by not
+	// reposting processed buffers. Zero disables shrinking.
+	ShrinkIdle  sim.Time
+	ShrinkFloor int
+}
+
+// Hardware returns parameters for the hardware-based scheme.
+func Hardware(prepost int) Params {
+	return Params{Kind: KindHardware, Prepost: prepost}
+}
+
+// Static returns parameters for the user-level static scheme with the
+// paper's defaults (ECM threshold 5, demotion on zero credits).
+func Static(prepost int) Params {
+	return Params{
+		Kind:         KindStatic,
+		Prepost:      prepost,
+		ECMThreshold: 5,
+		ZeroCredit:   DemoteToRendezvous,
+	}
+}
+
+// Dynamic returns parameters for the user-level dynamic scheme starting at
+// prepost buffers, growing linearly by 2 up to max.
+func Dynamic(prepost, max int) Params {
+	return Params{
+		Kind:           KindDynamic,
+		Prepost:        prepost,
+		ECMThreshold:   5,
+		ZeroCredit:     DemoteToRendezvous,
+		Growth:         GrowLinear,
+		Increment:      2,
+		Max:            max,
+		GrowthCooldown: 10 * sim.Microsecond,
+	}
+}
+
+// Validate checks the parameter combination and fills defaulted fields.
+func (p *Params) Validate() error {
+	if p.Prepost < 1 {
+		return fmt.Errorf("core: prepost %d < 1", p.Prepost)
+	}
+	switch p.Kind {
+	case KindHardware:
+		return nil
+	case KindStatic, KindDynamic:
+		if p.ECMThreshold < 1 {
+			return fmt.Errorf("core: ECM threshold %d < 1", p.ECMThreshold)
+		}
+	default:
+		return fmt.Errorf("core: unknown scheme kind %d", int(p.Kind))
+	}
+	if p.Kind == KindDynamic {
+		if p.Increment < 1 && p.Growth == GrowLinear {
+			return fmt.Errorf("core: linear growth needs increment >= 1, got %d", p.Increment)
+		}
+		if p.Max < p.Prepost {
+			return fmt.Errorf("core: max %d < initial prepost %d", p.Max, p.Prepost)
+		}
+	}
+	if p.ShrinkIdle > 0 && p.ShrinkFloor < 1 {
+		return fmt.Errorf("core: shrink floor %d < 1", p.ShrinkFloor)
+	}
+	return nil
+}
+
+// UserLevel reports whether the scheme tracks credits at the MPI level.
+func (p *Params) UserLevel() bool { return p.Kind != KindHardware }

@@ -1,0 +1,358 @@
+package core
+
+import (
+	"fmt"
+
+	"ibflow/internal/sim"
+)
+
+// Action is a VC's decision for an outgoing credit-consuming (eager) send.
+type Action int
+
+const (
+	// ActionSend means go ahead as an eager message (a credit has been
+	// consumed by the decision for user-level schemes).
+	ActionSend Action = iota
+	// ActionDemote means no credits: send via the rendezvous protocol
+	// with the starvation flag set.
+	ActionDemote
+	// ActionBacklog means no credits: the device must queue the message
+	// and drain it in FIFO order as credits return.
+	ActionBacklog
+)
+
+func (a Action) String() string {
+	switch a {
+	case ActionSend:
+		return "send"
+	case ActionDemote:
+		return "demote"
+	case ActionBacklog:
+		return "backlog"
+	}
+	return fmt.Sprintf("Action(%d)", int(a))
+}
+
+// Stats counts flow control events on one virtual channel (one direction of
+// one connection). These feed the paper's Tables 1 and 2.
+type Stats struct {
+	EagerSent     uint64 // eager data messages sent with a credit
+	Demoted       uint64 // small sends demoted to rendezvous (starved)
+	Backlogged    uint64 // sends that waited in the backlog
+	ECMsSent      uint64 // explicit credit messages sent
+	MsgsSent      uint64 // all messages sent (data + control), for Table 1
+	CreditsPiggy  uint64 // credits returned by piggybacking
+	CreditsByECM  uint64 // credits returned by explicit messages
+	GrowthEvents  uint64 // dynamic-scheme increases
+	ShrinkEvents  uint64 // dynamic-scheme decreases (extension)
+	MaxPosted     int    // high-water mark of the pre-post count (Table 2)
+	MaxBacklogLen int    // high-water mark of the backlog queue
+}
+
+// VC is the flow control state of one virtual channel: the sender-side
+// credit view toward a peer plus the receiver-side buffer accounting for
+// traffic from that peer. A connection between ranks A and B has one VC at
+// each end.
+type VC struct {
+	params *Params
+
+	// Sender side: credits for messages we send to the peer.
+	credits int
+	backlog int // messages the device is holding for us
+
+	// Receiver side: buffers for messages the peer sends us.
+	posted       int // current pre-post target
+	owed         int // processed-buffer credits not yet returned
+	shrinkDebt   int // buffers to retire instead of reposting
+	lastPressure sim.Time
+	lastGrowth   sim.Time
+
+	stats Stats
+}
+
+// NewVC creates the flow control state for one end of a connection.
+// Params must have been validated.
+func NewVC(p *Params) *VC {
+	vc := &VC{params: p, posted: p.Prepost}
+	if p.UserLevel() {
+		// Initial credits equal the peer's initial pre-post count;
+		// configuration is uniform across the job, as in the paper.
+		vc.credits = p.Prepost
+	}
+	vc.stats.MaxPosted = vc.posted
+	return vc
+}
+
+// Params returns the scheme parameters.
+func (vc *VC) Params() *Params { return vc.params }
+
+// Credits returns the sender-side credit count (0 for hardware scheme).
+func (vc *VC) Credits() int { return vc.credits }
+
+// Owed returns the receiver-side credits waiting to be returned.
+func (vc *VC) Owed() int { return vc.owed }
+
+// Posted returns the receiver-side pre-post target for this channel.
+func (vc *VC) Posted() int { return vc.posted }
+
+// Stats returns a copy of the channel's counters.
+func (vc *VC) Stats() Stats { return vc.stats }
+
+// CountMsg records any outgoing message for the totals in Table 1.
+func (vc *VC) CountMsg() { vc.stats.MsgsSent++ }
+
+// DecideEager decides the fate of an outgoing eager (credit-consuming)
+// send. For user-level schemes a returned ActionSend has already consumed
+// one credit. canDemote distinguishes blocking sends — which can afford to
+// wait out a rendezvous handshake and harvest its piggybacked credits (the
+// paper's explanation of why blocking beats non-blocking past the credit
+// limit) — from non-blocking ones, which go to the backlog. A non-empty
+// backlog forces ActionBacklog regardless, preserving MPI's non-overtaking
+// order.
+func (vc *VC) DecideEager(canDemote bool) Action {
+	if !vc.params.UserLevel() {
+		vc.stats.EagerSent++
+		return ActionSend
+	}
+	if vc.backlog == 0 && vc.credits > 0 {
+		vc.credits--
+		vc.stats.EagerSent++
+		return ActionSend
+	}
+	if vc.params.ZeroCredit == DemoteToRendezvous && canDemote && vc.backlog == 0 {
+		vc.stats.Demoted++
+		return ActionDemote
+	}
+	vc.backlog++
+	vc.stats.Backlogged++
+	if vc.backlog > vc.stats.MaxBacklogLen {
+		vc.stats.MaxBacklogLen = vc.backlog
+	}
+	return ActionBacklog
+}
+
+// DecideRTS decides the fate of an outgoing rendezvous-start control
+// message for a large message. RTS consumes a credit when one is
+// available (it occupies a receiver buffer like any send); at zero
+// credits it joins the backlog, which throttles rendezvous floods to the
+// pre-post depth — the "handshake makes the pattern symmetric"
+// self-regulation of the paper's Figures 7-8. consumed reports whether a
+// credit was taken; queue tells the device to backlog the RTS.
+func (vc *VC) DecideRTS() (consumed, queue bool) {
+	if !vc.params.UserLevel() {
+		return false, false
+	}
+	if vc.backlog == 0 && vc.credits > 0 {
+		vc.credits--
+		return true, false
+	}
+	vc.backlog++
+	vc.stats.Backlogged++
+	if vc.backlog > vc.stats.MaxBacklogLen {
+		vc.stats.MaxBacklogLen = vc.backlog
+	}
+	return false, true
+}
+
+// QueueFree enqueues a message that needs no credit (e.g. an RDMA-channel
+// RTS that travels the control pool) but must still wait its turn behind
+// earlier backlogged traffic to preserve MPI ordering.
+func (vc *VC) QueueFree() {
+	vc.backlog++
+	vc.stats.Backlogged++
+	if vc.backlog > vc.stats.MaxBacklogLen {
+		vc.stats.MaxBacklogLen = vc.backlog
+	}
+}
+
+// DrainFree accounts for a credit-free backlog entry leaving the queue.
+func (vc *VC) DrainFree() {
+	if vc.backlog <= 0 {
+		panic("core: DrainFree with empty backlog")
+	}
+	vc.backlog--
+}
+
+// CanDrainBacklog reports whether the device may send the next backlogged
+// message (consuming the credit if so). Backlogged RTS entries drain
+// through the same gate: progress is guaranteed because credits always
+// return eventually (piggybacked on handshakes or via an optimistic ECM
+// before the peer blocks).
+func (vc *VC) CanDrainBacklog() bool {
+	if vc.backlog == 0 || vc.credits == 0 {
+		return false
+	}
+	vc.backlog--
+	vc.credits--
+	vc.stats.EagerSent++
+	return true
+}
+
+// BacklogLen returns how many messages the device is holding.
+func (vc *VC) BacklogLen() int { return vc.backlog }
+
+// AddCredits adds credits returned by the peer (piggybacked or explicit).
+func (vc *VC) AddCredits(n int) {
+	if n < 0 {
+		panic("core: negative credit return")
+	}
+	vc.credits += n
+}
+
+// --- Receiver side -------------------------------------------------------
+
+// BufferProcessed records that the device finished processing an incoming
+// message that occupied a pre-posted buffer. consumedCredit says whether
+// the sender spent a user-level credit on it (data) or sent it
+// optimistically (control). It returns true if the buffer should be
+// re-posted, false if it should be retired (shrinking).
+func (vc *VC) BufferProcessed(consumedCredit bool, now sim.Time) (repost bool) {
+	if !vc.params.UserLevel() {
+		return true
+	}
+	if vc.shrinkDebt > 0 && vc.posted > 1 {
+		vc.shrinkDebt--
+		vc.posted--
+		vc.stats.ShrinkEvents++
+		// The credit is destroyed along with the buffer: the peer's
+		// view shrinks as its credits are not replenished.
+		return false
+	}
+	if consumedCredit {
+		vc.owed++
+	}
+	return true
+}
+
+// TakePiggyback returns and clears the owed credits, to ride on an
+// outgoing message header.
+func (vc *VC) TakePiggyback() int {
+	n := vc.owed
+	vc.owed = 0
+	if n > 0 {
+		vc.stats.CreditsPiggy += uint64(n)
+	}
+	return n
+}
+
+// effECMThreshold caps the configured threshold at the pre-post count so
+// small pre-posts can still return credits.
+func (vc *VC) effECMThreshold() int {
+	t := vc.params.ECMThreshold
+	if t > vc.posted {
+		t = vc.posted
+	}
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// NeedECM reports whether the accumulated credits justify an explicit
+// credit message (no outgoing traffic rode them back).
+func (vc *VC) NeedECM() bool {
+	return vc.params.UserLevel() && vc.owed >= vc.effECMThreshold()
+}
+
+// TakeECM returns and clears the owed credits for an explicit credit
+// message and counts it.
+func (vc *VC) TakeECM() int {
+	n := vc.owed
+	vc.owed = 0
+	vc.stats.ECMsSent++
+	vc.stats.CreditsByECM += uint64(n)
+	return n
+}
+
+// --- Dynamic growth and shrink -------------------------------------------
+
+// OnStarvedFeedback handles an incoming message flagged as starved or
+// backlogged at the sender. For the dynamic scheme it returns how many
+// extra buffers the device must post for this peer (already added to the
+// pre-post target and to the owed credits so the peer learns about them);
+// other schemes return 0.
+func (vc *VC) OnStarvedFeedback(now sim.Time) int {
+	return vc.grow(now, true)
+}
+
+// OnStarvedFeedbackRDMA is the growth hook for an RDMA-based eager
+// channel: the new buffers are NOT added to the owed credits, because the
+// sender cannot use them until it learns their addresses — the device
+// announces them in an explicit ring-extension message that carries the
+// new credits itself (the sender/receiver cooperation the paper says the
+// dynamic scheme needs on an RDMA channel).
+func (vc *VC) OnStarvedFeedbackRDMA(now sim.Time) int {
+	return vc.grow(now, false)
+}
+
+func (vc *VC) grow(now sim.Time, owe bool) int {
+	vc.lastPressure = now
+	if vc.params.Kind != KindDynamic {
+		return 0
+	}
+	if vc.params.GrowthCooldown > 0 && vc.lastGrowth > 0 &&
+		now-vc.lastGrowth < vc.params.GrowthCooldown {
+		return 0
+	}
+	vc.lastGrowth = now
+	grow := 0
+	switch vc.params.Growth {
+	case GrowLinear:
+		grow = vc.params.Increment
+	case GrowExponential:
+		grow = vc.posted
+	}
+	if vc.posted+grow > vc.params.Max {
+		grow = vc.params.Max - vc.posted
+	}
+	if grow <= 0 {
+		return 0
+	}
+	vc.posted += grow
+	if owe {
+		vc.owed += grow
+	}
+	vc.stats.GrowthEvents++
+	if vc.posted > vc.stats.MaxPosted {
+		vc.stats.MaxPosted = vc.posted
+	}
+	return grow
+}
+
+// MaybeShrink arms buffer retirement when the channel has been idle of
+// pressure long enough (extension; disabled when ShrinkIdle is 0). The
+// device calls this periodically from its progress engine.
+func (vc *VC) MaybeShrink(now sim.Time) {
+	p := vc.params
+	if p.Kind != KindDynamic || p.ShrinkIdle == 0 {
+		return
+	}
+	if vc.posted <= p.ShrinkFloor || vc.shrinkDebt > 0 {
+		return
+	}
+	if vc.lastPressure == 0 || now-vc.lastPressure < p.ShrinkIdle {
+		return
+	}
+	vc.shrinkDebt = vc.posted - p.ShrinkFloor
+	vc.lastPressure = now
+}
+
+// CheckInvariants panics if the bookkeeping went inconsistent; tests and
+// the device's debug mode call it.
+func (vc *VC) CheckInvariants() {
+	if vc.credits < 0 {
+		panic(fmt.Sprintf("core: negative credits %d", vc.credits))
+	}
+	if vc.owed < 0 {
+		panic(fmt.Sprintf("core: negative owed %d", vc.owed))
+	}
+	if vc.backlog < 0 {
+		panic(fmt.Sprintf("core: negative backlog %d", vc.backlog))
+	}
+	if vc.posted < 1 {
+		panic(fmt.Sprintf("core: posted %d < 1", vc.posted))
+	}
+	if vc.params.Kind == KindDynamic && vc.posted > vc.params.Max {
+		panic(fmt.Sprintf("core: posted %d beyond max %d", vc.posted, vc.params.Max))
+	}
+}

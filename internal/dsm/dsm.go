@@ -1,0 +1,238 @@
+// Package dsm is a home-based software Distributed Shared Memory layer
+// over the simulated MPI — the second middleware layer the paper's §8
+// names as a target for its flow control results.
+//
+// The shared space is an array of 4 KB pages, each homed at rank
+// (page mod n). Non-home ranks fetch pages on first access (a small
+// request message out, a page-sized reply back — rendezvous on the wire)
+// and cache them until the next barrier. Writes dirty the cached copy;
+// at a barrier every dirty page is written back to its home
+// (release consistency at barrier granularity, in the HLRC tradition).
+//
+// A software DSM has no server thread: every DSM call services pending
+// remote requests, and the barrier itself is a service loop — the
+// "communication progress depends on the application" property the paper
+// discusses for user-level flow control applies to DSM twice over.
+package dsm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ibflow/internal/mpi"
+	"ibflow/internal/sim"
+)
+
+// PageSize is the sharing granularity.
+const PageSize = 4096
+
+// Tag space. Requests and writebacks use single well-known tags (the
+// page id travels in the payload) so the service loop can probe for
+// exactly them; replies and acks are tagged per page so concurrent
+// transfers never cross-match.
+const (
+	tagReq = 1 << 23
+	tagWb  = 1<<23 + 1
+	tagDat = 1<<23 + 1<<20
+	tagAck = 1<<23 + 2<<20
+	tagBar = 1<<23 + 3<<20
+)
+
+type page struct {
+	data  []byte
+	valid bool // non-home: cached copy is current
+	dirty bool
+}
+
+// Space is one rank's handle on the shared page array.
+type Space struct {
+	c      *mpi.Comm
+	npages int
+	pages  []page
+
+	// Stats.
+	Fetches    int // pages pulled from a home
+	Writebacks int // dirty pages flushed at barriers
+	Serviced   int // remote requests answered
+}
+
+// New creates a shared space of npages pages (collective). Pages start
+// zeroed at their homes.
+func New(c *mpi.Comm, npages int) *Space {
+	if npages < 1 {
+		panic("dsm: need at least one page")
+	}
+	s := &Space{c: c, npages: npages, pages: make([]page, npages)}
+	for p := range s.pages {
+		if s.home(p) == c.Rank() {
+			s.pages[p].data = make([]byte, PageSize)
+			s.pages[p].valid = true
+		}
+	}
+	return s
+}
+
+// home returns the rank that owns page p.
+func (s *Space) home(p int) int { return p % s.c.Size() }
+
+// NPages returns the space size in pages.
+func (s *Space) NPages() int { return s.npages }
+
+// serviceOnce answers at most one pending remote request (a page fetch or
+// a writeback) and reports whether it did anything.
+func (s *Space) serviceOnce() bool {
+	c := s.c
+	if st, ok := c.Iprobe(mpi.AnySource, tagReq); ok {
+		var b [4]byte
+		c.Recv(st.Source, tagReq, b[:])
+		p := int(binary.LittleEndian.Uint32(b[:]))
+		if s.home(p) != c.Rank() {
+			panic(fmt.Sprintf("dsm: rank %d asked for page %d it does not home", c.Rank(), p))
+		}
+		// Fire-and-forget: a blocking reply here deadlocks the moment
+		// two homes answer each other (neither can reach the matching
+		// receive). The snapshot copy keeps later local writes out of
+		// the in-flight transfer.
+		reply := make([]byte, PageSize)
+		copy(reply, s.pages[p].data)
+		c.Isend(st.Source, tagDat+p, reply)
+		s.Serviced++
+		return true
+	}
+	if st, ok := c.Iprobe(mpi.AnySource, tagWb); ok {
+		buf := make([]byte, 4+PageSize)
+		c.Recv(st.Source, tagWb, buf)
+		p := int(binary.LittleEndian.Uint32(buf[:4]))
+		if s.home(p) != c.Rank() {
+			panic(fmt.Sprintf("dsm: writeback of page %d to rank %d, not its home", p, c.Rank()))
+		}
+		copy(s.pages[p].data, buf[4:])
+		c.Isend(st.Source, tagAck+p, []byte{1})
+		s.Serviced++
+		return true
+	}
+	return false
+}
+
+// waitFor spins the service loop until pred holds, answering remote
+// requests so two ranks fetching from each other cannot deadlock.
+func (s *Space) waitFor(pred func() (bool, func())) {
+	deadline := s.c.Time() + sim.Second
+	for {
+		if ok, act := pred(); ok {
+			act()
+			return
+		}
+		if s.serviceOnce() {
+			continue
+		}
+		// Nothing to do right now: model a polling pause.
+		s.c.Compute(500 * sim.Nanosecond)
+		if s.c.Time() > deadline {
+			panic(fmt.Sprintf("dsm: rank %d stuck waiting (protocol error)", s.c.Rank()))
+		}
+	}
+}
+
+// ensure makes page p locally valid, fetching it from the home if needed.
+func (s *Space) ensure(p int) *page {
+	if p < 0 || p >= s.npages {
+		panic(fmt.Sprintf("dsm: page %d out of range", p))
+	}
+	pg := &s.pages[p]
+	if pg.valid {
+		return pg
+	}
+	if pg.data == nil {
+		pg.data = make([]byte, PageSize)
+	}
+	home := s.home(p)
+	hdr := make([]byte, 4)
+	binary.LittleEndian.PutUint32(hdr, uint32(p))
+	s.c.Isend(home, tagReq, hdr)
+	s.waitFor(func() (bool, func()) {
+		if _, ok := s.c.Iprobe(home, tagDat+p); ok {
+			return true, func() { s.c.Recv(home, tagDat+p, pg.data) }
+		}
+		return false, nil
+	})
+	pg.valid = true
+	s.Fetches++
+	return pg
+}
+
+// Read returns the current contents of page p (valid until the next
+// barrier; the caller must not modify it — use Write).
+func (s *Space) Read(p int) []byte {
+	return s.ensure(p).data
+}
+
+// Write modifies page p at off with data, dirtying the local copy.
+func (s *Space) Write(p, off int, data []byte) {
+	if off+len(data) > PageSize {
+		panic("dsm: write beyond page")
+	}
+	pg := s.ensure(p)
+	copy(pg.data[off:], data)
+	pg.dirty = true
+}
+
+// Barrier is the coherence point: dirty cached pages flush to their
+// homes, everyone synchronizes, and every non-home cached copy is
+// invalidated. All ranks must call it together.
+func (s *Space) Barrier() {
+	c := s.c
+	me := c.Rank()
+
+	// Release: write back every dirty non-home page and collect acks.
+	type wb struct {
+		p   int
+		ack *mpi.Request
+	}
+	var pending []wb
+	for p := range s.pages {
+		pg := &s.pages[p]
+		if !pg.dirty || s.home(p) == me {
+			pg.dirty = false
+			continue
+		}
+		msg := make([]byte, 4+PageSize)
+		binary.LittleEndian.PutUint32(msg[:4], uint32(p))
+		copy(msg[4:], pg.data)
+		c.Isend(s.home(p), tagWb, msg)
+		pending = append(pending, wb{p, c.Irecv(s.home(p), tagAck+p, make([]byte, 1))})
+		pg.dirty = false
+		s.Writebacks++
+	}
+	for _, w := range pending {
+		w := w
+		s.waitFor(func() (bool, func()) {
+			if w.ack.Done() {
+				return true, func() {}
+			}
+			return false, nil
+		})
+	}
+
+	// Dissemination barrier that keeps servicing requests.
+	n := c.Size()
+	var tiny [1]byte
+	for dist := 1; dist < n; dist *= 2 {
+		to := (me + dist) % n
+		from := (me - dist + n) % n
+		c.Isend(to, tagBar+dist, tiny[:])
+		s.waitFor(func() (bool, func()) {
+			if _, ok := c.Iprobe(from, tagBar+dist); ok {
+				return true, func() { c.Recv(from, tagBar+dist, tiny[:]) }
+			}
+			return false, nil
+		})
+	}
+
+	// Acquire: invalidate non-home cached copies.
+	for p := range s.pages {
+		if s.home(p) != me {
+			s.pages[p].valid = false
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package dsm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"testing"
+
+	"ibflow/internal/core"
+	"ibflow/internal/mpi"
+)
+
+func runDSM(t *testing.T, ranks, npages int, fc core.Params, body func(c *mpi.Comm, s *Space)) {
+	t.Helper()
+	w := mpi.NewWorld(ranks, mpi.DefaultOptions(fc))
+	if err := w.Run(func(c *mpi.Comm) {
+		body(c, New(c, npages))
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleWriterManyReaders(t *testing.T) {
+	runDSM(t, 4, 8, core.Dynamic(1, 64), func(c *mpi.Comm, s *Space) {
+		if c.Rank() == 1 {
+			for p := 0; p < s.NPages(); p++ {
+				s.Write(p, 0, []byte{byte(100 + p)})
+			}
+		}
+		s.Barrier()
+		for p := 0; p < s.NPages(); p++ {
+			if got := s.Read(p)[0]; got != byte(100+p) {
+				c.Abort(fmt.Sprintf("rank %d page %d = %d", c.Rank(), p, got))
+			}
+		}
+		s.Barrier()
+	})
+}
+
+func TestInvalidationAfterBarrier(t *testing.T) {
+	runDSM(t, 2, 2, core.Static(10), func(c *mpi.Comm, s *Space) {
+		const p = 0 // homed at rank 0
+		for epoch := 0; epoch < 5; epoch++ {
+			if c.Rank() == 1 {
+				s.Write(p, 0, []byte{byte(epoch)})
+			}
+			s.Barrier()
+			if got := s.Read(p)[0]; got != byte(epoch) {
+				c.Abort(fmt.Sprintf("epoch %d: stale page value %d", epoch, got))
+			}
+			s.Barrier()
+		}
+	})
+}
+
+func TestMigratoryUpdates(t *testing.T) {
+	// Each epoch a different rank increments a counter on one page:
+	// repeated fetch-modify-writeback-invalidate cycles.
+	runDSM(t, 4, 1, core.Dynamic(1, 64), func(c *mpi.Comm, s *Space) {
+		n := c.Size()
+		const rounds = 3
+		for e := 0; e < rounds*n; e++ {
+			if e%n == c.Rank() {
+				cur := binary.LittleEndian.Uint32(s.Read(0))
+				var b [4]byte
+				binary.LittleEndian.PutUint32(b[:], cur+1)
+				s.Write(0, 0, b[:])
+			}
+			s.Barrier()
+		}
+		if got := binary.LittleEndian.Uint32(s.Read(0)); got != rounds*uint32(c.Size()) {
+			c.Abort(fmt.Sprintf("counter = %d, want %d", got, rounds*c.Size()))
+		}
+		s.Barrier()
+	})
+}
+
+func TestDisjointWritersPerPage(t *testing.T) {
+	runDSM(t, 4, 8, core.Static(4), func(c *mpi.Comm, s *Space) {
+		n := c.Size()
+		// Rank r owns pages r*2 and r*2+1 for writing this epoch.
+		for _, p := range []int{c.Rank() * 2, c.Rank()*2 + 1} {
+			data := bytes.Repeat([]byte{byte(10 + c.Rank())}, 64)
+			s.Write(p, 128, data)
+		}
+		s.Barrier()
+		for r := 0; r < n; r++ {
+			for _, p := range []int{r * 2, r*2 + 1} {
+				pg := s.Read(p)
+				if pg[128] != byte(10+r) || pg[191] != byte(10+r) {
+					c.Abort("disjoint write lost")
+				}
+				if pg[0] != 0 || pg[192] != 0 {
+					c.Abort("write spilled outside its region")
+				}
+			}
+		}
+		s.Barrier()
+	})
+}
+
+// gridRelax runs a shared-memory Jacobi relaxation over DSM pages and
+// compares against a serial computation.
+func TestGridRelaxationMatchesSerial(t *testing.T) {
+	const (
+		cells  = 2048 // float64 cells, 4 pages
+		npages = cells * 8 / PageSize
+		iters  = 4
+	)
+	serial := make([]float64, cells)
+	for i := range serial {
+		serial[i] = float64(i % 17)
+	}
+	for it := 0; it < iters; it++ {
+		next := make([]float64, cells)
+		for i := 1; i < cells-1; i++ {
+			next[i] = (serial[i-1] + serial[i] + serial[i+1]) / 3
+		}
+		serial = next
+	}
+
+	runDSM(t, 4, npages, core.Dynamic(1, 64), func(c *mpi.Comm, s *Space) {
+		n, me := c.Size(), c.Rank()
+		per := cells / n
+		lo, hi := me*per, (me+1)*per
+		readCell := func(i int) float64 {
+			page, off := i*8/PageSize, i*8%PageSize
+			return bytesToF64(s.Read(page)[off : off+8])
+		}
+		writeCell := func(i int, v float64) {
+			page, off := i*8/PageSize, i*8%PageSize
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], f64bits(v))
+			s.Write(page, off, b[:])
+		}
+		// Initialize my range.
+		for i := lo; i < hi; i++ {
+			writeCell(i, float64(i%17))
+		}
+		s.Barrier()
+		cur := make([]float64, cells)
+		for it := 0; it < iters; it++ {
+			for i := 0; i < cells; i++ {
+				cur[i] = readCell(i)
+			}
+			s.Barrier() // everyone has read before anyone writes
+			for i := lo; i < hi; i++ {
+				if i == 0 || i == cells-1 {
+					writeCell(i, 0)
+					continue
+				}
+				writeCell(i, (cur[i-1]+cur[i]+cur[i+1])/3)
+			}
+			s.Barrier()
+		}
+		// Verify my slice against the serial result.
+		for i := lo; i < hi; i++ {
+			got := readCell(i)
+			if diff := got - serial[i]; diff > 1e-12 || diff < -1e-12 {
+				c.Abort(fmt.Sprintf("cell %d: dsm %g serial %g", i, got, serial[i]))
+			}
+		}
+		s.Barrier()
+	})
+}
+
+func bytesToF64(b []byte) float64 {
+	return f64frombits(binary.LittleEndian.Uint64(b))
+}
+
+func TestDSMUnderEveryScheme(t *testing.T) {
+	for _, fc := range []core.Params{core.Hardware(1), core.Static(1), core.Dynamic(1, 64)} {
+		fc := fc
+		t.Run(fc.Kind.String(), func(t *testing.T) {
+			runDSM(t, 4, 6, fc, func(c *mpi.Comm, s *Space) {
+				if c.Rank() == 0 {
+					for p := 0; p < 6; p++ {
+						s.Write(p, 7, []byte{0x5a})
+					}
+				}
+				s.Barrier()
+				for p := 0; p < 6; p++ {
+					if s.Read(p)[7] != 0x5a {
+						c.Abort("page storm lost data")
+					}
+				}
+				s.Barrier()
+			})
+		})
+	}
+}
+
+func TestBoundsPanics(t *testing.T) {
+	runDSM(t, 2, 2, core.Static(4), func(c *mpi.Comm, s *Space) {
+		defer s.Barrier()
+		defer func() {
+			if recover() == nil {
+				c.Abort("out-of-page write accepted")
+			}
+		}()
+		s.Write(0, PageSize-2, []byte{1, 2, 3})
+	})
+}
+
+func f64bits(v float64) uint64     { return math.Float64bits(v) }
+func f64frombits(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,115 @@
+package ib
+
+import "ibflow/internal/sim"
+
+// Opcode identifies the kind of completed work.
+type Opcode int
+
+const (
+	// OpSendComplete retires a send WQE at the sender.
+	OpSendComplete Opcode = iota
+	// OpRecvComplete signals an incoming message consumed a receive WQE.
+	OpRecvComplete
+	// OpWriteComplete retires an RDMA write WQE at the requester.
+	OpWriteComplete
+	// OpReadComplete retires an RDMA read WQE at the requester.
+	OpReadComplete
+	// OpRecvImm signals an RDMA-write-with-notify arrived. It consumes no
+	// receive WQE; it stands in for the memory-polling detection used by
+	// RDMA-based eager channels (see DESIGN.md, extensions).
+	OpRecvImm
+)
+
+func (o Opcode) String() string {
+	switch o {
+	case OpSendComplete:
+		return "SEND"
+	case OpRecvComplete:
+		return "RECV"
+	case OpWriteComplete:
+		return "RDMA_WRITE"
+	case OpReadComplete:
+		return "RDMA_READ"
+	case OpRecvImm:
+		return "RECV_IMM"
+	}
+	return "UNKNOWN"
+}
+
+// Status is the completion status of a work request.
+type Status int
+
+const (
+	// StatusSuccess is a successful completion.
+	StatusSuccess Status = iota
+	// StatusRNRRetryExceeded means the receiver never posted a buffer
+	// within the configured retry budget.
+	StatusRNRRetryExceeded
+)
+
+func (s Status) String() string {
+	if s == StatusSuccess {
+		return "OK"
+	}
+	return "RNR_RETRY_EXCEEDED"
+}
+
+// WC is a work completion (a completion queue entry).
+type WC struct {
+	QP      *QP   // RC queue pair the work belonged to (nil for UD)
+	UD      *UDQP // UD queue pair the work belonged to (nil for RC)
+	Opcode  Opcode
+	Status  Status
+	WRID    uint64 // caller's work-request id
+	Len     int    // payload bytes (receives and RDMA)
+	Imm     uint64 // immediate value for OpRecvImm
+	SrcNode int    // UD receives: source node of the datagram
+}
+
+// CQ is a completion queue. Multiple queue pairs may share one CQ; the
+// paper's MPI attaches every connection of a process to a single CQ.
+type CQ struct {
+	eng     *sim.Engine
+	entries []WC
+	head    int
+	cond    *sim.Cond
+}
+
+// push appends a completion and wakes pollers.
+func (cq *CQ) push(wc WC) {
+	cq.entries = append(cq.entries, wc)
+	cq.cond.Broadcast()
+}
+
+// Poll removes and returns the oldest completion, if any.
+func (cq *CQ) Poll() (WC, bool) {
+	if cq.head >= len(cq.entries) {
+		if len(cq.entries) > 0 {
+			cq.entries = cq.entries[:0]
+			cq.head = 0
+		}
+		return WC{}, false
+	}
+	wc := cq.entries[cq.head]
+	cq.head++
+	return wc, true
+}
+
+// Len reports how many completions are waiting.
+func (cq *CQ) Len() int { return len(cq.entries) - cq.head }
+
+// WaitPoll blocks the calling process until a completion is available and
+// returns it. This models a blocking CQ read (event-based progress).
+func (cq *CQ) WaitPoll(p *sim.Proc) WC {
+	for {
+		if wc, ok := cq.Poll(); ok {
+			return wc
+		}
+		cq.cond.Wait(p)
+	}
+}
+
+// Wait blocks until the CQ is non-empty without consuming an entry.
+func (cq *CQ) Wait(p *sim.Proc) {
+	cq.cond.WaitUntil(p, func() bool { return cq.Len() > 0 })
+}

@@ -1,0 +1,182 @@
+package ib
+
+import (
+	"fmt"
+
+	"ibflow/internal/sim"
+)
+
+// Fabric is an InfiniBand network connecting n HCAs through one crossbar
+// switch or a two-level fat tree (Config.Topology).
+type Fabric struct {
+	eng    *sim.Engine
+	cfg    Config
+	hcas   []*HCA
+	leaves []*leafSwitch
+}
+
+// NewFabric creates a fabric with nodes HCAs.
+func NewFabric(eng *sim.Engine, cfg Config, nodes int) *Fabric {
+	if nodes <= 0 {
+		panic("ib: fabric needs at least one node")
+	}
+	f := &Fabric{eng: eng, cfg: cfg}
+	for i := 0; i < nodes; i++ {
+		f.hcas = append(f.hcas, &HCA{fabric: f, node: i})
+	}
+	if cfg.Topology == TopoFatTree {
+		if cfg.LeafRadix < 1 || cfg.Oversub < 1 {
+			panic("ib: fat tree needs LeafRadix >= 1 and Oversub >= 1")
+		}
+		nLeaves := (nodes + cfg.LeafRadix - 1) / cfg.LeafRadix
+		for i := 0; i < nLeaves; i++ {
+			f.leaves = append(f.leaves, &leafSwitch{})
+		}
+	}
+	return f
+}
+
+// Engine returns the simulation engine.
+func (f *Fabric) Engine() *sim.Engine { return f.eng }
+
+// Config returns the fabric configuration.
+func (f *Fabric) Config() *Config { return &f.cfg }
+
+// Nodes reports the number of HCAs.
+func (f *Fabric) Nodes() int { return len(f.hcas) }
+
+// HCA returns the adapter at node i.
+func (f *Fabric) HCA(i int) *HCA { return f.hcas[i] }
+
+// link is a FIFO serialization point (an HCA port direction).
+type link struct {
+	freeAt sim.Time
+}
+
+// reserve books the link for a transmission of duration d starting no
+// earlier than now, returning the transmission start time.
+func (l *link) reserve(now sim.Time, d sim.Time) sim.Time {
+	start := now
+	if l.freeAt > start {
+		start = l.freeAt
+	}
+	l.freeAt = start + d
+	return start
+}
+
+// HCAStats aggregates counters across an adapter's queue pairs.
+type HCAStats struct {
+	MsgsSent      uint64
+	MsgsDelivered uint64
+	BytesSent     uint64
+	RNRNaks       uint64
+	Retransmits   uint64
+	WastedBytes   uint64 // bytes of go-back-N retransmissions
+}
+
+// HCA is a host channel adapter: one egress and one ingress link plus the
+// queue pairs and memory regions that live on it.
+type HCA struct {
+	fabric  *Fabric
+	node    int
+	egress  link
+	ingress link
+	qps     []*QP
+	udqps   []*UDQP
+	nextMR  int
+	mrs     map[int]*MR
+	stats   HCAStats
+}
+
+// Node returns the node index this HCA is attached to.
+func (h *HCA) Node() int { return h.node }
+
+// Stats returns a copy of the adapter's aggregate counters.
+func (h *HCA) Stats() HCAStats { return h.stats }
+
+// Fabric returns the fabric this HCA belongs to.
+func (h *HCA) Fabric() *Fabric { return h.fabric }
+
+// NewCQ creates a completion queue on this adapter.
+func (h *HCA) NewCQ() *CQ {
+	return &CQ{eng: h.fabric.eng, cond: sim.NewCond(h.fabric.eng)}
+}
+
+// NewQP creates a queue pair on this adapter using the given completion
+// queues (they may be the same queue, as the paper's MPI does).
+func (h *HCA) NewQP(sendCQ, recvCQ *CQ) *QP {
+	qp := &QP{
+		hca:    h,
+		num:    len(h.qps),
+		sendCQ: sendCQ,
+		recvCQ: recvCQ,
+	}
+	h.qps = append(h.qps, qp)
+	return qp
+}
+
+// Connect establishes a Reliable Connection between two queue pairs. Both
+// must be unconnected and on the same fabric.
+func Connect(a, b *QP) {
+	if a.peer != nil || b.peer != nil {
+		panic("ib: QP already connected")
+	}
+	if a.hca.fabric != b.hca.fabric {
+		panic("ib: QPs on different fabrics")
+	}
+	if a == b {
+		panic("ib: cannot connect a QP to itself")
+	}
+	a.peer, b.peer = b, a
+}
+
+// MR is a registered memory region. RDMA operations address remote memory
+// as (MR, offset); registration is the unit the pin-down cache manages.
+type MR struct {
+	hca *HCA
+	id  int
+	buf []byte
+}
+
+// RegisterMemory registers buf and returns its region handle. The caller is
+// responsible for charging Config.RegTime to the virtual clock (pinning is
+// host work, so the MPI layer accounts for it, enabling pin-down caching).
+func (h *HCA) RegisterMemory(buf []byte) *MR {
+	h.nextMR++
+	mr := &MR{hca: h, id: h.nextMR, buf: buf}
+	if h.mrs == nil {
+		h.mrs = make(map[int]*MR)
+	}
+	h.mrs[mr.id] = mr
+	return mr
+}
+
+// LookupMR resolves a region id previously handed out by RegisterMemory;
+// it is the simulator's stand-in for an InfiniBand rkey carried in a
+// rendezvous reply message.
+func (h *HCA) LookupMR(id int) *MR {
+	mr, ok := h.mrs[id]
+	if !ok {
+		panic(fmt.Sprintf("ib: unknown MR id %d on node %d", id, h.node))
+	}
+	return mr
+}
+
+// ID returns the region's identifier (the simulated rkey).
+func (m *MR) ID() int { return m.id }
+
+// Len returns the region's length in bytes.
+func (m *MR) Len() int { return len(m.buf) }
+
+// Bytes exposes the registered buffer.
+func (m *MR) Bytes() []byte { return m.buf }
+
+// RemoteKey identifies a window of a remote memory region for RDMA.
+type RemoteKey struct {
+	MR     *MR
+	Offset int
+}
+
+func (r RemoteKey) String() string {
+	return fmt.Sprintf("mr%d+%d@node%d", r.MR.id, r.Offset, r.MR.hca.node)
+}

@@ -1,0 +1,499 @@
+package ib
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"ibflow/internal/sim"
+)
+
+// pair builds a 2-node fabric and a connected QP pair with one CQ per node.
+func pair(cfg Config) (*sim.Engine, *QP, *QP, *CQ, *CQ) {
+	eng := sim.NewEngine()
+	f := NewFabric(eng, cfg, 2)
+	cq0 := f.HCA(0).NewCQ()
+	cq1 := f.HCA(1).NewCQ()
+	qp0 := f.HCA(0).NewQP(cq0, cq0)
+	qp1 := f.HCA(1).NewQP(cq1, cq1)
+	Connect(qp0, qp1)
+	return eng, qp0, qp1, cq0, cq1
+}
+
+func TestSendDeliversPayloadInOrder(t *testing.T) {
+	eng, qp0, qp1, cq0, cq1 := pair(DefaultConfig())
+	bufs := make([][]byte, 3)
+	for i := range bufs {
+		bufs[i] = make([]byte, 16)
+		qp1.PostRecv(uint64(100+i), bufs[i])
+	}
+	msgs := [][]byte{[]byte("alpha"), []byte("beta"), []byte("gamma")}
+	for i, m := range msgs {
+		qp0.PostSend(uint64(i), m)
+	}
+	if err := eng.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	for i := range msgs {
+		wc, ok := cq1.Poll()
+		if !ok {
+			t.Fatalf("missing recv completion %d", i)
+		}
+		if wc.Opcode != OpRecvComplete || wc.WRID != uint64(100+i) || wc.Len != len(msgs[i]) {
+			t.Errorf("recv wc %d = %+v", i, wc)
+		}
+		if !bytes.Equal(bufs[i][:wc.Len], msgs[i]) {
+			t.Errorf("buf %d = %q, want %q", i, bufs[i][:wc.Len], msgs[i])
+		}
+	}
+	for i := range msgs {
+		wc, ok := cq0.Poll()
+		if !ok || wc.Opcode != OpSendComplete || wc.WRID != uint64(i) || wc.Status != StatusSuccess {
+			t.Errorf("send wc %d = %+v ok=%v", i, wc, ok)
+		}
+	}
+	if got := qp0.Stats().MsgsSent; got != 3 {
+		t.Errorf("MsgsSent = %d, want 3", got)
+	}
+	if got := qp1.Stats().Delivered; got != 3 {
+		t.Errorf("Delivered = %d, want 3", got)
+	}
+}
+
+func TestSingleMessageLatencyMatchesModel(t *testing.T) {
+	cfg := DefaultConfig()
+	eng, qp0, qp1, _, cq1 := pair(cfg)
+	qp1.PostRecv(1, make([]byte, 64))
+	var deliveredAt sim.Time = -1
+	eng.Go("rx", func(p *sim.Proc) {
+		cq1.Wait(p)
+		deliveredAt = p.Now()
+	})
+	qp0.PostSend(1, make([]byte, 4))
+	if err := eng.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	// Cut-through: one serialization on the path.
+	want := cfg.SendOverhead + cfg.SwitchLatency + cfg.TxTime(4) + cfg.RecvOverhead
+	if deliveredAt != want {
+		t.Errorf("delivered at %v, want %v", deliveredAt, want)
+	}
+}
+
+func TestRNRNakRetriesUntilReceiverReady(t *testing.T) {
+	cfg := DefaultConfig()
+	eng, qp0, qp1, _, cq1 := pair(cfg)
+	qp0.PostSend(7, []byte("late"))
+	// Post the receive buffer only after 3 RNR timeouts' worth of time.
+	buf := make([]byte, 16)
+	eng.At(3*cfg.RNRTimeout+cfg.RNRTimeout/2, func() { qp1.PostRecv(9, buf) })
+	if err := eng.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	wc, ok := cq1.Poll()
+	if !ok || wc.WRID != 9 || !bytes.Equal(buf[:4], []byte("late")) {
+		t.Fatalf("delivery after RNR failed: %+v ok=%v buf=%q", wc, ok, buf[:4])
+	}
+	st := qp0.Stats()
+	if st.RNRNaks < 3 {
+		t.Errorf("RNRNaks = %d, want >= 3", st.RNRNaks)
+	}
+	if st.Retransmits < 3 {
+		t.Errorf("Retransmits = %d, want >= 3", st.Retransmits)
+	}
+	if eng.Now() < 3*cfg.RNRTimeout {
+		t.Errorf("finished at %v, before the receiver was ready", eng.Now())
+	}
+}
+
+func TestRNRRetryExceededErrorsAndUnblocksStream(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RNRRetryCount = 2
+	eng, qp0, qp1, cq0, cq1 := pair(cfg)
+	qp0.PostSend(1, []byte("doomed"))
+	qp0.PostSend(2, []byte("ok"))
+	// Post one buffer after the first message has exhausted its retries
+	// (~2 RNR cycles) but before the second message exhausts its own.
+	buf := make([]byte, 16)
+	eng.At(3*cfg.RNRTimeout+cfg.RNRTimeout/2, func() { qp1.PostRecv(5, buf) })
+	if err := eng.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	var sawError, sawOK bool
+	for {
+		wc, ok := cq0.Poll()
+		if !ok {
+			break
+		}
+		switch {
+		case wc.WRID == 1 && wc.Status == StatusRNRRetryExceeded:
+			sawError = true
+		case wc.WRID == 2 && wc.Status == StatusSuccess:
+			sawOK = true
+		}
+	}
+	if !sawError || !sawOK {
+		t.Errorf("sawError=%v sawOK=%v", sawError, sawOK)
+	}
+	if wc, ok := cq1.Poll(); !ok || !bytes.Equal(buf[:2], []byte("ok")) {
+		t.Errorf("second message not delivered: %+v %v %q", wc, ok, buf[:2])
+	}
+}
+
+func TestGoBackNStallsStreamBehindRNR(t *testing.T) {
+	cfg := DefaultConfig()
+	eng, qp0, qp1, _, cq1 := pair(cfg)
+	// Receiver has one buffer: message 0 lands, 1 and 2 hit RNR.
+	bufs := [][]byte{make([]byte, 8), make([]byte, 8), make([]byte, 8)}
+	qp1.PostRecv(0, bufs[0])
+	for i := 0; i < 3; i++ {
+		qp0.PostSend(uint64(i), []byte{byte('a' + i)})
+	}
+	// Post the remaining buffers late.
+	eng.At(5*cfg.RNRTimeout, func() {
+		qp1.PostRecv(1, bufs[1])
+		qp1.PostRecv(2, bufs[2])
+	})
+	if err := eng.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	for {
+		wc, ok := cq1.Poll()
+		if !ok {
+			break
+		}
+		got = append(got, bufs[wc.WRID][0])
+	}
+	if string(got) != "abc" {
+		t.Errorf("delivery order %q, want abc", got)
+	}
+	if qp0.Stats().Retransmits == 0 {
+		t.Error("expected go-back-N retransmissions")
+	}
+	if qp0.Stats().WastedBytes == 0 {
+		t.Error("expected wasted bytes from the rewind")
+	}
+}
+
+func TestThroughputApproachesLinkRate(t *testing.T) {
+	cfg := DefaultConfig()
+	eng, qp0, qp1, cq0, _ := pair(cfg)
+	const n, size = 64, 32 * 1024
+	for i := 0; i < n; i++ {
+		qp1.PostRecv(uint64(i), make([]byte, size))
+	}
+	payload := make([]byte, size)
+	for i := 0; i < n; i++ {
+		qp0.PostSend(uint64(i), payload)
+	}
+	if err := eng.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	if cq0.Len() != n {
+		t.Fatalf("send completions = %d, want %d", cq0.Len(), n)
+	}
+	bw := float64(n*size) / eng.Now().Seconds()
+	if bw < 0.85*cfg.LinkBytesPerSec || bw > 1.01*cfg.LinkBytesPerSec {
+		t.Errorf("throughput = %.0f B/s, want near %.0f", bw, cfg.LinkBytesPerSec)
+	}
+}
+
+func TestIngressContentionHalvesPerSenderThroughput(t *testing.T) {
+	cfg := DefaultConfig()
+	eng := sim.NewEngine()
+	f := NewFabric(eng, cfg, 3)
+	cqs := []*CQ{f.HCA(0).NewCQ(), f.HCA(1).NewCQ(), f.HCA(2).NewCQ()}
+	// Nodes 1 and 2 both blast node 0.
+	const n, size = 32, 32 * 1024
+	for s := 1; s <= 2; s++ {
+		tx := f.HCA(s).NewQP(cqs[s], cqs[s])
+		rx := f.HCA(0).NewQP(cqs[0], cqs[0])
+		Connect(tx, rx)
+		for i := 0; i < n; i++ {
+			rx.PostRecv(uint64(i), make([]byte, size))
+			tx.PostSend(uint64(i), make([]byte, size))
+		}
+	}
+	if err := eng.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	bw := float64(2*n*size) / eng.Now().Seconds()
+	// Aggregate into one port cannot exceed the link rate.
+	if bw > 1.01*cfg.LinkBytesPerSec {
+		t.Errorf("aggregate ingress %.0f B/s exceeds link rate %.0f", bw, cfg.LinkBytesPerSec)
+	}
+	if bw < 0.8*cfg.LinkBytesPerSec {
+		t.Errorf("aggregate ingress %.0f B/s, link badly underutilized", bw)
+	}
+}
+
+func TestRDMAWriteBypassesReceiveQueue(t *testing.T) {
+	eng, qp0, qp1, cq0, cq1 := pair(DefaultConfig())
+	region := make([]byte, 64)
+	mr := qp1.HCA().RegisterMemory(region)
+	qp0.PostWrite(42, []byte("zerocopy"), RemoteKey{MR: mr, Offset: 8})
+	if err := eng.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(region[8:16], []byte("zerocopy")) {
+		t.Errorf("region = %q", region[8:16])
+	}
+	wc, ok := cq0.Poll()
+	if !ok || wc.Opcode != OpWriteComplete || wc.WRID != 42 {
+		t.Errorf("write completion = %+v ok=%v", wc, ok)
+	}
+	if cq1.Len() != 0 {
+		t.Error("RDMA write must be invisible to the remote CQ")
+	}
+	if qp1.PostedRecvs() != 0 {
+		t.Error("no receive descriptors should exist or be consumed")
+	}
+}
+
+func TestRDMAWriteNotifySurfacesImmediate(t *testing.T) {
+	eng, qp0, qp1, _, cq1 := pair(DefaultConfig())
+	region := make([]byte, 32)
+	mr := qp1.HCA().RegisterMemory(region)
+	qp0.PostWriteNotify(1, []byte("ring"), RemoteKey{MR: mr}, 0xbeef)
+	if err := eng.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	wc, ok := cq1.Poll()
+	if !ok || wc.Opcode != OpRecvImm || wc.Imm != 0xbeef || wc.Len != 4 {
+		t.Errorf("notify completion = %+v ok=%v", wc, ok)
+	}
+	if !bytes.Equal(region[:4], []byte("ring")) {
+		t.Errorf("region = %q", region[:4])
+	}
+}
+
+func TestRDMARead(t *testing.T) {
+	eng, qp0, qp1, cq0, _ := pair(DefaultConfig())
+	region := []byte("remote-data-here")
+	mr := qp1.HCA().RegisterMemory(region)
+	dst := make([]byte, 6)
+	qp0.PostRead(3, dst, RemoteKey{MR: mr, Offset: 7})
+	if err := eng.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	wc, ok := cq0.Poll()
+	if !ok || wc.Opcode != OpReadComplete || wc.WRID != 3 {
+		t.Errorf("read completion = %+v ok=%v", wc, ok)
+	}
+	if string(dst) != "data-h" {
+		t.Errorf("dst = %q, want data-h", dst)
+	}
+}
+
+func TestSendWindowLimitsInFlightButCompletesAll(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SendWindow = 2
+	eng, qp0, qp1, cq0, _ := pair(cfg)
+	const n = 20
+	for i := 0; i < n; i++ {
+		qp1.PostRecv(uint64(i), make([]byte, 8))
+		qp0.PostSend(uint64(i), []byte{byte(i)})
+	}
+	if err := eng.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	if cq0.Len() != n {
+		t.Errorf("completions = %d, want %d", cq0.Len(), n)
+	}
+}
+
+func TestRDMABoundsArePanics(t *testing.T) {
+	_, qp0, qp1, _, _ := pair(DefaultConfig())
+	mr := qp1.HCA().RegisterMemory(make([]byte, 8))
+	for name, fn := range map[string]func(){
+		"write": func() { qp0.PostWrite(1, make([]byte, 16), RemoteKey{MR: mr}) },
+		"read":  func() { qp0.PostRead(1, make([]byte, 16), RemoteKey{MR: mr}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s beyond region did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestConnectValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	f := NewFabric(eng, DefaultConfig(), 2)
+	cq := f.HCA(0).NewCQ()
+	qp := f.HCA(0).NewQP(cq, cq)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("self-connect did not panic")
+			}
+		}()
+		Connect(qp, qp)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("post on unconnected QP did not panic")
+			}
+		}()
+		qp.PostSend(1, nil)
+	}()
+}
+
+func TestTxAndRegTime(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.TxTime(0) <= 0 {
+		t.Error("TxTime(0) should still charge header bytes")
+	}
+	if cfg.TxTime(1<<20) <= cfg.TxTime(1<<10) {
+		t.Error("TxTime must grow with size")
+	}
+	if cfg.RegTime(0) != cfg.RegisterBase {
+		t.Errorf("RegTime(0) = %v", cfg.RegTime(0))
+	}
+	one := cfg.RegTime(1)
+	full := cfg.RegTime(cfg.PageSize)
+	if one != full {
+		t.Errorf("1 byte and one full page should pin the same: %v vs %v", one, full)
+	}
+	if cfg.RegTime(cfg.PageSize+1) != full+cfg.RegisterPerPage {
+		t.Error("page rounding wrong")
+	}
+}
+
+// Property: with infinite RNR retry, any interleaving of receive postings
+// delivers every message exactly once, in order.
+func TestPropertyAllMessagesDeliverInOrder(t *testing.T) {
+	prop := func(delays []uint8, nmsg uint8) bool {
+		n := int(nmsg%16) + 1
+		cfg := DefaultConfig()
+		cfg.RNRTimeout = 5 * sim.Microsecond // keep property runs fast
+		eng, qp0, qp1, _, cq1 := pair(cfg)
+		bufs := make([][]byte, n)
+		var at sim.Time
+		for i := 0; i < n; i++ {
+			bufs[i] = make([]byte, 4)
+			d := sim.Time(0)
+			if len(delays) > 0 {
+				d = sim.Time(delays[i%len(delays)]) * sim.Microsecond
+			}
+			at += d
+			i := i
+			eng.At(at, func() { qp1.PostRecv(uint64(i), bufs[i]) })
+		}
+		for i := 0; i < n; i++ {
+			qp0.PostSend(uint64(i), []byte{byte(i)})
+		}
+		if err := eng.Run(sim.MaxTime); err != nil {
+			return false
+		}
+		if cq1.Len() != n {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			wc, ok := cq1.Poll()
+			if !ok || wc.WRID != uint64(i) || bufs[i][0] != byte(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLoopbackSkipsSwitch(t *testing.T) {
+	cfg := DefaultConfig()
+	eng := sim.NewEngine()
+	f := NewFabric(eng, cfg, 2)
+	// Two QPs on the SAME adapter: loopback.
+	cq := f.HCA(0).NewCQ()
+	qa := f.HCA(0).NewQP(cq, cq)
+	qb := f.HCA(0).NewQP(cq, cq)
+	Connect(qa, qb)
+	qb.PostRecv(1, make([]byte, 8))
+	var local sim.Time
+	eng.Go("rx", func(p *sim.Proc) {
+		cq.Wait(p)
+		local = p.Now()
+	})
+	qa.PostSend(1, make([]byte, 4))
+	if err := eng.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.SendOverhead + cfg.TxTime(4) + cfg.RecvOverhead
+	if local != want {
+		t.Errorf("loopback delivery at %v, want %v (no switch latency)", local, want)
+	}
+}
+
+func TestMaxQueueLenAndEventCounters(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SendWindow = 2
+	eng, qp0, qp1, _, _ := pairCfg(cfg)
+	for i := 0; i < 5; i++ {
+		qp1.PostRecv(uint64(i), make([]byte, 8))
+		qp0.PostSend(uint64(i), []byte{1})
+	}
+	if err := eng.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	if qp0.Stats().MaxQueueLen < 3 {
+		t.Errorf("MaxQueueLen = %d, want >= 3 with window 2", qp0.Stats().MaxQueueLen)
+	}
+	if eng.EventsFired() == 0 {
+		t.Error("no events counted")
+	}
+	if qp0.Num() != 0 || qp0.HCA() == nil || qp0.Peer() != qp1 {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestCQWaitPollBlocksUntilEntry(t *testing.T) {
+	eng, qp0, qp1, _, cq1 := pair(DefaultConfig())
+	qp1.PostRecv(1, make([]byte, 8))
+	var got WC
+	eng.Go("poller", func(p *sim.Proc) {
+		got = cq1.WaitPoll(p)
+	})
+	eng.At(30*sim.Microsecond, func() { qp0.PostSend(7, []byte("hi")) })
+	if err := eng.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	if got.Opcode != OpRecvComplete || got.WRID != 1 {
+		t.Errorf("WaitPoll = %+v", got)
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	for op, want := range map[Opcode]string{
+		OpSendComplete: "SEND", OpRecvComplete: "RECV",
+		OpWriteComplete: "RDMA_WRITE", OpReadComplete: "RDMA_READ",
+		OpRecvImm: "RECV_IMM", Opcode(99): "UNKNOWN",
+	} {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q", op, op.String())
+		}
+	}
+	if StatusSuccess.String() != "OK" || StatusRNRRetryExceeded.String() != "RNR_RETRY_EXCEEDED" {
+		t.Error("status strings")
+	}
+	mr := func() *MR {
+		eng := sim.NewEngine()
+		f := NewFabric(eng, DefaultConfig(), 1)
+		return f.HCA(0).RegisterMemory(make([]byte, 8))
+	}()
+	if s := (RemoteKey{MR: mr, Offset: 4}).String(); s == "" {
+		t.Error("RemoteKey string empty")
+	}
+}
+
+// pairCfg builds a connected pair under a custom config.
+func pairCfg(cfg Config) (*sim.Engine, *QP, *QP, *CQ, *CQ) {
+	return pair(cfg)
+}

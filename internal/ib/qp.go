@@ -1,0 +1,340 @@
+package ib
+
+import (
+	"fmt"
+
+	"ibflow/internal/sim"
+	"ibflow/internal/trace"
+)
+
+// opKind distinguishes work request types on the send queue.
+type opKind int
+
+const (
+	opSend opKind = iota
+	opWrite
+	opWriteImm
+	opRead
+)
+
+// sendWQE is a queued work request on a QP's send queue.
+type sendWQE struct {
+	kind     opKind
+	wrid     uint64
+	payload  []byte    // send / RDMA write source
+	remote   RemoteKey // RDMA target (write) or source (read)
+	readDst  []byte    // RDMA read destination
+	imm      uint64    // notify value for opWriteImm
+	seq      uint64
+	attempts int  // RNR retry attempts
+	sent     bool // has been transmitted at least once
+}
+
+func (w *sendWQE) wireLen() int {
+	switch w.kind {
+	case opSend, opWrite, opWriteImm:
+		return len(w.payload)
+	default:
+		return 0 // read request carries no payload
+	}
+}
+
+// recvWQE is a pre-posted receive descriptor.
+type recvWQE struct {
+	wrid uint64
+	buf  []byte
+}
+
+// QPStats counts per-connection transport events.
+type QPStats struct {
+	MsgsSent    uint64 // distinct messages transmitted (first attempts)
+	Delivered   uint64 // messages accepted by the receiver
+	BytesSent   uint64
+	RNRNaks     uint64 // NAKs received by this (sending) side
+	Retransmits uint64 // messages re-transmitted after a rewind
+	WastedBytes uint64 // bytes of dropped or re-sent traffic
+	MaxQueueLen int    // high-water mark of the send queue
+}
+
+// QP is one side of a Reliable Connection. Work requests complete in FIFO
+// order; an RNR NAK rewinds the stream (go-back-N) and stalls everything
+// behind the not-ready message, exactly the head-of-line blocking that makes
+// the paper's hardware-based flow control scheme expensive under pressure.
+type QP struct {
+	hca    *HCA
+	num    int
+	peer   *QP
+	sendCQ *CQ
+	recvCQ *CQ
+
+	// sender state
+	queue    []*sendWQE // [0,next) in flight; [next,len) waiting
+	next     int
+	baseSeq  uint64 // seq of queue[0]
+	sendSeq  uint64 // next seq to assign
+	stalled  bool   // waiting out an RNR timer
+	rnrTimer *sim.Timer
+
+	// receiver state
+	recvQ    []recvWQE
+	recvHead int
+	expected uint64 // next acceptable incoming seq
+
+	stats QPStats
+}
+
+// Num returns the queue pair number on its HCA.
+func (qp *QP) Num() int { return qp.num }
+
+// HCA returns the adapter this QP lives on.
+func (qp *QP) HCA() *HCA { return qp.hca }
+
+// Peer returns the connected remote QP, or nil.
+func (qp *QP) Peer() *QP { return qp.peer }
+
+// Stats returns a copy of the QP's counters.
+func (qp *QP) Stats() QPStats { return qp.stats }
+
+// PostedRecvs reports how many receive descriptors are currently posted.
+func (qp *QP) PostedRecvs() int { return len(qp.recvQ) - qp.recvHead }
+
+// QueuedSends reports send WQEs not yet retired (in flight or waiting).
+func (qp *QP) QueuedSends() int { return len(qp.queue) }
+
+// PostRecv posts a receive descriptor. Incoming sends consume descriptors
+// in FIFO order; a send arriving when none is posted triggers an RNR NAK.
+func (qp *QP) PostRecv(wrid uint64, buf []byte) {
+	qp.recvQ = append(qp.recvQ, recvWQE{wrid: wrid, buf: buf})
+}
+
+// PostSend posts a channel-semantics send of payload.
+func (qp *QP) PostSend(wrid uint64, payload []byte) {
+	qp.post(&sendWQE{kind: opSend, wrid: wrid, payload: payload})
+}
+
+// PostWrite posts an RDMA write of payload into remote memory. It consumes
+// no receive descriptor and completes invisibly to the remote software.
+func (qp *QP) PostWrite(wrid uint64, payload []byte, remote RemoteKey) {
+	if remote.Offset+len(payload) > len(remote.MR.buf) {
+		panic("ib: RDMA write beyond registered region")
+	}
+	qp.post(&sendWQE{kind: opWrite, wrid: wrid, payload: payload, remote: remote})
+}
+
+// PostWriteNotify is an RDMA write that additionally surfaces a completion
+// with an immediate value on the remote receive CQ without consuming a
+// receive descriptor. It models the memory-polling arrival detection of
+// RDMA-based eager channels.
+func (qp *QP) PostWriteNotify(wrid uint64, payload []byte, remote RemoteKey, imm uint64) {
+	if remote.Offset+len(payload) > len(remote.MR.buf) {
+		panic("ib: RDMA write beyond registered region")
+	}
+	qp.post(&sendWQE{kind: opWriteImm, wrid: wrid, payload: payload, remote: remote, imm: imm})
+}
+
+// PostRead posts an RDMA read of len(dst) bytes from remote memory into dst.
+func (qp *QP) PostRead(wrid uint64, dst []byte, remote RemoteKey) {
+	if remote.Offset+len(dst) > len(remote.MR.buf) {
+		panic("ib: RDMA read beyond registered region")
+	}
+	qp.post(&sendWQE{kind: opRead, wrid: wrid, readDst: dst, remote: remote})
+}
+
+func (qp *QP) post(w *sendWQE) {
+	if qp.peer == nil {
+		panic("ib: post on unconnected QP")
+	}
+	w.seq = qp.sendSeq
+	qp.sendSeq++
+	qp.queue = append(qp.queue, w)
+	if len(qp.queue) > qp.stats.MaxQueueLen {
+		qp.stats.MaxQueueLen = len(qp.queue)
+	}
+	qp.pump()
+}
+
+// pump transmits queued WQEs up to the in-flight window.
+func (qp *QP) pump() {
+	cfg := qp.hca.fabric.Config()
+	for !qp.stalled && qp.next < len(qp.queue) && qp.next < cfg.SendWindow {
+		qp.transmit(qp.queue[qp.next])
+		qp.next++
+	}
+}
+
+// transmit puts one message on the wire: egress serialization, switch
+// latency, ingress serialization at the peer, then delivery processing.
+func (qp *QP) transmit(w *sendWQE) {
+	eng := qp.hca.fabric.eng
+	cfg := qp.hca.fabric.Config()
+	n := w.wireLen()
+	tx := cfg.TxTime(n)
+
+	if w.sent {
+		qp.stats.Retransmits++
+		qp.hca.stats.Retransmits++
+		qp.stats.WastedBytes += uint64(n)
+		qp.hca.stats.WastedBytes += uint64(n)
+		if cfg.Tracer != nil {
+			cfg.Tracer.Add(trace.Event{T: eng.Now(), Rank: qp.hca.node,
+				Peer: qp.peer.hca.node, Kind: trace.Retransmit, Arg: int64(n)})
+		}
+	} else {
+		w.sent = true
+		qp.stats.MsgsSent++
+		qp.hca.stats.MsgsSent++
+		qp.stats.BytesSent += uint64(n)
+		qp.hca.stats.BytesSent += uint64(n)
+	}
+
+	start := qp.hca.egress.reserve(eng.Now()+cfg.SendOverhead, tx)
+	peer := qp.peer
+	qp.hca.fabric.deliverPath(qp.hca, peer.hca, start, tx, n, func() {
+		peer.deliver(w, qp)
+	})
+}
+
+// deliver processes message w arriving at the receiving QP.
+func (qp *QP) deliver(w *sendWQE, sender *QP) {
+	eng := qp.hca.fabric.eng
+	cfg := qp.hca.fabric.Config()
+
+	if w.seq != qp.expected {
+		// Out-of-order arrival after a rewind: dropped on the floor.
+		sender.stats.WastedBytes += uint64(w.wireLen())
+		sender.hca.stats.WastedBytes += uint64(w.wireLen())
+		return
+	}
+
+	switch w.kind {
+	case opSend:
+		if qp.recvHead >= len(qp.recvQ) {
+			// Receiver not ready: NAK back to the sender.
+			qp.hca.stats.RNRNaks++
+			sender.stats.RNRNaks++
+			if cfg.Tracer != nil {
+				cfg.Tracer.Add(trace.Event{T: eng.Now(), Rank: qp.hca.node,
+					Peer: sender.hca.node, Kind: trace.RNRNak, Arg: int64(w.seq)})
+			}
+			seq := w.seq
+			eng.At(eng.Now()+cfg.SwitchLatency, func() { sender.onRNRNak(seq) })
+			return
+		}
+		r := qp.recvQ[qp.recvHead]
+		qp.recvHead++
+		if qp.recvHead == len(qp.recvQ) {
+			qp.recvQ = qp.recvQ[:0]
+			qp.recvHead = 0
+		}
+		if len(w.payload) > len(r.buf) {
+			panic(fmt.Sprintf("ib: message of %d bytes into %d-byte receive buffer",
+				len(w.payload), len(r.buf)))
+		}
+		copy(r.buf, w.payload)
+		qp.expected++
+		qp.stats.Delivered++
+		qp.hca.stats.MsgsDelivered++
+		qp.recvCQ.push(WC{QP: qp, Opcode: OpRecvComplete, WRID: r.wrid, Len: len(w.payload)})
+		qp.ack(sender, w)
+
+	case opWrite, opWriteImm:
+		copy(w.remote.MR.buf[w.remote.Offset:], w.payload)
+		qp.expected++
+		qp.stats.Delivered++
+		qp.hca.stats.MsgsDelivered++
+		if w.kind == opWriteImm {
+			qp.recvCQ.push(WC{QP: qp, Opcode: OpRecvImm, Len: len(w.payload), Imm: w.imm})
+		}
+		qp.ack(sender, w)
+
+	case opRead:
+		qp.expected++
+		qp.stats.Delivered++
+		qp.hca.stats.MsgsDelivered++
+		// The read response streams back on this side's egress link.
+		n := len(w.readDst)
+		data := make([]byte, n)
+		copy(data, w.remote.MR.buf[w.remote.Offset:w.remote.Offset+n])
+		tx := cfg.TxTime(n)
+		start := qp.hca.egress.reserve(eng.Now(), tx)
+		eng.At(start+cfg.SwitchLatency, func() {
+			arrive := sender.hca.ingress.reserve(eng.Now(), tx) + tx
+			eng.At(arrive+cfg.RecvOverhead, func() {
+				copy(w.readDst, data)
+				sender.retire(w)
+			})
+		})
+	}
+}
+
+// ack schedules the sender-side retirement of w after the ack round-trip.
+func (qp *QP) ack(sender *QP, w *sendWQE) {
+	eng := qp.hca.fabric.eng
+	cfg := qp.hca.fabric.Config()
+	eng.At(eng.Now()+cfg.AckLatency, func() { sender.retire(w) })
+}
+
+// retire pops the acknowledged head WQE and posts its completion.
+func (qp *QP) retire(w *sendWQE) {
+	if len(qp.queue) == 0 || qp.queue[0] != w {
+		panic("ib: out-of-order ack")
+	}
+	qp.queue = qp.queue[1:]
+	qp.next--
+	qp.baseSeq++
+	op := OpSendComplete
+	switch w.kind {
+	case opWrite, opWriteImm:
+		op = OpWriteComplete
+	case opRead:
+		op = OpReadComplete
+	}
+	qp.sendCQ.push(WC{QP: qp, Opcode: op, Status: StatusSuccess, WRID: w.wrid, Len: w.wireLen()})
+	qp.pump()
+}
+
+// onRNRNak handles a Receiver-Not-Ready NAK for seq: rewind the stream to
+// seq and retry after the RNR timer, or fail the WQE past the retry budget.
+func (qp *QP) onRNRNak(seq uint64) {
+	if seq < qp.baseSeq || qp.stalled {
+		return // stale NAK, or already rewinding
+	}
+	idx := int(seq - qp.baseSeq)
+	if idx >= len(qp.queue) {
+		return
+	}
+	cfg := qp.hca.fabric.Config()
+	w := qp.queue[idx]
+	w.attempts++
+	if cfg.RNRRetryCount >= 0 && w.attempts > cfg.RNRRetryCount {
+		// Retry budget exhausted: error completion, drop the WQE, and
+		// let the rest of the stream proceed (the QP would really move
+		// to an error state; MPI never configures a finite budget).
+		qp.queue = append(qp.queue[:idx], qp.queue[idx+1:]...)
+		qp.renumber()
+		qp.next = idx
+		qp.sendCQ.push(WC{QP: qp, Opcode: OpSendComplete, Status: StatusRNRRetryExceeded, WRID: w.wrid})
+		qp.pump()
+		return
+	}
+	qp.stalled = true
+	qp.next = idx
+	if qp.rnrTimer == nil {
+		qp.rnrTimer = sim.NewTimer(qp.hca.fabric.eng, func() {
+			qp.stalled = false
+			qp.pump()
+		})
+	}
+	qp.rnrTimer.Reset(cfg.RNRTimeout)
+}
+
+// renumber reassigns consecutive sequence numbers after dropping a WQE, so
+// that the next WQE inherits the dropped sequence number and the receiver's
+// expected counter (which still points at the dropped message's slot) stays
+// meaningful.
+func (qp *QP) renumber() {
+	for i, w := range qp.queue {
+		w.seq = qp.baseSeq + uint64(i)
+	}
+	qp.sendSeq = qp.baseSeq + uint64(len(qp.queue))
+}

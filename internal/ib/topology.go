@@ -1,0 +1,90 @@
+package ib
+
+import "ibflow/internal/sim"
+
+// Topology selects the fabric interconnect model.
+type Topology int
+
+const (
+	// TopoCrossbar is a single non-blocking switch: every pair of ports
+	// communicates at full link rate (the paper's 8-port InfiniScale).
+	TopoCrossbar Topology = iota
+	// TopoFatTree is a two-level tree: nodes attach to leaf switches of
+	// LeafRadix ports; leaves connect upward through a trunk whose
+	// capacity is LeafRadix/Oversub links. Traffic between leaves
+	// contends for the trunk — the regime large clusters live in.
+	TopoFatTree
+)
+
+func (t Topology) String() string {
+	if t == TopoFatTree {
+		return "fat-tree"
+	}
+	return "crossbar"
+}
+
+// leafSwitch carries the shared trunk serialization points of one leaf.
+type leafSwitch struct {
+	up   link
+	down link
+}
+
+// leafOf returns the leaf switch index of a node.
+func (f *Fabric) leafOf(node int) int {
+	if f.cfg.Topology != TopoFatTree || f.cfg.LeafRadix <= 0 {
+		return 0
+	}
+	return node / f.cfg.LeafRadix
+}
+
+// trunkTx returns the serialization time of n payload bytes on a leaf's
+// uplink trunk (Oversub uplinks fewer than down ports ⇒ proportionally
+// less aggregate capacity).
+func (f *Fabric) trunkTx(n int) sim.Time {
+	cfg := &f.cfg
+	upLinks := cfg.LeafRadix / cfg.Oversub
+	if upLinks < 1 {
+		upLinks = 1
+	}
+	return cfg.TxTime(n) / sim.Time(upLinks)
+}
+
+// deliverPath routes one message of wire time tx from src to dst,
+// invoking fn once the message has fully arrived and passed the receive
+// overhead. start is when the first bit leaves the source port.
+//
+// Crossbar and intra-leaf paths cross one switch; inter-leaf fat-tree
+// paths additionally reserve the source leaf's uplink trunk and the
+// destination leaf's downlink trunk (cut-through: trunk reservations
+// model contention, the serialization latency is charged once at the
+// destination port).
+func (f *Fabric) deliverPath(src, dst *HCA, start, tx sim.Time, n int, fn func()) {
+	eng := f.eng
+	cfg := &f.cfg
+
+	finish := func() {
+		arrive := dst.ingress.reserve(eng.Now(), tx) + tx
+		eng.At(arrive+cfg.RecvOverhead, fn)
+	}
+
+	if src == dst {
+		// Adapter loopback: no switch crossed.
+		eng.At(start, finish)
+		return
+	}
+	if cfg.Topology != TopoFatTree || f.leafOf(src.node) == f.leafOf(dst.node) {
+		eng.At(start+cfg.SwitchLatency, finish)
+		return
+	}
+
+	srcLeaf := f.leaves[f.leafOf(src.node)]
+	dstLeaf := f.leaves[f.leafOf(dst.node)]
+	ttx := f.trunkTx(n)
+	eng.At(start+cfg.SwitchLatency, func() {
+		upStart := srcLeaf.up.reserve(eng.Now(), ttx)
+		eng.At(upStart+cfg.SwitchLatency, func() {
+			dnStart := dstLeaf.down.reserve(eng.Now(), ttx)
+			eng.At(dnStart+cfg.SwitchLatency, finish)
+		})
+	})
+}

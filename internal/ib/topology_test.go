@@ -1,0 +1,123 @@
+package ib
+
+import (
+	"testing"
+
+	"ibflow/internal/sim"
+)
+
+func fatTreeCfg(radix, oversub int) Config {
+	cfg := DefaultConfig()
+	cfg.Topology = TopoFatTree
+	cfg.LeafRadix = radix
+	cfg.Oversub = oversub
+	return cfg
+}
+
+// fabric2 builds a fabric and one connected QP pair between nodes a and b.
+func fabricPair(cfg Config, nodes, a, b int) (*sim.Engine, *Fabric, *QP, *QP, *CQ) {
+	eng := sim.NewEngine()
+	f := NewFabric(eng, cfg, nodes)
+	cqa := f.HCA(a).NewCQ()
+	cqb := f.HCA(b).NewCQ()
+	qa := f.HCA(a).NewQP(cqa, cqa)
+	qb := f.HCA(b).NewQP(cqb, cqb)
+	Connect(qa, qb)
+	return eng, f, qa, qb, cqb
+}
+
+func oneWay(t *testing.T, cfg Config, nodes, a, b int) sim.Time {
+	t.Helper()
+	eng, _, qa, qb, cqb := fabricPair(cfg, nodes, a, b)
+	qb.PostRecv(1, make([]byte, 64))
+	var at sim.Time
+	eng.Go("rx", func(p *sim.Proc) {
+		cqb.Wait(p)
+		at = p.Now()
+	})
+	qa.PostSend(1, make([]byte, 4))
+	if err := eng.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	return at
+}
+
+func TestFatTreeLatencyByLocality(t *testing.T) {
+	cfg := fatTreeCfg(4, 1)
+	intra := oneWay(t, cfg, 8, 0, 1) // same leaf
+	inter := oneWay(t, cfg, 8, 0, 5) // leaves 0 and 1
+	plain := oneWay(t, DefaultConfig(), 8, 0, 5)
+	if intra != plain {
+		t.Errorf("intra-leaf latency %v differs from crossbar %v", intra, plain)
+	}
+	want := plain + 2*cfg.SwitchLatency // two extra hops
+	if inter != want {
+		t.Errorf("inter-leaf latency %v, want %v", inter, want)
+	}
+}
+
+func TestFatTreeOversubscriptionThrottlesTrunk(t *testing.T) {
+	// Nodes 0..3 on leaf 0 all blast nodes 4..7 on leaf 1.
+	run := func(oversub int) sim.Time {
+		cfg := fatTreeCfg(4, oversub)
+		eng := sim.NewEngine()
+		f := NewFabric(eng, cfg, 8)
+		const n, size = 16, 32 * 1024
+		for s := 0; s < 4; s++ {
+			cq := f.HCA(s).NewCQ()
+			cqr := f.HCA(s + 4).NewCQ()
+			tx := f.HCA(s).NewQP(cq, cq)
+			rx := f.HCA(s+4).NewQP(cqr, cqr)
+			Connect(tx, rx)
+			for i := 0; i < n; i++ {
+				rx.PostRecv(uint64(i), make([]byte, size))
+				tx.PostSend(uint64(i), make([]byte, size))
+			}
+		}
+		if err := eng.Run(sim.MaxTime); err != nil {
+			t.Fatal(err)
+		}
+		return eng.Now()
+	}
+	full := run(1)
+	quarter := run(4)
+	if float64(quarter) < 3.0*float64(full) {
+		t.Errorf("4:1 oversubscription finished in %v vs %v at 1:1; want ~4x slower", quarter, full)
+	}
+}
+
+func TestFatTreeUDRouting(t *testing.T) {
+	cfg := fatTreeCfg(2, 2)
+	eng := sim.NewEngine()
+	f := NewFabric(eng, cfg, 4)
+	cq0 := f.HCA(0).NewCQ()
+	cq3 := f.HCA(3).NewCQ()
+	tx := f.HCA(0).NewUDQP(cq0, cq0)
+	rx := f.HCA(3).NewUDQP(cq3, cq3)
+	buf := make([]byte, 16)
+	rx.PostRecv(1, buf)
+	tx.SendTo(1, 3, rx.Num(), []byte("leafhop"))
+	if err := eng.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	if rx.Stats().Delivered != 1 || string(buf[:7]) != "leafhop" {
+		t.Errorf("UD across leaves failed: %+v %q", rx.Stats(), buf[:7])
+	}
+}
+
+func TestFatTreeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("fat tree without radix accepted")
+		}
+	}()
+	cfg := DefaultConfig()
+	cfg.Topology = TopoFatTree
+	NewFabric(sim.NewEngine(), cfg, 4)
+}
+
+func TestTopologyStrings(t *testing.T) {
+	if TopoCrossbar.String() != "crossbar" || TopoFatTree.String() != "fat-tree" {
+		t.Error("topology strings")
+	}
+}

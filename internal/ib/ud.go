@@ -1,0 +1,114 @@
+package ib
+
+import "fmt"
+
+// UDStats counts Unreliable Datagram events.
+type UDStats struct {
+	Sent      uint64
+	Delivered uint64
+	Dropped   uint64 // arrivals with no posted receive descriptor
+}
+
+// UDQP is an Unreliable Datagram queue pair: connectionless, datagrams up
+// to the MTU, no acknowledgements and no retry — an arrival finding no
+// posted receive descriptor is silently dropped. One receive descriptor
+// pool serves traffic from every peer, which is exactly the buffer
+// scalability property that makes datagram transports attractive for very
+// large clusters (the paper's future-work direction); reliability must be
+// rebuilt in software (internal/rdc).
+type UDQP struct {
+	hca    *HCA
+	num    int
+	sendCQ *CQ
+	recvCQ *CQ
+
+	recvQ    []recvWQE
+	recvHead int
+
+	stats UDStats
+}
+
+// MaxUDPayload is the datagram size limit (a 2 KB MTU, as InfiniBand UD
+// with the paper-era MTU configuration).
+const MaxUDPayload = 2048
+
+// NewUDQP creates a UD queue pair on this adapter. Its number addresses
+// it fabric-wide together with the node id.
+func (h *HCA) NewUDQP(sendCQ, recvCQ *CQ) *UDQP {
+	qp := &UDQP{hca: h, num: len(h.udqps), sendCQ: sendCQ, recvCQ: recvCQ}
+	h.udqps = append(h.udqps, qp)
+	return qp
+}
+
+// Num returns the queue pair number on its HCA.
+func (qp *UDQP) Num() int { return qp.num }
+
+// Stats returns a copy of the UD counters.
+func (qp *UDQP) Stats() UDStats { return qp.stats }
+
+// PostedRecvs reports currently posted receive descriptors.
+func (qp *UDQP) PostedRecvs() int { return len(qp.recvQ) - qp.recvHead }
+
+// PostRecv posts a receive descriptor to the shared pool.
+func (qp *UDQP) PostRecv(wrid uint64, buf []byte) {
+	qp.recvQ = append(qp.recvQ, recvWQE{wrid: wrid, buf: buf})
+}
+
+// SendTo transmits one datagram to (dstNode, dstQPN). The send completes
+// locally once the datagram is on the wire; whether it is delivered
+// depends entirely on the receiver having a descriptor posted.
+func (qp *UDQP) SendTo(wrid uint64, dstNode, dstQPN int, payload []byte) {
+	if len(payload) > MaxUDPayload {
+		panic(fmt.Sprintf("ib: UD datagram of %d bytes exceeds the %d-byte MTU",
+			len(payload), MaxUDPayload))
+	}
+	f := qp.hca.fabric
+	if dstNode < 0 || dstNode >= len(f.hcas) {
+		panic(fmt.Sprintf("ib: UD send to unknown node %d", dstNode))
+	}
+	dstHCA := f.hcas[dstNode]
+	if dstQPN < 0 || dstQPN >= len(dstHCA.udqps) {
+		panic(fmt.Sprintf("ib: UD send to unknown QPN %d on node %d", dstQPN, dstNode))
+	}
+	dst := dstHCA.udqps[dstQPN]
+	cfg := f.Config()
+	eng := f.eng
+	tx := cfg.TxTime(len(payload))
+
+	qp.stats.Sent++
+	qp.hca.stats.MsgsSent++
+	qp.hca.stats.BytesSent += uint64(len(payload) + cfg.HeaderBytes)
+
+	start := qp.hca.egress.reserve(eng.Now()+cfg.SendOverhead, tx)
+	eng.At(start+tx, func() {
+		qp.sendCQ.push(WC{UD: qp, Opcode: OpSendComplete, Status: StatusSuccess, WRID: wrid})
+	})
+	srcNode := qp.hca.node
+	data := make([]byte, len(payload))
+	copy(data, payload)
+	f.deliverPath(qp.hca, dstHCA, start, tx, len(payload), func() {
+		dst.deliver(srcNode, data)
+	})
+}
+
+// deliver hands a datagram to a posted descriptor, or drops it.
+func (qp *UDQP) deliver(srcNode int, data []byte) {
+	if qp.recvHead >= len(qp.recvQ) {
+		qp.stats.Dropped++
+		return
+	}
+	r := qp.recvQ[qp.recvHead]
+	qp.recvHead++
+	if qp.recvHead == len(qp.recvQ) {
+		qp.recvQ = qp.recvQ[:0]
+		qp.recvHead = 0
+	}
+	if len(data) > len(r.buf) {
+		panic(fmt.Sprintf("ib: %d-byte datagram into %d-byte descriptor", len(data), len(r.buf)))
+	}
+	copy(r.buf, data)
+	qp.stats.Delivered++
+	qp.hca.stats.MsgsDelivered++
+	qp.recvCQ.push(WC{UD: qp, Opcode: OpRecvComplete, WRID: r.wrid,
+		Len: len(data), SrcNode: srcNode})
+}

@@ -1,0 +1,113 @@
+// Package mem provides the host-memory management pieces of the MPI
+// implementation: the pool of pre-pinned, fixed-size communication buffers
+// used by the eager protocol, and the pin-down cache that amortizes memory
+// registration cost for the rendezvous protocol (Tezuka et al., IPPS'98,
+// as cited by the paper).
+package mem
+
+import (
+	"ibflow/internal/ib"
+	"ibflow/internal/sim"
+)
+
+// BufPool hands out fixed-size pre-pinned buffers. The pool grows on
+// demand (host memory is plentiful; the scarce resource the paper studies
+// is the *pre-posted* buffers on each connection) and recycles returned
+// buffers.
+type BufPool struct {
+	size   int
+	free   [][]byte
+	alloc  int // total buffers ever allocated
+	out    int // currently checked out
+	maxOut int
+}
+
+// NewBufPool creates a pool of bufSize-byte buffers.
+func NewBufPool(bufSize int) *BufPool {
+	if bufSize <= 0 {
+		panic("mem: non-positive buffer size")
+	}
+	return &BufPool{size: bufSize}
+}
+
+// BufSize returns the fixed buffer size.
+func (p *BufPool) BufSize() int { return p.size }
+
+// Get returns a buffer of the pool's fixed size.
+func (p *BufPool) Get() []byte {
+	var b []byte
+	if n := len(p.free); n > 0 {
+		b = p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+	} else {
+		b = make([]byte, p.size)
+		p.alloc++
+	}
+	p.out++
+	if p.out > p.maxOut {
+		p.maxOut = p.out
+	}
+	return b
+}
+
+// Put returns a buffer to the pool.
+func (p *BufPool) Put(b []byte) {
+	if len(b) != p.size {
+		panic("mem: foreign buffer returned to pool")
+	}
+	p.out--
+	if p.out < 0 {
+		panic("mem: more buffers returned than taken")
+	}
+	p.free = append(p.free, b)
+}
+
+// Outstanding reports buffers currently checked out.
+func (p *BufPool) Outstanding() int { return p.out }
+
+// MaxOutstanding reports the checkout high-water mark.
+func (p *BufPool) MaxOutstanding() int { return p.maxOut }
+
+// Allocated reports how many buffers were ever created.
+func (p *BufPool) Allocated() int { return p.alloc }
+
+// RegCache is a pin-down cache: it registers user buffers on first use and
+// keeps the registration so repeated rendezvous transfers from or into the
+// same buffer pay the pinning cost only once.
+type RegCache struct {
+	hca     *ib.HCA
+	entries map[*byte]*ib.MR
+	hits    uint64
+	misses  uint64
+}
+
+// NewRegCache creates a cache registering through hca.
+func NewRegCache(hca *ib.HCA) *RegCache {
+	return &RegCache{hca: hca, entries: make(map[*byte]*ib.MR)}
+}
+
+// Register returns a memory region covering buf and the registration cost
+// to charge to the virtual clock (zero on a cache hit). Buffers are keyed
+// by their first byte's address; a cached region is reused only if it still
+// covers the requested length.
+func (c *RegCache) Register(buf []byte) (*ib.MR, sim.Time) {
+	if len(buf) == 0 {
+		panic("mem: registering empty buffer")
+	}
+	key := &buf[0]
+	if mr, ok := c.entries[key]; ok && mr.Len() >= len(buf) {
+		c.hits++
+		return mr, 0
+	}
+	c.misses++
+	mr := c.hca.RegisterMemory(buf)
+	c.entries[key] = mr
+	return mr, c.hca.Fabric().Config().RegTime(len(buf))
+}
+
+// Hits reports cache hits.
+func (c *RegCache) Hits() uint64 { return c.hits }
+
+// Misses reports cache misses (actual registrations).
+func (c *RegCache) Misses() uint64 { return c.misses }

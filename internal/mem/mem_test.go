@@ -1,0 +1,92 @@
+package mem
+
+import (
+	"testing"
+
+	"ibflow/internal/ib"
+	"ibflow/internal/sim"
+)
+
+func TestBufPoolRecycles(t *testing.T) {
+	p := NewBufPool(64)
+	a := p.Get()
+	b := p.Get()
+	if len(a) != 64 || len(b) != 64 {
+		t.Fatal("wrong buffer size")
+	}
+	if p.Outstanding() != 2 || p.Allocated() != 2 {
+		t.Fatalf("out=%d alloc=%d", p.Outstanding(), p.Allocated())
+	}
+	p.Put(a)
+	c := p.Get()
+	if &c[0] != &a[0] {
+		t.Error("pool did not recycle the freed buffer")
+	}
+	if p.Allocated() != 2 {
+		t.Errorf("allocated %d, want 2 (recycled)", p.Allocated())
+	}
+	if p.MaxOutstanding() != 2 {
+		t.Errorf("max outstanding = %d", p.MaxOutstanding())
+	}
+}
+
+func TestBufPoolPanicsOnMisuse(t *testing.T) {
+	p := NewBufPool(32)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("foreign buffer accepted")
+			}
+		}()
+		p.Put(make([]byte, 16))
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("over-return accepted")
+			}
+		}()
+		p.Put(make([]byte, 32))
+	}()
+}
+
+func TestRegCacheHitsAndMisses(t *testing.T) {
+	eng := sim.NewEngine()
+	f := ib.NewFabric(eng, ib.DefaultConfig(), 1)
+	rc := NewRegCache(f.HCA(0))
+	buf := make([]byte, 10000)
+	mr1, cost1 := rc.Register(buf)
+	if cost1 == 0 {
+		t.Error("first registration must cost time")
+	}
+	mr2, cost2 := rc.Register(buf)
+	if cost2 != 0 || mr1 != mr2 {
+		t.Error("second registration should hit the cache")
+	}
+	// A shorter prefix still fits the cached region.
+	if _, c := rc.Register(buf[:100]); c == 0 {
+		t.Log("prefix shares the base address; either behaviour is defensible")
+	}
+	other := make([]byte, 64)
+	if _, c := rc.Register(other); c == 0 {
+		t.Error("different buffer must register anew")
+	}
+	if rc.Hits() < 1 || rc.Misses() < 2 {
+		t.Errorf("hits=%d misses=%d", rc.Hits(), rc.Misses())
+	}
+}
+
+func TestRegCacheGrowsCoverage(t *testing.T) {
+	eng := sim.NewEngine()
+	f := ib.NewFabric(eng, ib.DefaultConfig(), 1)
+	rc := NewRegCache(f.HCA(0))
+	big := make([]byte, 8192)
+	rc.Register(big[:128]) // registers only the prefix
+	mr, cost := rc.Register(big)
+	if cost == 0 {
+		t.Error("longer span over same base must re-register")
+	}
+	if mr.Len() != len(big) {
+		t.Errorf("region length %d", mr.Len())
+	}
+}

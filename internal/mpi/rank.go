@@ -1,0 +1,166 @@
+package mpi
+
+import (
+	"fmt"
+
+	"ibflow/internal/chdev"
+	"ibflow/internal/sim"
+)
+
+// Wildcards for receive matching.
+const (
+	// AnySource matches a message from any rank.
+	AnySource = -1
+	// AnyTag matches a message with any tag.
+	AnyTag = -1
+)
+
+// unexKind distinguishes entries in the unexpected-message queue.
+type unexKind int
+
+const (
+	unexEager unexKind = iota
+	unexRndv
+)
+
+// unexEntry is an arrived-but-unmatched message. A single queue holds both
+// eager payloads and rendezvous announcements so matching respects arrival
+// order, as MPI's non-overtaking rule requires.
+type unexEntry struct {
+	kind unexKind
+	src  int
+	tag  int
+	comm uint16
+	data []byte        // eager payload (owned copy)
+	rndv *chdev.RndvIn // rendezvous in progress
+}
+
+// Rank is one MPI process: it owns the matching queues and implements the
+// channel device's upcall interface.
+type Rank struct {
+	world      *World
+	idx        int
+	dev        *chdev.Device
+	proc       *sim.Proc
+	posted     []*Request // posted receives, in post order
+	unex       []unexEntry
+	maxUnex    int
+	nextCommID uint16 // context ids handed out by Split
+}
+
+func match(wantComm, comm uint16, wantSrc, wantTag, src, tag int) bool {
+	return wantComm == comm &&
+		(wantSrc == AnySource || wantSrc == src) &&
+		(wantTag == AnyTag || wantTag == tag)
+}
+
+// findPosted removes and returns the first posted receive matching
+// (src, tag), or nil.
+func (r *Rank) findPosted(src, tag int, comm uint16) *Request {
+	for i, req := range r.posted {
+		if match(req.comm, comm, req.src, req.tag, src, tag) {
+			r.posted = append(r.posted[:i], r.posted[i+1:]...)
+			return req
+		}
+	}
+	return nil
+}
+
+// DeliverEager implements chdev.Handler.
+func (r *Rank) DeliverEager(p *sim.Proc, src, tag int, comm uint16, data []byte) {
+	if req := r.findPosted(src, tag, comm); req != nil {
+		if len(data) > len(req.buf) {
+			panic(fmt.Sprintf("mpi: rank %d: %d-byte message truncates %d-byte receive (src %d tag %d)",
+				r.idx, len(data), len(req.buf), src, tag))
+		}
+		copy(req.buf, data)
+		r.dev.ChargeCopy(p, len(data))
+		req.complete(Status{Source: src, Tag: tag, Len: len(data)})
+		return
+	}
+	owned := make([]byte, len(data))
+	copy(owned, data)
+	r.dev.ChargeCopy(p, len(data))
+	r.pushUnex(unexEntry{kind: unexEager, src: src, tag: tag, comm: comm, data: owned})
+}
+
+// DeliverRndvStart implements chdev.Handler.
+func (r *Rank) DeliverRndvStart(p *sim.Proc, in *chdev.RndvIn) {
+	if req := r.findPosted(in.Src, in.Tag, in.Comm); req != nil {
+		if in.Len > len(req.buf) {
+			panic(fmt.Sprintf("mpi: rank %d: %d-byte rendezvous truncates %d-byte receive",
+				r.idx, in.Len, len(req.buf)))
+		}
+		in.UserData = req
+		r.dev.AcceptRndv(p, in, req.buf)
+		return
+	}
+	r.pushUnex(unexEntry{kind: unexRndv, src: in.Src, tag: in.Tag, comm: in.Comm, rndv: in})
+}
+
+// DeliverRndvDone implements chdev.Handler.
+func (r *Rank) DeliverRndvDone(p *sim.Proc, in *chdev.RndvIn) {
+	req := in.UserData.(*Request)
+	req.complete(Status{Source: in.Src, Tag: in.Tag, Len: in.Len})
+}
+
+// SendDone implements chdev.Handler.
+func (r *Rank) SendDone(token any) {
+	token.(*Request).complete(Status{})
+}
+
+func (r *Rank) pushUnex(e unexEntry) {
+	r.unex = append(r.unex, e)
+	if len(r.unex) > r.maxUnex {
+		r.maxUnex = len(r.unex)
+	}
+}
+
+// matchUnex scans the unexpected queue for (src, tag) and attaches the
+// receive request req to the first hit, completing eager matches
+// immediately and accepting rendezvous ones. It reports whether it matched.
+func (r *Rank) matchUnex(req *Request) bool {
+	for i, e := range r.unex {
+		if !match(req.comm, e.comm, req.src, req.tag, e.src, e.tag) {
+			continue
+		}
+		r.unex = append(r.unex[:i], r.unex[i+1:]...)
+		switch e.kind {
+		case unexEager:
+			if len(e.data) > len(req.buf) {
+				panic(fmt.Sprintf("mpi: rank %d: %d-byte message truncates %d-byte receive",
+					r.idx, len(e.data), len(req.buf)))
+			}
+			copy(req.buf, e.data)
+			r.dev.ChargeCopy(r.proc, len(e.data))
+			req.complete(Status{Source: e.src, Tag: e.tag, Len: len(e.data)})
+		case unexRndv:
+			if e.rndv.Len > len(req.buf) {
+				panic(fmt.Sprintf("mpi: rank %d: %d-byte rendezvous truncates %d-byte receive",
+					r.idx, e.rndv.Len, len(req.buf)))
+			}
+			e.rndv.UserData = req
+			r.dev.AcceptRndv(r.proc, e.rndv, req.buf)
+		}
+		return true
+	}
+	return false
+}
+
+// probeUnex returns the status of the first unexpected message matching
+// (src, tag) without consuming it.
+func (r *Rank) probeUnex(src, tag int, comm uint16) (Status, bool) {
+	for _, e := range r.unex {
+		if match(comm, e.comm, src, tag, e.src, e.tag) {
+			n := len(e.data)
+			if e.kind == unexRndv {
+				n = e.rndv.Len
+			}
+			return Status{Source: e.src, Tag: e.tag, Len: n}, true
+		}
+	}
+	return Status{}, false
+}
+
+// MaxUnexpected reports the high-water mark of the unexpected queue.
+func (r *Rank) MaxUnexpected() int { return r.maxUnex }

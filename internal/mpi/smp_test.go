@@ -1,0 +1,107 @@
+package mpi
+
+import (
+	"testing"
+
+	"ibflow/internal/core"
+	"ibflow/internal/sim"
+)
+
+func TestSMPRanksShareNodes(t *testing.T) {
+	opts := DefaultOptions(core.Static(10))
+	opts.RanksPerNode = 2
+	w := NewWorld(4, opts) // 4 ranks on 2 simulated nodes
+	err := w.Run(func(c *Comm) {
+		// Ring exchange crossing both intra- and inter-node links.
+		right := (c.Rank() + 1) % c.Size()
+		left := (c.Rank() + c.Size() - 1) % c.Size()
+		out := []byte{byte(c.Rank() * 11)}
+		in := make([]byte, 1)
+		c.Sendrecv(right, 0, out, left, 0, in)
+		if in[0] != byte(left*11) {
+			c.Abort("smp ring corrupted")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSMPLoopbackIsFasterThanSwitch(t *testing.T) {
+	lat := func(rpn int) sim.Time {
+		opts := DefaultOptions(core.Static(100))
+		opts.RanksPerNode = rpn
+		w := NewWorld(2, opts)
+		if err := w.Run(func(c *Comm) {
+			buf := make([]byte, 4)
+			for i := 0; i < 30; i++ {
+				if c.Rank() == 0 {
+					c.Send(1, 0, buf)
+					c.Recv(1, 0, buf)
+				} else {
+					c.Recv(0, 0, buf)
+					c.Send(0, 0, buf)
+				}
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return w.Time()
+	}
+	inter, intra := lat(1), lat(2)
+	if intra >= inter {
+		t.Errorf("loopback ping-pong %v not faster than switched %v", intra, inter)
+	}
+}
+
+func TestSMPSharedPortContention(t *testing.T) {
+	// Two ranks on one node blasting two ranks on another must share
+	// the node's link; four ranks on four nodes get two full links.
+	run := func(rpn int) sim.Time {
+		opts := DefaultOptions(core.Static(32))
+		opts.RanksPerNode = rpn
+		w := NewWorld(4, opts)
+		if err := w.Run(func(c *Comm) {
+			const n, size = 16, 32 * 1024
+			buf := make([]byte, size)
+			// Ranks 0,1 send to ranks 2,3 respectively.
+			if c.Rank() < 2 {
+				for i := 0; i < n; i++ {
+					c.Send(c.Rank()+2, 0, buf)
+				}
+			} else {
+				for i := 0; i < n; i++ {
+					c.Recv(c.Rank()-2, 0, buf)
+				}
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return w.Time()
+	}
+	spread, packed := run(1), run(2)
+	if float64(packed) < 1.5*float64(spread) {
+		t.Errorf("shared link should roughly halve throughput: packed %v vs spread %v",
+			packed, spread)
+	}
+}
+
+func TestSMPOddRankCount(t *testing.T) {
+	opts := DefaultOptions(core.Dynamic(1, 32))
+	opts.RanksPerNode = 2
+	w := NewWorld(5, opts) // 3 nodes, last node half full
+	err := w.Run(func(c *Comm) {
+		if c.Rank() == 4 {
+			c.Send(0, 0, []byte("edge"))
+		} else if c.Rank() == 0 {
+			buf := make([]byte, 4)
+			c.Recv(4, 0, buf)
+			if string(buf) != "edge" {
+				c.Abort("odd count broken")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

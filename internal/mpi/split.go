@@ -1,0 +1,147 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"sort"
+)
+
+// Undefined is the MPI_UNDEFINED color: the caller does not join any of
+// the communicators Split creates and receives nil.
+const Undefined = -1
+
+// tagSplit is reserved for Split's internal gather/scatter.
+const tagSplit = 1<<21 + 17
+
+// Split partitions the communicator: callers passing the same color end
+// up in a new communicator together, ranked by ascending (key, old rank).
+// It is collective — every member of c must call it. Callers passing
+// Undefined get nil.
+//
+// The new communicator's context id is agreed on collectively (the
+// maximum of the members' counters), so distinct overlapping
+// communicators never share a wire context.
+func (c *Comm) Split(color, key int) *Comm {
+	n, me := c.Size(), c.Rank()
+	if n == 1 {
+		if color == Undefined {
+			return nil
+		}
+		c.r.nextCommID++
+		return &Comm{r: c.r, id: c.r.nextCommID, members: []int{c.r.idx}, myrank: 0}
+	}
+
+	// Gather (color, key, worldRank, nextID) at comm rank 0.
+	type info struct {
+		color, key, world int
+		next              uint16
+	}
+	mine := info{color: color, key: key, world: c.r.idx, next: c.r.nextCommID}
+	const recSize = 4 * 8
+	enc := func(v info) []byte {
+		b := make([]byte, recSize)
+		binary.LittleEndian.PutUint64(b[0:], uint64(int64(v.color)))
+		binary.LittleEndian.PutUint64(b[8:], uint64(int64(v.key)))
+		binary.LittleEndian.PutUint64(b[16:], uint64(int64(v.world)))
+		binary.LittleEndian.PutUint64(b[24:], uint64(v.next))
+		return b
+	}
+	dec := func(b []byte) info {
+		return info{
+			color: int(int64(binary.LittleEndian.Uint64(b[0:]))),
+			key:   int(int64(binary.LittleEndian.Uint64(b[8:]))),
+			world: int(int64(binary.LittleEndian.Uint64(b[16:]))),
+			next:  uint16(binary.LittleEndian.Uint64(b[24:])),
+		}
+	}
+
+	var all []info
+	if me == 0 {
+		all = make([]info, n)
+		all[0] = mine
+		buf := make([]byte, recSize)
+		for i := 1; i < n; i++ {
+			c.Recv(i, tagSplit, buf)
+			all[i] = dec(buf)
+		}
+	} else {
+		c.Send(0, tagSplit, enc(mine))
+	}
+
+	// Rank 0 computes every group and the agreed context id, then sends
+	// each member its group's member list.
+	if me == 0 {
+		var base uint16
+		for _, v := range all {
+			if v.next > base {
+				base = v.next
+			}
+		}
+		newID := base + 1
+		groups := map[int][]info{}
+		for _, v := range all {
+			if v.color != Undefined {
+				groups[v.color] = append(groups[v.color], v)
+			}
+		}
+		for _, g := range groups {
+			sort.Slice(g, func(i, j int) bool {
+				if g[i].key != g[j].key {
+					return g[i].key < g[j].key
+				}
+				return g[i].world < g[j].world
+			})
+		}
+		for i := 1; i < n; i++ {
+			g := groups[all[i].color]
+			payload := make([]byte, 8+8*len(g))
+			binary.LittleEndian.PutUint64(payload[0:], uint64(newID))
+			if all[i].color == Undefined {
+				payload = payload[:8+0]
+			} else {
+				for j, v := range g {
+					binary.LittleEndian.PutUint64(payload[8+8*j:], uint64(int64(v.world)))
+				}
+			}
+			c.Send(i, tagSplit, payload)
+		}
+		c.r.nextCommID = newID
+		if color == Undefined {
+			return nil
+		}
+		g := groups[color]
+		members := make([]int, len(g))
+		for i, v := range g {
+			members[i] = v.world
+		}
+		return newCommFrom(c.r, newID, members)
+	}
+
+	// Non-root: receive the agreed id and my member list.
+	st := c.Probe(0, tagSplit)
+	payload := make([]byte, st.Len)
+	c.Recv(0, tagSplit, payload)
+	newID := uint16(binary.LittleEndian.Uint64(payload[0:]))
+	c.r.nextCommID = newID
+	if color == Undefined {
+		return nil
+	}
+	members := make([]int, (len(payload)-8)/8)
+	for j := range members {
+		members[j] = int(int64(binary.LittleEndian.Uint64(payload[8+8*j:])))
+	}
+	return newCommFrom(c.r, newID, members)
+}
+
+// newCommFrom builds the caller's handle on a fresh communicator.
+func newCommFrom(r *Rank, id uint16, members []int) *Comm {
+	my := -1
+	for i, w := range members {
+		if w == r.idx {
+			my = i
+		}
+	}
+	if my < 0 {
+		panic("mpi: split group does not contain the caller")
+	}
+	return &Comm{r: r, id: id, members: members, myrank: my}
+}

@@ -1,0 +1,208 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+
+	"ibflow/internal/core"
+	"ibflow/internal/sim"
+)
+
+// tortureMsg is one entry of a deterministic global traffic schedule.
+type tortureMsg struct {
+	src, dst, tag, size int
+	seed                byte
+}
+
+// tortureSchedule builds a reproducible mixed workload: random sizes
+// spanning eager and rendezvous, random tags, every pair talking.
+func tortureSchedule(n, count int, seed uint64) []tortureMsg {
+	rng := sim.NewRand(seed)
+	msgs := make([]tortureMsg, count)
+	sizes := []int{0, 1, 7, 64, 512, 1999, 2000, 2048, 4096, 30000, 70000}
+	for i := range msgs {
+		src := rng.Intn(n)
+		dst := rng.Intn(n - 1)
+		if dst >= src {
+			dst++
+		}
+		msgs[i] = tortureMsg{
+			src:  src,
+			dst:  dst,
+			tag:  rng.Intn(5),
+			size: sizes[rng.Intn(len(sizes))],
+			seed: byte(rng.Intn(251) + 1),
+		}
+	}
+	return msgs
+}
+
+func fillPattern(buf []byte, seed byte) {
+	for i := range buf {
+		buf[i] = seed + byte(i*7)
+	}
+}
+
+func checkPattern(buf []byte, seed byte) bool {
+	for i := range buf {
+		if buf[i] != seed+byte(i*7) {
+			return false
+		}
+	}
+	return true
+}
+
+// runTorture executes the schedule: every rank posts receives for its
+// inbound messages in schedule order (per source, order must hold) and
+// fires its sends in schedule order, then verifies every payload.
+func runTorture(t *testing.T, opts Options, n, count int, seed uint64) {
+	t.Helper()
+	sched := tortureSchedule(n, count, seed)
+	w := NewWorld(n, opts)
+	err := w.Run(func(c *Comm) {
+		me := c.Rank()
+		var reqs []*Request
+		var bufs [][]byte
+		var expect []tortureMsg
+		for _, m := range sched {
+			if m.dst == me {
+				buf := make([]byte, m.size)
+				reqs = append(reqs, c.Irecv(m.src, m.tag, buf))
+				bufs = append(bufs, buf)
+				expect = append(expect, m)
+			}
+		}
+		for _, m := range sched {
+			if m.src == me {
+				data := make([]byte, m.size)
+				fillPattern(data, m.seed)
+				c.Wait(c.Isend(m.dst, m.tag, data))
+			}
+		}
+		c.Waitall(reqs...)
+		for i, m := range expect {
+			if !checkPattern(bufs[i], m.seed) {
+				c.Abort(fmt.Sprintf("payload %d from %d (tag %d, %dB) corrupted",
+					i, m.src, m.tag, m.size))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("torture(%d ranks, %d msgs): %v", n, count, err)
+	}
+}
+
+// TestTortureMatrix runs the mixed workload across every scheme, both
+// eager channels, SMP placement and tiny pre-posts. Any mis-ordered
+// match, credit leak or slot corruption fails payload verification or
+// deadlocks.
+func TestTortureMatrix(t *testing.T) {
+	type cfg struct {
+		name string
+		mut  func(*Options)
+	}
+	schemes := []core.Params{
+		core.Hardware(2),
+		core.Static(2),
+		core.Dynamic(1, 64),
+	}
+	variants := []cfg{
+		{"sendrecv", func(o *Options) {}},
+		{"rdma", func(o *Options) { o.Chan.RDMAEager = true }},
+		{"smp", func(o *Options) { o.RanksPerNode = 2 }},
+		{"ondemand", func(o *Options) { o.Chan.OnDemand = true }},
+		// Debug mode re-checks every credit invariant after each
+		// progress pass; any leak panics the run.
+		{"invariants", func(o *Options) { o.Chan.Debug = true }},
+	}
+	for _, fc := range schemes {
+		for _, v := range variants {
+			fc, v := fc, v
+			t.Run(fc.Kind.String()+"-"+v.name, func(t *testing.T) {
+				opts := DefaultOptions(fc)
+				v.mut(&opts)
+				runTorture(t, opts, 4, 120, 0xfeed)
+			})
+		}
+	}
+}
+
+// TestTortureWaitOrderIndependence posts receives before or after the
+// traffic arrives (receiver compute delays) — matching must not care.
+func TestTortureDelayedReceivers(t *testing.T) {
+	opts := DefaultOptions(core.Dynamic(1, 64))
+	sched := tortureSchedule(4, 80, 0xbeef)
+	w := NewWorld(4, opts)
+	err := w.Run(func(c *Comm) {
+		me := c.Rank()
+		// Odd ranks sit out a long compute before receiving anything,
+		// forcing deep unexpected queues at their devices.
+		if me%2 == 1 {
+			c.Compute(400 * sim.Microsecond)
+		}
+		var reqs []*Request
+		var bufs [][]byte
+		var expect []tortureMsg
+		for _, m := range sched {
+			if m.dst == me {
+				buf := make([]byte, m.size)
+				reqs = append(reqs, c.Irecv(m.src, m.tag, buf))
+				bufs = append(bufs, buf)
+				expect = append(expect, m)
+			}
+		}
+		for _, m := range sched {
+			if m.src == me {
+				data := make([]byte, m.size)
+				fillPattern(data, m.seed)
+				c.Wait(c.Isend(m.dst, m.tag, data))
+			}
+		}
+		c.Waitall(reqs...)
+		for i, m := range expect {
+			if !checkPattern(bufs[i], m.seed) {
+				c.Abort("delayed receiver corruption")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTortureDeterminism reruns the same mixed workload and demands an
+// identical virtual makespan — the simulator guarantee every performance
+// assertion in this repository rests on.
+func TestTortureDeterminism(t *testing.T) {
+	mk := func() sim.Time {
+		opts := DefaultOptions(core.Dynamic(1, 64))
+		sched := tortureSchedule(4, 100, 0xabcd)
+		w := NewWorld(4, opts)
+		if err := w.Run(func(c *Comm) {
+			me := c.Rank()
+			var reqs []*Request
+			for _, m := range sched {
+				if m.dst == me {
+					reqs = append(reqs, c.Irecv(m.src, m.tag, make([]byte, m.size)))
+				}
+			}
+			for _, m := range sched {
+				if m.src == me {
+					data := make([]byte, m.size)
+					fillPattern(data, m.seed)
+					c.Wait(c.Isend(m.dst, m.tag, data))
+				}
+			}
+			c.Waitall(reqs...)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return w.Time()
+	}
+	first := mk()
+	for i := 0; i < 3; i++ {
+		if got := mk(); got != first {
+			t.Fatalf("run %d: %v != %v", i, got, first)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package mpi
+
+import (
+	"testing"
+
+	"ibflow/internal/core"
+	"ibflow/internal/sim"
+)
+
+func TestWaitanyReturnsFirstCompleted(t *testing.T) {
+	run(t, 2, core.Static(10), func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Compute(20 * sim.Microsecond)
+			c.Send(1, 5, []byte("b")) // tag 5 arrives first
+			c.Compute(100 * sim.Microsecond)
+			c.Send(1, 4, []byte("a"))
+		} else {
+			r4 := c.Irecv(0, 4, make([]byte, 1))
+			r5 := c.Irecv(0, 5, make([]byte, 1))
+			idx := c.Waitany(r4, r5)
+			if idx != 1 {
+				c.Abort("Waitany should report the tag-5 receive first")
+			}
+			if !r5.Done() || r4.Done() {
+				c.Abort("completion state inconsistent")
+			}
+			c.Waitall(r4, r5)
+		}
+	})
+}
+
+func TestWaitanyAlreadyDone(t *testing.T) {
+	run(t, 1, core.Static(4), func(c *Comm) {
+		req := c.Isend(0, 0, []byte("self")) // completes immediately
+		recv := c.Irecv(0, 0, make([]byte, 4))
+		if idx := c.Waitany(req, recv); idx != 0 {
+			c.Abort("already-done request not reported")
+		}
+		c.Wait(recv)
+	})
+}

@@ -1,0 +1,151 @@
+// Package mpi implements the MPI point-to-point layer of the paper's
+// implementation: rank setup over the channel device, (source, tag)
+// matching with wildcards and MPI's non-overtaking order, blocking and
+// non-blocking send/receive, and request completion. Collective operations
+// live in internal/coll.
+package mpi
+
+import (
+	"fmt"
+
+	"ibflow/internal/chdev"
+	"ibflow/internal/core"
+	"ibflow/internal/ib"
+	"ibflow/internal/sim"
+)
+
+// Options configures a simulated MPI job.
+type Options struct {
+	// IB is the fabric model configuration.
+	IB ib.Config
+	// Chan is the channel device (host software) configuration.
+	Chan chdev.Config
+	// FC selects and parameterizes the flow control scheme.
+	FC core.Params
+	// RanksPerNode places that many consecutive ranks on each physical
+	// node, sharing its HCA (the paper runs BT/SP as 16 processes on 8
+	// dual-CPU nodes). Intra-node traffic uses adapter loopback: it
+	// skips the switch but contends for the shared ports. 0 means 1.
+	RanksPerNode int
+	// TimeLimit aborts the simulation at this virtual time (0 = none).
+	TimeLimit sim.Time
+}
+
+// DefaultOptions returns the calibrated testbed configuration under the
+// given flow control scheme.
+func DefaultOptions(fc core.Params) Options {
+	return Options{
+		IB:   ib.DefaultConfig(),
+		Chan: chdev.DefaultConfig(),
+		FC:   fc,
+	}
+}
+
+// World is a simulated MPI job: n ranks on n nodes of one fabric.
+type World struct {
+	eng    *sim.Engine
+	fabric *ib.Fabric
+	ranks  []*Rank
+	opts   Options
+}
+
+// NewWorld builds a job of n ranks.
+func NewWorld(n int, opts Options) *World {
+	if n < 1 {
+		panic("mpi: world needs at least one rank")
+	}
+	rpn := opts.RanksPerNode
+	if rpn < 1 {
+		rpn = 1
+	}
+	nodes := (n + rpn - 1) / rpn
+	eng := sim.NewEngine()
+	w := &World{
+		eng:    eng,
+		fabric: ib.NewFabric(eng, opts.IB, nodes),
+		opts:   opts,
+	}
+	devs := make([]*chdev.Device, n)
+	for i := 0; i < n; i++ {
+		r := &Rank{world: w, idx: i}
+		r.dev = chdev.New(eng, w.fabric.HCA(i/rpn), opts.Chan, opts.FC, i, n, r)
+		w.ranks = append(w.ranks, r)
+		devs[i] = r.dev
+	}
+	chdev.Wire(devs)
+	return w
+}
+
+// Engine exposes the simulation engine (for tests and tools).
+func (w *World) Engine() *sim.Engine { return w.eng }
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.ranks) }
+
+// Run executes main once per rank (like mpirun) and drives the simulation
+// to completion. It returns the underlying simulation error, if any — a
+// *sim.DeadlockError when ranks blocked forever, or ErrTimeLimit when the
+// configured limit was hit before the job finished.
+func (w *World) Run(main func(c *Comm)) error {
+	for _, r := range w.ranks {
+		r := r
+		w.eng.Go(fmt.Sprintf("rank%d", r.idx), func(p *sim.Proc) {
+			r.proc = p
+			main(&Comm{r: r})
+			// Finalize: flush backlogged sends and in-flight
+			// rendezvous before the rank exits, as MPI_Finalize
+			// does.
+			r.dev.WaitProgress(p, r.dev.Quiescent)
+		})
+	}
+	limit := w.opts.TimeLimit
+	if limit == 0 {
+		limit = sim.MaxTime
+	}
+	// The job is over when Run returns, whatever the outcome; closing
+	// the engine releases any goroutine still parked (a deadlocked rank,
+	// a daemon driver).
+	defer w.eng.Close()
+	if err := w.eng.Run(limit); err != nil {
+		return err
+	}
+	if w.eng.Pending() > 0 {
+		return fmt.Errorf("mpi: time limit %v exceeded", limit)
+	}
+	return nil
+}
+
+// Time returns the virtual time consumed so far (after Run: the job's
+// makespan).
+func (w *World) Time() sim.Time { return w.eng.Now() }
+
+// RankStats returns the channel device statistics of rank i.
+func (w *World) RankStats(i int) chdev.Stats { return w.ranks[i].dev.Stats() }
+
+// Stats aggregates device statistics across all ranks.
+func (w *World) Stats() chdev.Stats {
+	var s chdev.Stats
+	s.Rank = -1
+	for _, r := range w.ranks {
+		rs := r.dev.Stats()
+		s.Conns += rs.Conns
+		s.MsgsSent += rs.MsgsSent
+		s.EagerSent += rs.EagerSent
+		s.Demoted += rs.Demoted
+		s.Backlogged += rs.Backlogged
+		s.ECMsSent += rs.ECMsSent
+		s.GrowthEvents += rs.GrowthEvents
+		s.ShrinkEvents += rs.ShrinkEvents
+		if rs.MaxPosted > s.MaxPosted {
+			s.MaxPosted = rs.MaxPosted
+		}
+		s.SumPosted += rs.SumPosted
+		s.RNRNaks += rs.RNRNaks
+		s.Retransmits += rs.Retransmits
+		s.WastedBytes += rs.WastedBytes
+		s.RegHits += rs.RegHits
+		s.RegMisses += rs.RegMisses
+		s.BufBytesInUse += rs.BufBytesInUse
+	}
+	return s
+}

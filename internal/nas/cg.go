@@ -1,0 +1,162 @@
+package nas
+
+import (
+	"fmt"
+	"math"
+
+	"ibflow/internal/coll"
+	"ibflow/internal/enc"
+	"ibflow/internal/mpi"
+)
+
+// cgParams holds the conjugate gradient problem scale.
+type cgParams struct {
+	n     int // grid side; the matrix is the shifted 2-D Laplacian on n*n
+	outer int
+	inner int
+}
+
+func cgParamsFor(class Class) cgParams {
+	switch class {
+	case ClassS:
+		return cgParams{n: 32, outer: 2, inner: 8}
+	case ClassW:
+		return cgParams{n: 128, outer: 3, inner: 15}
+	default: // ClassA (real class A: n=14000 random sparse, 15x25)
+		return cgParams{n: 256, outer: 5, inner: 25}
+	}
+}
+
+// RunCG is the conjugate gradient kernel: repeated CG solves against an
+// SPD matrix (shifted 2-D Laplacian) row-partitioned across ranks. Each
+// matvec needs one halo row from each neighbour (≈2 KB eager messages at
+// class A) and each CG step performs two tiny latency-bound allreduce dot
+// products — the symmetric, gentle pattern that needs only ~3 pre-posted
+// buffers in the paper's Table 2.
+func RunCG(c *mpi.Comm, class Class) error {
+	p := cgParamsFor(class)
+	nprocs, me := c.Size(), c.Rank()
+	n := p.n
+	if n%nprocs != 0 {
+		return fmt.Errorf("CG: %d rows not divisible over %d ranks", n, nprocs)
+	}
+	rl := n / nprocs // local rows
+
+	const shift = 0.5 // diagonal shift keeps the system well-conditioned
+	up, down := me-1, me+1
+
+	// Halo rows live at x[-1] and x[rl]; flatten with 2 extra rows.
+	halo := func(x []float64) {
+		rowBytes := make([]byte, 8*n)
+		if me%2 == 0 {
+			if down < nprocs {
+				c.Send(down, 10, enc.F64Bytes(x[(rl)*n:(rl+1)*n]))
+				c.Recv(down, 11, rowBytes)
+				enc.GetF64(rowBytes, x[(rl+1)*n:(rl+2)*n])
+			}
+			if up >= 0 {
+				c.Send(up, 12, enc.F64Bytes(x[n:2*n]))
+				c.Recv(up, 13, rowBytes)
+				enc.GetF64(rowBytes, x[0:n])
+			}
+		} else {
+			if up >= 0 {
+				c.Recv(up, 10, rowBytes)
+				enc.GetF64(rowBytes, x[0:n])
+				c.Send(up, 11, enc.F64Bytes(x[n:2*n]))
+			}
+			if down < nprocs {
+				c.Recv(down, 12, rowBytes)
+				enc.GetF64(rowBytes, x[(rl+1)*n:(rl+2)*n])
+				c.Send(down, 13, enc.F64Bytes(x[rl*n:(rl+1)*n]))
+			}
+		}
+	}
+
+	// matvec computes y = A x for the local rows; x and y have halo
+	// padding (row 0 and row rl+1 are ghosts).
+	matvec := func(y, x []float64) {
+		halo(x)
+		for i := 1; i <= rl; i++ {
+			gi := (me*rl + i - 1) // global row index of this grid row
+			for j := 0; j < n; j++ {
+				v := (4 + shift) * x[i*n+j]
+				if j > 0 {
+					v -= x[i*n+j-1]
+				}
+				if j < n-1 {
+					v -= x[i*n+j+1]
+				}
+				if gi > 0 {
+					v -= x[(i-1)*n+j]
+				}
+				if gi < n-1 {
+					v -= x[(i+1)*n+j]
+				}
+				y[i*n+j] = v
+			}
+		}
+		chargeFlops(c, 10*rl*n)
+	}
+
+	dot := func(a, b []float64) float64 {
+		s := 0.0
+		for i := n; i < (rl+1)*n; i++ {
+			s += a[i] * b[i]
+		}
+		chargeFlops(c, 2*rl*n)
+		buf := enc.F64Bytes([]float64{s})
+		coll.Allreduce(c, buf, coll.SumF64)
+		return enc.F64s(buf)[0]
+	}
+
+	size := (rl + 2) * n
+	x := make([]float64, size)
+	r := make([]float64, size)
+	pv := make([]float64, size)
+	ap := make([]float64, size)
+	b := make([]float64, size)
+	rng := newPrand(uint64(77 + me*13))
+	for i := n; i < (rl+1)*n; i++ {
+		b[i] = rng.float64n()
+	}
+
+	var finalRes, firstRes float64
+	for out := 0; out < p.outer; out++ {
+		// Restart from x = 0 each outer iteration, as NPB CG does.
+		for i := range x {
+			x[i] = 0
+		}
+		copy(r, b)
+		copy(pv, r)
+		rr := dot(r, r)
+		res0 := math.Sqrt(rr)
+		if out == 0 {
+			firstRes = res0
+		}
+		for it := 0; it < p.inner; it++ {
+			matvec(ap, pv)
+			alpha := rr / dot(pv, ap)
+			for i := n; i < (rl+1)*n; i++ {
+				x[i] += alpha * pv[i]
+				r[i] -= alpha * ap[i]
+			}
+			chargeFlops(c, 4*rl*n)
+			rr2 := dot(r, r)
+			beta := rr2 / rr
+			rr = rr2
+			for i := n; i < (rl+1)*n; i++ {
+				pv[i] = r[i] + beta*pv[i]
+			}
+			chargeFlops(c, 2*rl*n)
+		}
+		finalRes = math.Sqrt(rr)
+		if math.IsNaN(finalRes) || finalRes > res0 {
+			return fmt.Errorf("CG: diverged: %g -> %g", res0, finalRes)
+		}
+	}
+	if finalRes > firstRes*0.05 {
+		return fmt.Errorf("CG: weak convergence: %g -> %g", firstRes, finalRes)
+	}
+	return nil
+}

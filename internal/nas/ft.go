@@ -1,0 +1,284 @@
+package nas
+
+import (
+	"fmt"
+	"math"
+
+	"ibflow/internal/coll"
+	"ibflow/internal/enc"
+	"ibflow/internal/mpi"
+)
+
+// ftParams holds the 3-D FFT problem scale.
+type ftParams struct {
+	nx, ny, nz int
+	iters      int
+}
+
+func ftParamsFor(class Class) ftParams {
+	switch class {
+	case ClassS:
+		return ftParams{nx: 8, ny: 8, nz: 8, iters: 2}
+	case ClassW:
+		return ftParams{nx: 32, ny: 32, nz: 16, iters: 4}
+	default: // ClassA (scaled: the real class A is 256x256x128)
+		return ftParams{nx: 64, ny: 64, nz: 32, iters: 6}
+	}
+}
+
+// fft performs an in-place radix-2 transform of n complex values stored
+// interleaved (re, im) in a[0:2n]. sign is -1 for forward, +1 for inverse
+// (unnormalized).
+func fft(a []float64, n int, sign float64) {
+	if n&(n-1) != 0 {
+		panic("nas: fft length must be a power of two")
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			a[2*i], a[2*j] = a[2*j], a[2*i]
+			a[2*i+1], a[2*j+1] = a[2*j+1], a[2*i+1]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := sign * 2 * math.Pi / float64(length)
+		wr, wi := math.Cos(ang), math.Sin(ang)
+		for i := 0; i < n; i += length {
+			cwr, cwi := 1.0, 0.0
+			for j := 0; j < length/2; j++ {
+				p, q := i+j, i+j+length/2
+				ur, ui := a[2*p], a[2*p+1]
+				vr := a[2*q]*cwr - a[2*q+1]*cwi
+				vi := a[2*q]*cwi + a[2*q+1]*cwr
+				a[2*p], a[2*p+1] = ur+vr, ui+vi
+				a[2*q], a[2*q+1] = ur-vr, ui-vi
+				cwr, cwi = cwr*wr-cwi*wi, cwr*wi+cwi*wr
+			}
+		}
+	}
+}
+
+// RunFT is the 3-D FFT kernel. The grid is slab-decomposed along z; the
+// x and y transforms are local, and the z transform requires a full
+// transpose implemented with a large all-to-all — the rendezvous-heavy
+// pattern of NPB FT. Each iteration evolves the spectrum by a
+// unit-modulus phase and inverse-transforms it; verification checks
+// energy conservation (Parseval) every iteration and an exact round trip
+// on the first.
+func RunFT(c *mpi.Comm, class Class) error {
+	p := ftParamsFor(class)
+	n, me := c.Size(), c.Rank()
+	nx, ny, nz := p.nx, p.ny, p.nz
+	if nz%n != 0 || (nx*ny)%n != 0 {
+		return fmt.Errorf("FT: grid %dx%dx%d not divisible across %d ranks", nx, ny, nz, n)
+	}
+	nzLoc := nz / n         // z-planes per rank in slab layout
+	cols := nx * ny         // (x,y) columns in transposed layout
+	colsLoc := cols / n     // columns per rank after the transpose
+	ntot := nx * ny * nz    // global points
+	nloc := nx * ny * nzLoc // local points in slab layout
+
+	// Initial condition: reproducible pseudo-random complex field.
+	rng := newPrand(uint64(1565 + 37*me))
+	u0 := make([]float64, 2*nloc)
+	for i := range u0 {
+		u0[i] = rng.float64n() - 0.5
+	}
+	slab := append([]float64(nil), u0...)
+
+	energy0 := localEnergy(slab)
+	eng := enc.F64Bytes([]float64{energy0})
+	coll.Allreduce(c, eng, coll.SumF64)
+	energy0 = enc.F64s(eng)[0]
+
+	// --- forward 3-D FFT ---
+	fftX(slab, nx, ny, nzLoc, -1)
+	chargeFlops(c, 5*nloc*log2i(nx))
+	fftY(slab, nx, ny, nzLoc, -1)
+	chargeFlops(c, 5*nloc*log2i(ny))
+	colMajor := transpose(c, slab, nx, ny, nzLoc, colsLoc, true)
+	fftZ(colMajor, colsLoc, nz, -1)
+	chargeFlops(c, 5*colsLoc*nz*log2i(nz))
+
+	// ut is the frequency-space field, kept across iterations (as NPB
+	// FT keeps u-tilde).
+	ut := colMajor
+
+	for iter := 0; iter <= p.iters; iter++ {
+		// Evolve by a per-frequency unit-modulus phase, t = iter.
+		w := make([]float64, len(ut))
+		for col := 0; col < colsLoc; col++ {
+			gcol := me*colsLoc + col
+			kx, ky := gcol%nx, gcol/nx
+			for kz := 0; kz < nz; kz++ {
+				theta := float64(iter) * 2 * math.Pi *
+					(float64(kx)/float64(nx) + float64(ky)/float64(ny) + float64(kz)/float64(nz))
+				cr, ci := math.Cos(theta), math.Sin(theta)
+				i := 2 * (col*nz + kz)
+				w[i] = ut[i]*cr - ut[i+1]*ci
+				w[i+1] = ut[i]*ci + ut[i+1]*cr
+			}
+		}
+		chargeFlops(c, 8*colsLoc*nz)
+
+		// Inverse 3-D FFT back to physical space.
+		fftZ(w, colsLoc, nz, +1)
+		chargeFlops(c, 5*colsLoc*nz*log2i(nz))
+		back := transpose(c, w, nx, ny, nzLoc, colsLoc, false)
+		fftY(back, nx, ny, nzLoc, +1)
+		chargeFlops(c, 5*nloc*log2i(ny))
+		fftX(back, nx, ny, nzLoc, +1)
+		chargeFlops(c, 5*nloc*log2i(nx))
+		scale := 1 / float64(ntot)
+		for i := range back {
+			back[i] *= scale
+		}
+		chargeFlops(c, nloc)
+
+		// Verification: the evolution is unitary, so energy must be
+		// conserved every iteration...
+		e := localEnergy(back)
+		eb := enc.F64Bytes([]float64{e})
+		coll.Allreduce(c, eb, coll.SumF64)
+		if got := enc.F64s(eb)[0]; math.Abs(got-energy0) > 1e-6*(1+energy0) {
+			return fmt.Errorf("FT: iter %d energy %g, want %g", iter, got, energy0)
+		}
+		// ...and iteration 0 (zero phase) must reproduce the input.
+		if iter == 0 {
+			for i := range back {
+				if math.Abs(back[i]-u0[i]) > 1e-9 {
+					return fmt.Errorf("FT: round trip error %g at %d",
+						math.Abs(back[i]-u0[i]), i)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func localEnergy(a []float64) float64 {
+	e := 0.0
+	for _, v := range a {
+		e += v * v
+	}
+	return e
+}
+
+func log2i(n int) int {
+	k := 0
+	for 1<<k < n {
+		k++
+	}
+	return k
+}
+
+// fftX transforms each x-row of the slab in place.
+func fftX(a []float64, nx, ny, nzLoc int, sign float64) {
+	for z := 0; z < nzLoc; z++ {
+		for y := 0; y < ny; y++ {
+			row := a[2*((z*ny+y)*nx) : 2*((z*ny+y)*nx+nx)]
+			fft(row, nx, sign)
+		}
+	}
+}
+
+// fftY transforms each y-column of the slab via a scratch buffer.
+func fftY(a []float64, nx, ny, nzLoc int, sign float64) {
+	scratch := make([]float64, 2*ny)
+	for z := 0; z < nzLoc; z++ {
+		for x := 0; x < nx; x++ {
+			for y := 0; y < ny; y++ {
+				i := 2 * ((z*ny+y)*nx + x)
+				scratch[2*y], scratch[2*y+1] = a[i], a[i+1]
+			}
+			fft(scratch, ny, sign)
+			for y := 0; y < ny; y++ {
+				i := 2 * ((z*ny+y)*nx + x)
+				a[i], a[i+1] = scratch[2*y], scratch[2*y+1]
+			}
+		}
+	}
+}
+
+// fftZ transforms each full-length z-column of the transposed layout.
+func fftZ(a []float64, colsLoc, nz int, sign float64) {
+	for col := 0; col < colsLoc; col++ {
+		fft(a[2*col*nz:2*(col+1)*nz], nz, sign)
+	}
+}
+
+// transpose redistributes between the slab layout (all (x,y) for nzLoc
+// z-planes) and the column layout (all z for colsLoc (x,y) columns) with
+// one large all-to-all. forward selects the direction.
+func transpose(c *mpi.Comm, a []float64, nx, ny, nzLoc, colsLoc int, forward bool) []float64 {
+	n := c.Size()
+	nz := nzLoc * n
+	block := nzLoc * colsLoc * 2 // float64s per destination
+	send := make([]float64, n*block)
+	if forward {
+		// slab -> columns: destination j owns columns [j*colsLoc, ...).
+		for j := 0; j < n; j++ {
+			idx := j * block
+			for z := 0; z < nzLoc; z++ {
+				for col := j * colsLoc; col < (j+1)*colsLoc; col++ {
+					i := 2 * (z*nx*ny + col)
+					send[idx] = a[i]
+					send[idx+1] = a[i+1]
+					idx += 2
+				}
+			}
+		}
+	} else {
+		// columns -> slab: destination j owns z-planes [j*nzLoc, ...).
+		for j := 0; j < n; j++ {
+			idx := j * block
+			for z := j * nzLoc; z < (j+1)*nzLoc; z++ {
+				for col := 0; col < colsLoc; col++ {
+					i := 2 * (col*nz + z)
+					send[idx] = a[i]
+					send[idx+1] = a[i+1]
+					idx += 2
+				}
+			}
+		}
+	}
+	sb := enc.F64Bytes(send)
+	rb := make([]byte, len(sb))
+	coll.Alltoall(c, sb, rb, block*8)
+	recv := enc.F64s(rb)
+
+	out := make([]float64, len(a))
+	if forward {
+		// From src i: its z-planes [i*nzLoc...) for my columns.
+		for i := 0; i < n; i++ {
+			idx := i * block
+			for z := i * nzLoc; z < (i+1)*nzLoc; z++ {
+				for col := 0; col < colsLoc; col++ {
+					o := 2 * (col*nz + z)
+					out[o] = recv[idx]
+					out[o+1] = recv[idx+1]
+					idx += 2
+				}
+			}
+		}
+	} else {
+		// From src i: my z-planes for its columns [i*colsLoc...).
+		for i := 0; i < n; i++ {
+			idx := i * block
+			for z := 0; z < nzLoc; z++ {
+				for col := i * colsLoc; col < (i+1)*colsLoc; col++ {
+					o := 2 * (z*nx*ny + col)
+					out[o] = recv[idx]
+					out[o+1] = recv[idx+1]
+					idx += 2
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,220 @@
+package nas
+
+import (
+	"fmt"
+	"math"
+
+	"ibflow/internal/coll"
+	"ibflow/internal/enc"
+	"ibflow/internal/mpi"
+)
+
+// mgParams holds the multigrid problem scale.
+type mgParams struct {
+	n      int // fine grid side (power of two)
+	cycles int
+}
+
+func mgParamsFor(class Class) mgParams {
+	switch class {
+	case ClassS:
+		return mgParams{n: 32, cycles: 2}
+	case ClassW:
+		return mgParams{n: 128, cycles: 3}
+	default: // ClassA (real class A is 256^3)
+		return mgParams{n: 256, cycles: 4}
+	}
+}
+
+// mgLevel is one grid level of the V-cycle, row-partitioned across ranks.
+type mgLevel struct {
+	n  int       // global side
+	rl int       // local rows (without ghosts)
+	u  []float64 // solution, (rl+2)*n with ghost rows
+	f  []float64 // right-hand side
+	r  []float64 // residual scratch
+}
+
+// RunMG is the multigrid kernel: V-cycles on a 2-D Poisson problem. Every
+// smoothing step exchanges one halo row with each neighbour; the rows
+// shrink with each coarsening level (256 -> 128 -> ...), so the coarse
+// levels generate floods of very small messages — the reason MG, like LU,
+// suffers under the hardware scheme at pre-post 1 in Figure 10.
+func RunMG(c *mpi.Comm, class Class) error {
+	p := mgParamsFor(class)
+	nprocs, me := c.Size(), c.Rank()
+	n := p.n
+	if n%nprocs != 0 {
+		return fmt.Errorf("MG: %d rows not divisible over %d ranks", n, nprocs)
+	}
+
+	// Build levels while every rank keeps at least 2 rows.
+	var levels []*mgLevel
+	for side := n; side%nprocs == 0 && side/nprocs >= 2 && side >= 4; side /= 2 {
+		rl := side / nprocs
+		levels = append(levels, &mgLevel{
+			n:  side,
+			rl: rl,
+			u:  make([]float64, (rl+2)*side),
+			f:  make([]float64, (rl+2)*side),
+			r:  make([]float64, (rl+2)*side),
+		})
+	}
+	if len(levels) < 2 {
+		return fmt.Errorf("MG: grid %d too small for %d ranks", n, nprocs)
+	}
+
+	fine := levels[0]
+	rng := newPrand(uint64(5 + 11*me))
+	for i := fine.n; i < (fine.rl+1)*fine.n; i++ {
+		fine.f[i] = rng.float64n() - 0.5
+	}
+
+	up, down := me-1, me+1
+	halo := func(l *mgLevel, x []float64) {
+		rowBytes := make([]byte, 8*l.n)
+		if me%2 == 0 {
+			if down < nprocs {
+				c.Send(down, 20, enc.F64Bytes(x[l.rl*l.n:(l.rl+1)*l.n]))
+				c.Recv(down, 21, rowBytes)
+				enc.GetF64(rowBytes, x[(l.rl+1)*l.n:(l.rl+2)*l.n])
+			}
+			if up >= 0 {
+				c.Send(up, 22, enc.F64Bytes(x[l.n:2*l.n]))
+				c.Recv(up, 23, rowBytes)
+				enc.GetF64(rowBytes, x[0:l.n])
+			}
+		} else {
+			if up >= 0 {
+				c.Recv(up, 20, rowBytes)
+				enc.GetF64(rowBytes, x[0:l.n])
+				c.Send(up, 21, enc.F64Bytes(x[l.n:2*l.n]))
+			}
+			if down < nprocs {
+				c.Recv(down, 22, rowBytes)
+				enc.GetF64(rowBytes, x[(l.rl+1)*l.n:(l.rl+2)*l.n])
+				c.Send(down, 23, enc.F64Bytes(x[l.rl*l.n:(l.rl+1)*l.n]))
+			}
+		}
+	}
+
+	// Damped Jacobi smoother.
+	smooth := func(l *mgLevel, sweeps int) {
+		const w = 0.8
+		for s := 0; s < sweeps; s++ {
+			halo(l, l.u)
+			for i := 1; i <= l.rl; i++ {
+				gi := me*l.rl + i - 1
+				for j := 0; j < l.n; j++ {
+					sum := 0.0
+					if j > 0 {
+						sum += l.u[i*l.n+j-1]
+					}
+					if j < l.n-1 {
+						sum += l.u[i*l.n+j+1]
+					}
+					if gi > 0 {
+						sum += l.u[(i-1)*l.n+j]
+					}
+					if gi < l.n-1 {
+						sum += l.u[(i+1)*l.n+j]
+					}
+					l.r[i*l.n+j] = (1-w)*l.u[i*l.n+j] + w*(sum+l.f[i*l.n+j])/4
+				}
+			}
+			copy(l.u[l.n:(l.rl+1)*l.n], l.r[l.n:(l.rl+1)*l.n])
+			chargeFlops(c, 9*l.rl*l.n)
+		}
+	}
+
+	residual := func(l *mgLevel) {
+		halo(l, l.u)
+		for i := 1; i <= l.rl; i++ {
+			gi := me*l.rl + i - 1
+			for j := 0; j < l.n; j++ {
+				sum := 0.0
+				if j > 0 {
+					sum += l.u[i*l.n+j-1]
+				}
+				if j < l.n-1 {
+					sum += l.u[i*l.n+j+1]
+				}
+				if gi > 0 {
+					sum += l.u[(i-1)*l.n+j]
+				}
+				if gi < l.n-1 {
+					sum += l.u[(i+1)*l.n+j]
+				}
+				l.r[i*l.n+j] = l.f[i*l.n+j] - (4*l.u[i*l.n+j] - sum)
+			}
+		}
+		chargeFlops(c, 8*l.rl*l.n)
+	}
+
+	resNorm := func(l *mgLevel) float64 {
+		residual(l)
+		s := 0.0
+		for i := l.n; i < (l.rl+1)*l.n; i++ {
+			s += l.r[i] * l.r[i]
+		}
+		chargeFlops(c, 2*l.rl*l.n)
+		buf := enc.F64Bytes([]float64{s})
+		coll.Allreduce(c, buf, coll.SumF64)
+		return math.Sqrt(enc.F64s(buf)[0])
+	}
+
+	// restrict moves the residual of level l to the RHS of level l+1
+	// (injection of even rows/cols; rows stay aligned because rl is even).
+	restrict := func(fineL, coarse *mgLevel) {
+		residual(fineL)
+		for i := 1; i <= coarse.rl; i++ {
+			fi := 2*i - 1
+			for j := 0; j < coarse.n; j++ {
+				coarse.f[i*coarse.n+j] = fineL.r[fi*fineL.n+2*j]
+			}
+			chargeFlops(c, coarse.n)
+		}
+		for i := range coarse.u {
+			coarse.u[i] = 0
+		}
+	}
+
+	// prolong adds the coarse correction back into the fine solution.
+	prolong := func(coarse, fineL *mgLevel) {
+		halo(coarse, coarse.u)
+		for i := 1; i <= fineL.rl; i++ {
+			ci := (i + 1) / 2
+			for j := 0; j < fineL.n; j++ {
+				cj := j / 2
+				fineL.u[i*fineL.n+j] += coarse.u[ci*coarse.n+cj]
+			}
+		}
+		chargeFlops(c, 2*fineL.rl*fineL.n)
+	}
+
+	res0 := resNorm(fine)
+	prev := res0
+	for cyc := 0; cyc < p.cycles; cyc++ {
+		// Down-sweep.
+		for l := 0; l < len(levels)-1; l++ {
+			smooth(levels[l], 2)
+			restrict(levels[l], levels[l+1])
+		}
+		// Coarse solve: many smoothings on the smallest grid.
+		smooth(levels[len(levels)-1], 20)
+		// Up-sweep.
+		for l := len(levels) - 2; l >= 0; l-- {
+			prolong(levels[l+1], levels[l])
+			smooth(levels[l], 2)
+		}
+		got := resNorm(fine)
+		if math.IsNaN(got) || got > prev {
+			return fmt.Errorf("MG: residual grew in cycle %d: %g -> %g", cyc, prev, got)
+		}
+		prev = got
+	}
+	if prev > 0.5*res0 {
+		return fmt.Errorf("MG: V-cycles barely converged: %g -> %g", res0, prev)
+	}
+	return nil
+}

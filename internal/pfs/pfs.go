@@ -1,0 +1,242 @@
+// Package pfs is a striped parallel file system over the simulated MPI —
+// the paper's §8 suggests its flow control results carry over to "other
+// middleware layers over InfiniBand, such as ... parallel file systems";
+// this package lets us check.
+//
+// A subset of ranks act as I/O servers; files are striped round-robin
+// across them. Clients move request envelopes as small eager messages and
+// file data as large messages (zero-copy rendezvous on the wire, as
+// PVFS-over-InfiniBand did). A checkpoint storm — every client writing at
+// once — is exactly the incast that exhausts a server's pre-posted
+// buffers, so the flow control scheme shows through directly
+// (bench.ExtensionMiddleware).
+package pfs
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ibflow/internal/mpi"
+)
+
+// Tags reserved for file system traffic.
+const (
+	tagRequest = 1<<22 + iota
+	tagData
+	tagReply
+)
+
+// Request opcodes.
+const (
+	opWrite uint8 = iota + 1
+	opRead
+	opStat
+	opShutdown
+)
+
+// StripeSize is the striping unit across servers.
+const StripeSize = 16 * 1024
+
+// reqHeader is the fixed-size request envelope.
+// layout: op(1) pad(3) client(4) off(8) len(8) nameLen(4) name...
+const reqFixed = 28
+
+func encodeReq(op uint8, client, off, length int, name string) []byte {
+	b := make([]byte, reqFixed+len(name))
+	b[0] = op
+	binary.LittleEndian.PutUint32(b[4:], uint32(client))
+	binary.LittleEndian.PutUint64(b[8:], uint64(off))
+	binary.LittleEndian.PutUint64(b[16:], uint64(length))
+	binary.LittleEndian.PutUint32(b[24:], uint32(len(name)))
+	copy(b[reqFixed:], name)
+	return b
+}
+
+type request struct {
+	op     uint8
+	client int
+	off    int
+	length int
+	name   string
+}
+
+func decodeReq(b []byte) request {
+	nameLen := int(binary.LittleEndian.Uint32(b[24:]))
+	return request{
+		op:     b[0],
+		client: int(binary.LittleEndian.Uint32(b[4:])),
+		off:    int(binary.LittleEndian.Uint64(b[8:])),
+		length: int(binary.LittleEndian.Uint64(b[16:])),
+		name:   string(b[reqFixed : reqFixed+nameLen]),
+	}
+}
+
+// FS is a client's handle on the mounted file system.
+type FS struct {
+	c       *mpi.Comm
+	servers int
+}
+
+// Mount starts the file system on comm c: ranks [0, servers) run the
+// server loop inside this call and return only at shutdown; every rank
+// gets an FS handle, but only client ranks (>= servers) may issue I/O.
+// Clients must eventually call Unmount exactly once.
+func Mount(c *mpi.Comm, servers int) *FS {
+	if servers < 1 || servers >= c.Size() {
+		panic(fmt.Sprintf("pfs: need 1 <= servers (%d) < ranks (%d)", servers, c.Size()))
+	}
+	fs := &FS{c: c, servers: servers}
+	if c.Rank() < servers {
+		fs.serve()
+	}
+	return fs
+}
+
+// IsServer reports whether this rank served I/O (and has already finished).
+func (fs *FS) IsServer() bool { return fs.c.Rank() < fs.servers }
+
+// serve runs the I/O server loop until every client shuts down.
+func (fs *FS) serve() {
+	c := fs.c
+	clients := c.Size() - fs.servers
+	store := make(map[string][]byte)
+	reqBuf := make([]byte, 512)
+	alive := clients
+	for alive > 0 {
+		st := c.Recv(mpi.AnySource, tagRequest, reqBuf)
+		req := decodeReq(reqBuf[:st.Len])
+		switch req.op {
+		case opShutdown:
+			alive--
+		case opWrite:
+			f := store[req.name]
+			if need := req.off + req.length; need > len(f) {
+				nf := make([]byte, need)
+				copy(nf, f)
+				f = nf
+			}
+			c.Recv(st.Source, tagData, f[req.off:req.off+req.length])
+			store[req.name] = f
+			c.Send(st.Source, tagReply, []byte{1})
+		case opRead:
+			f := store[req.name]
+			end := req.off + req.length
+			if end > len(f) {
+				end = len(f)
+			}
+			var chunk []byte
+			if req.off < end {
+				chunk = f[req.off:end]
+			}
+			c.Send(st.Source, tagData, chunk)
+		case opStat:
+			var sz [8]byte
+			binary.LittleEndian.PutUint64(sz[:], uint64(len(store[req.name])))
+			c.Send(st.Source, tagReply, sz[:])
+		default:
+			panic(fmt.Sprintf("pfs: bad opcode %d", req.op))
+		}
+	}
+}
+
+// stripeServer returns the server rank holding the stripe at offset.
+func (fs *FS) stripeServer(off int) int {
+	return (off / StripeSize) % fs.servers
+}
+
+// extents splits [off, off+len) into per-stripe pieces.
+type extent struct {
+	server    int
+	off       int // offset within the global file
+	length    int
+	stripeOff int // offset of this piece within the server's stripe space
+}
+
+func (fs *FS) extents(off, length int) []extent {
+	var out []extent
+	for length > 0 {
+		in := off % StripeSize
+		n := StripeSize - in
+		if n > length {
+			n = length
+		}
+		// Servers store each file as the concatenation of their own
+		// stripes: global stripe index g maps to local offset
+		// (g / servers) * StripeSize.
+		g := off / StripeSize
+		local := (g/fs.servers)*StripeSize + in
+		out = append(out, extent{
+			server:    fs.stripeServer(off),
+			off:       off,
+			length:    n,
+			stripeOff: local,
+		})
+		off += n
+		length -= n
+	}
+	return out
+}
+
+// Write stores data at the given file offset, striped across the servers.
+func (fs *FS) Write(name string, off int, data []byte) {
+	if fs.IsServer() {
+		panic("pfs: server rank issuing I/O")
+	}
+	c := fs.c
+	me := c.Rank()
+	exts := fs.extents(off, len(data))
+	// Issue all stripe writes, then collect the acks.
+	var acks []*mpi.Request
+	for _, e := range exts {
+		c.Send(e.server, tagRequest, encodeReq(opWrite, me, e.stripeOff, e.length, name))
+		c.Send(e.server, tagData, data[e.off-off:e.off-off+e.length])
+		acks = append(acks, c.Irecv(e.server, tagReply, make([]byte, 1)))
+	}
+	c.Waitall(acks...)
+}
+
+// Read fills buf from the file at the given offset and returns the bytes
+// read (short if the file ends).
+func (fs *FS) Read(name string, off int, buf []byte) int {
+	if fs.IsServer() {
+		panic("pfs: server rank issuing I/O")
+	}
+	c := fs.c
+	me := c.Rank()
+	exts := fs.extents(off, len(buf))
+	total := 0
+	for _, e := range exts {
+		c.Send(e.server, tagRequest, encodeReq(opRead, me, e.stripeOff, e.length, name))
+		st := c.Recv(e.server, tagData, buf[e.off-off:e.off-off+e.length])
+		total += st.Len
+		if st.Len < e.length {
+			break // hit end of stripe data
+		}
+	}
+	return total
+}
+
+// Size returns the file's total stored bytes (for densely written files,
+// its length; a sparse file counts the zero-filled gaps its stripes span).
+func (fs *FS) Size(name string) int {
+	c := fs.c
+	total := 0
+	var sz [8]byte
+	for s := 0; s < fs.servers; s++ {
+		c.Send(s, tagRequest, encodeReq(opStat, c.Rank(), 0, 0, name))
+		c.Recv(s, tagReply, sz[:])
+		total += int(binary.LittleEndian.Uint64(sz[:]))
+	}
+	return total
+}
+
+// Unmount tells every server this client is done. Servers return from
+// Mount once all clients unmount.
+func (fs *FS) Unmount() {
+	if fs.IsServer() {
+		return
+	}
+	for s := 0; s < fs.servers; s++ {
+		fs.c.Send(s, tagRequest, encodeReq(opShutdown, fs.c.Rank(), 0, 0, ""))
+	}
+}

@@ -1,0 +1,146 @@
+package pfs
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"ibflow/internal/core"
+	"ibflow/internal/mpi"
+)
+
+// runFS mounts a file system with the given geometry and runs body on
+// every client rank.
+func runFS(t *testing.T, ranks, servers int, fc core.Params, body func(c *mpi.Comm, fs *FS)) {
+	t.Helper()
+	w := mpi.NewWorld(ranks, mpi.DefaultOptions(fc))
+	if err := w.Run(func(c *mpi.Comm) {
+		fs := Mount(c, servers)
+		if !fs.IsServer() {
+			body(c, fs)
+			fs.Unmount()
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func pattern(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = seed + byte(i*13)
+	}
+	return b
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	runFS(t, 4, 2, core.Dynamic(1, 64), func(c *mpi.Comm, fs *FS) {
+		name := fmt.Sprintf("file-%d", c.Rank())
+		data := pattern(100*1024, byte(c.Rank()))
+		fs.Write(name, 0, data)
+		got := make([]byte, len(data))
+		if n := fs.Read(name, 0, got); n != len(data) {
+			c.Abort(fmt.Sprintf("read %d of %d", n, len(data)))
+		}
+		if !bytes.Equal(got, data) {
+			c.Abort("data corrupted through striping")
+		}
+		if fs.Size(name) != len(data) {
+			c.Abort("size wrong")
+		}
+	})
+}
+
+func TestStripingCrossesServers(t *testing.T) {
+	runFS(t, 3, 2, core.Static(10), func(c *mpi.Comm, fs *FS) {
+		// Write a region that is not stripe-aligned and spans stripes.
+		data := pattern(3*StripeSize+777, 9)
+		off := StripeSize / 2
+		fs.Write("spanned", off, data)
+		got := make([]byte, len(data))
+		fs.Read("spanned", off, got)
+		if !bytes.Equal(got, data) {
+			c.Abort("unaligned striped region corrupted")
+		}
+	})
+}
+
+func TestPartialAndSparseReads(t *testing.T) {
+	runFS(t, 2, 1, core.Static(10), func(c *mpi.Comm, fs *FS) {
+		fs.Write("short", 0, pattern(1000, 3))
+		buf := make([]byte, 4096)
+		if n := fs.Read("short", 0, buf); n != 1000 {
+			c.Abort(fmt.Sprintf("short read returned %d", n))
+		}
+		if n := fs.Read("missing", 0, buf); n != 0 {
+			c.Abort("read of missing file returned data")
+		}
+		// Offset read.
+		small := make([]byte, 10)
+		fs.Read("short", 500, small)
+		if !bytes.Equal(small, pattern(1000, 3)[500:510]) {
+			c.Abort("offset read wrong")
+		}
+	})
+}
+
+func TestOverwriteRegion(t *testing.T) {
+	runFS(t, 2, 1, core.Static(10), func(c *mpi.Comm, fs *FS) {
+		fs.Write("f", 0, pattern(5000, 1))
+		fs.Write("f", 1000, pattern(100, 7))
+		got := make([]byte, 5000)
+		fs.Read("f", 0, got)
+		want := pattern(5000, 1)
+		copy(want[1000:1100], pattern(100, 7))
+		if !bytes.Equal(got, want) {
+			c.Abort("overwrite lost data")
+		}
+	})
+}
+
+func TestConcurrentClientsDistinctFiles(t *testing.T) {
+	for _, fc := range []core.Params{core.Hardware(2), core.Static(2), core.Dynamic(1, 64)} {
+		fc := fc
+		t.Run(fc.Kind.String(), func(t *testing.T) {
+			runFS(t, 8, 2, fc, func(c *mpi.Comm, fs *FS) {
+				name := fmt.Sprintf("ckpt-%d", c.Rank())
+				data := pattern(64*1024, byte(c.Rank()*3))
+				fs.Write(name, 0, data)
+				got := make([]byte, len(data))
+				fs.Read(name, 0, got)
+				if !bytes.Equal(got, data) {
+					c.Abort("checkpoint corrupted under concurrency")
+				}
+			})
+		})
+	}
+}
+
+func TestSharedFileDisjointRegions(t *testing.T) {
+	runFS(t, 5, 1, core.Dynamic(1, 64), func(c *mpi.Comm, fs *FS) {
+		// Clients 1..4 write disjoint 8KB regions of one file.
+		me := c.Rank()
+		region := pattern(8192, byte(me))
+		fs.Write("shared", (me-1)*8192, region)
+		got := make([]byte, 8192)
+		fs.Read("shared", (me-1)*8192, got)
+		if !bytes.Equal(got, region) {
+			c.Abort("region lost in shared file")
+		}
+	})
+}
+
+func TestMountValidation(t *testing.T) {
+	w := mpi.NewWorld(2, mpi.DefaultOptions(core.Static(4)))
+	err := w.Run(func(c *mpi.Comm) {
+		defer func() {
+			if recover() == nil {
+				c.Abort("bad geometry accepted")
+			}
+		}()
+		Mount(c, 2) // no clients left
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

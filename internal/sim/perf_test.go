@@ -1,0 +1,71 @@
+package sim
+
+import "testing"
+
+// Performance of the simulator itself (host ns per simulated event):
+// the experiment suite fires tens of millions of events, so the engine's
+// own overhead bounds how large a cluster we can study.
+
+func BenchmarkEventDispatch(b *testing.B) {
+	e := NewEngine()
+	n := 0
+	var fn func()
+	fn = func() {
+		n++
+		if n < b.N {
+			e.After(1, fn)
+		}
+	}
+	e.After(1, fn)
+	b.ResetTimer()
+	if err := e.Run(MaxTime); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkHeapChurn(b *testing.B) {
+	// Many co-pending timers stress the event heap.
+	e := NewEngine()
+	const pending = 1024
+	fired := 0
+	var arm func(at Time)
+	arm = func(at Time) {
+		fired++
+		if fired < b.N {
+			e.At(at+pending, func() { arm(at + pending) })
+		}
+	}
+	for i := 0; i < pending && i < b.N; i++ {
+		at := Time(i)
+		e.At(at, func() { arm(at) })
+	}
+	b.ResetTimer()
+	if err := e.Run(MaxTime); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkProcContextSwitch(b *testing.B) {
+	// Two processes ping-ponging through a Cond measures the coroutine
+	// dispatch cost (two channel handoffs per switch).
+	e := NewEngine()
+	c1, c2 := NewCond(e), NewCond(e)
+	rounds := b.N
+	// b spawns first so it is already waiting when a's first signal fires.
+	e.Go("b", func(p *Proc) {
+		for i := 0; i < rounds; i++ {
+			c2.Wait(p)
+			c1.Signal()
+		}
+	})
+	e.Go("a", func(p *Proc) {
+		for i := 0; i < rounds; i++ {
+			c2.Signal()
+			c1.Wait(p)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(MaxTime); err != nil {
+		b.Fatal(err)
+	}
+}

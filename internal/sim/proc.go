@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Proc is a simulated process: a goroutine whose execution is serialized by
+// the engine. A process runs until it blocks (Sleep, Cond.Wait, ...) or
+// returns; only then does the engine continue with other events. Processes
+// therefore never race with one another or with event callbacks.
+//
+// All Proc methods must be called from the process's own goroutine.
+type Proc struct {
+	eng      *Engine
+	name     string
+	resume   chan struct{} // engine -> proc: run
+	parked   chan struct{} // proc -> engine: I yielded (or finished)
+	finished bool
+	daemon   bool
+}
+
+// Go spawns a new process running fn. The process starts at the current
+// virtual time (as a scheduled event). The name is used in deadlock reports.
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	return e.spawn(name, fn, false)
+}
+
+// GoDaemon spawns a background service process: it may stay parked forever
+// without counting as a deadlock (protocol drivers, pollers). The
+// simulation is considered finished when only daemons remain.
+func (e *Engine) GoDaemon(name string, fn func(p *Proc)) *Proc {
+	return e.spawn(name, fn, true)
+}
+
+func (e *Engine) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		resume: make(chan struct{}),
+		parked: make(chan struct{}),
+		daemon: daemon,
+	}
+	e.procs = append(e.procs, p)
+	if !daemon {
+		e.nlive++
+	}
+	go func() {
+		select {
+		case <-p.resume:
+		case <-e.dead:
+			return
+		}
+		fn(p)
+		p.finished = true
+		if !p.daemon {
+			p.eng.nlive--
+		}
+		p.parked <- struct{}{}
+	}()
+	e.At(e.now, func() { e.dispatch(p) })
+	return p
+}
+
+// dispatch hands the CPU to p and waits for it to park or finish.
+// Must be called from the engine goroutine (inside an event).
+func (e *Engine) dispatch(p *Proc) {
+	if p.finished {
+		panic(fmt.Sprintf("sim: dispatch of finished process %q", p.name))
+	}
+	prev := e.cur
+	e.cur = p
+	p.resume <- struct{}{}
+	<-p.parked
+	e.cur = prev
+}
+
+// park yields control back to the engine until the next dispatch. If the
+// engine is closed while parked, the goroutine unwinds and exits.
+func (p *Proc) park() {
+	p.parked <- struct{}{}
+	select {
+	case <-p.resume:
+	case <-p.eng.dead:
+		runtime.Goexit()
+	}
+}
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Name returns the process name.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Sleep advances the process by d of virtual time. Other events and
+// processes run in the meantime. Sleeping a non-positive duration still
+// yields, giving already-scheduled same-time events a chance to run first.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.eng.After(d, func() { p.eng.dispatch(p) })
+	p.park()
+}
+
+// Yield lets all other events scheduled at the current time run, then
+// resumes. Equivalent to Sleep(0).
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Cond is a condition variable for processes. Unlike sync.Cond it needs no
+// lock: the engine already serializes everything.
+//
+// The zero value is NOT usable; create with NewCond so the Cond knows its
+// engine.
+type Cond struct {
+	eng     *Engine
+	waiters []*Proc
+}
+
+// NewCond creates a condition variable on engine e.
+func NewCond(e *Engine) *Cond { return &Cond{eng: e} }
+
+// Wait parks p until another process or event calls Signal or Broadcast.
+// As with sync.Cond, callers should re-check their predicate in a loop.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.park()
+}
+
+// Waiting reports how many processes are parked on c.
+func (c *Cond) Waiting() int { return len(c.waiters) }
+
+// Broadcast wakes every waiter. Each is resumed as a separate event at the
+// current virtual time, in the order they began waiting.
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, w := range ws {
+		w := w
+		c.eng.At(c.eng.now, func() { c.eng.dispatch(w) })
+	}
+}
+
+// Signal wakes the longest-waiting process, if any.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	w := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	c.eng.At(c.eng.now, func() { c.eng.dispatch(w) })
+}
+
+// WaitUntil parks p on c until pred() is true, re-checking after every
+// wakeup. pred must be a pure function of simulation state.
+func (c *Cond) WaitUntil(p *Proc, pred func() bool) {
+	for !pred() {
+		c.Wait(p)
+	}
+}

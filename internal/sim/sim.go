@@ -1,0 +1,197 @@
+// Package sim implements a deterministic discrete-event simulation core.
+//
+// The engine maintains a virtual clock and an event heap. Simulated
+// processes (see Proc) run as goroutines, but the engine serializes them:
+// at most one process executes at a time, and it runs to its next blocking
+// point before the engine continues. Event ties are broken by insertion
+// order, so a simulation is fully deterministic: the same inputs always
+// produce the same virtual-time trace.
+//
+// This core underlies the InfiniBand fabric model (internal/ib) and the MPI
+// ranks (internal/mpi) of this repository.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Time is virtual time in nanoseconds.
+type Time int64
+
+// Convenient virtual-time units.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable virtual time.
+const MaxTime Time = math.MaxInt64
+
+// String formats a Time using the most natural unit.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.6gs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.6gms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.6gus", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros converts t to floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // insertion order; breaks ties deterministically
+	fn  func()
+}
+
+// eventHeap orders events by (time, sequence).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation engine. The zero value is not
+// usable; create one with NewEngine.
+//
+// Engine methods must only be called from the goroutine running Run (that
+// is, from event callbacks or from currently-executing processes). The
+// engine itself enforces mutual exclusion between processes, so simulation
+// state shared between processes needs no locking.
+type Engine struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	procs  []*Proc // all spawned processes, for deadlock reporting
+	nlive  int     // processes that have not finished
+	cur    *Proc   // currently executing process, if any
+	fired  uint64  // total events executed, for stats/limits
+	dead   chan struct{}
+	closed bool
+}
+
+// NewEngine creates an empty engine at virtual time zero.
+func NewEngine() *Engine {
+	return &Engine{dead: make(chan struct{})}
+}
+
+// Close releases every goroutine still parked in an unfinished process
+// (daemons, deadlocked ranks) so a discarded engine leaks nothing. The
+// engine must not be used afterwards.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	close(e.dead)
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// EventsFired reports how many events the engine has executed.
+func (e *Engine) EventsFired() uint64 { return e.fired }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// is clamped to the present.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Engine) After(d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now+d, fn)
+}
+
+// DeadlockError is returned by Run when the event queue drains while
+// processes are still parked: nothing can ever wake them again.
+type DeadlockError struct {
+	Time    Time
+	Blocked []string // names of parked processes
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at %v: %d process(es) blocked forever: %v",
+		e.Time, len(e.Blocked), e.Blocked)
+}
+
+// Run executes events until the queue is empty or until virtual time would
+// exceed limit (use MaxTime for no limit). It returns a *DeadlockError if
+// the queue drains while spawned processes are still parked. Run may be
+// called repeatedly; it resumes from the current virtual time.
+func (e *Engine) Run(limit Time) error {
+	for len(e.events) > 0 {
+		next := e.events[0]
+		if next.at > limit {
+			return nil
+		}
+		heap.Pop(&e.events)
+		e.now = next.at
+		e.fired++
+		next.fn()
+	}
+	if e.nlive > 0 {
+		var blocked []string
+		for _, p := range e.procs {
+			if !p.finished && !p.daemon {
+				blocked = append(blocked, p.name)
+			}
+		}
+		sort.Strings(blocked)
+		return &DeadlockError{Time: e.now, Blocked: blocked}
+	}
+	return nil
+}
+
+// Steps runs at most n events (useful for tests that single-step).
+// It reports how many events actually ran.
+func (e *Engine) Steps(n int) int {
+	ran := 0
+	for ran < n && len(e.events) > 0 {
+		next := heap.Pop(&e.events).(*event)
+		e.now = next.at
+		e.fired++
+		next.fn()
+		ran++
+	}
+	return ran
+}
+
+// Pending reports how many events are queued.
+func (e *Engine) Pending() int { return len(e.events) }

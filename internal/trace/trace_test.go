@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"ibflow/internal/sim"
+)
+
+func TestRingRetainsMostRecent(t *testing.T) {
+	b := NewBuffer(3)
+	for i := 0; i < 5; i++ {
+		b.Add(Event{T: sim.Time(i), Rank: i, Kind: SendEager})
+	}
+	if b.Total() != 5 {
+		t.Errorf("Total = %d", b.Total())
+	}
+	evs := b.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d", len(evs))
+	}
+	for i, e := range evs {
+		if e.Rank != i+2 {
+			t.Errorf("slot %d rank %d, want %d (oldest-first order)", i, e.Rank, i+2)
+		}
+	}
+}
+
+func TestEventsBeforeWrap(t *testing.T) {
+	b := NewBuffer(10)
+	b.Add(Event{Rank: 1, Kind: Demoted})
+	b.Add(Event{Rank: 2, Kind: Grew})
+	evs := b.Events()
+	if len(evs) != 2 || evs[0].Rank != 1 || evs[1].Rank != 2 {
+		t.Errorf("events = %v", evs)
+	}
+}
+
+func TestDumpAndSummary(t *testing.T) {
+	b := NewBuffer(16)
+	b.Add(Event{T: 1000, Rank: 0, Peer: 1, Kind: SendEager, Arg: 52})
+	b.Add(Event{T: 2000, Rank: 1, Peer: 0, Kind: Recv, Arg: 1})
+	b.Add(Event{T: 3000, Rank: 0, Peer: 1, Kind: SendEager, Arg: 52})
+	var sb strings.Builder
+	b.Dump(&sb, 2)
+	out := sb.String()
+	if strings.Count(out, "\n") != 2 {
+		t.Errorf("Dump(2) lines:\n%s", out)
+	}
+	if !strings.Contains(out, "send-eager") || !strings.Contains(out, "recv") {
+		t.Errorf("missing kinds in:\n%s", out)
+	}
+	sum := b.Summary()
+	found := false
+	for _, s := range sum {
+		if s.Kind == SendEager && s.Count == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("summary = %v", sum)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := SendEager; k <= Retransmit; k++ {
+		if strings.HasPrefix(k.String(), "Kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if !strings.HasPrefix(Kind(200).String(), "Kind(") {
+		t.Error("unknown kind should fall back")
+	}
+}
+
+func TestNewBufferValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on zero capacity")
+		}
+	}()
+	NewBuffer(0)
+}
