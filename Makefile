@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build vet lint test debug race bench fmt
+
+all: build vet lint test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# fclint enforces the determinism and credit-accounting contracts
+# (DESIGN.md, "Determinism contract & static enforcement").
+lint:
+	$(GO) run ./cmd/fclint ./...
+
+test:
+	$(GO) test ./...
+
+# debug arms the ibdebug per-mutation invariant assertions.
+debug:
+	$(GO) test -tags ibdebug ./...
+
+race:
+	$(GO) test -race ./internal/sim/... ./internal/mpi/...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+fmt:
+	gofmt -w .

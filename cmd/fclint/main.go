@@ -1,0 +1,86 @@
+// Command fclint runs this repository's determinism and credit-accounting
+// analyzers (see internal/analysis) over the module.
+//
+// Usage:
+//
+//	go run ./cmd/fclint ./...
+//
+// It audits the simulation packages listed in analysis.AuditedPackages —
+// test files included — and exits nonzero if any unsuppressed finding
+// remains. A finding is suppressed by a comment on its line (or the line
+// above):
+//
+//	//fclint:allow <analyzer> <reason>
+//
+// The reason is mandatory; malformed suppressions are findings themselves.
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"ibflow/internal/analysis"
+)
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fclint:", err)
+		os.Exit(2)
+	}
+
+	known := analysis.KnownNames()
+	var findings []analysis.Diagnostic
+	var fset = pkgs[0].Fset
+	audited := 0
+	for _, pkg := range pkgs {
+		if !analysis.Audited(pkg.Path) {
+			continue
+		}
+		audited++
+		for _, terr := range pkg.TypeErrs {
+			fmt.Fprintf(os.Stderr, "fclint: %s: type error: %v\n", pkg.Path, terr)
+		}
+		allows, bad := analysis.CollectAllows(pkg.Fset, pkg.Files, known)
+		findings = append(findings, bad...)
+		for _, a := range analysis.All {
+			diags, err := analysis.Run(a, pkg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fclint:", err)
+				os.Exit(2)
+			}
+			var scoped []analysis.Diagnostic
+			for _, d := range diags {
+				if !analysis.Exempt(a.Name, pkg.Fset.Position(d.Pos).Filename) {
+					scoped = append(scoped, d)
+				}
+			}
+			findings = append(findings, analysis.FilterAllowed(pkg.Fset, scoped, allows)...)
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		pi, pj := fset.Position(findings[i].Pos), fset.Position(findings[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	for _, d := range findings {
+		p := fset.Position(d.Pos)
+		fmt.Printf("%s:%d:%d: [%s] %s\n", p.Filename, p.Line, p.Column, d.Analyzer, d.Message)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "fclint: %d finding(s) in %d audited package(s)\n", len(findings), audited)
+		os.Exit(1)
+	}
+	fmt.Printf("fclint: ok (%d audited packages clean)\n", audited)
+}

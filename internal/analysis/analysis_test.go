@@ -1,0 +1,126 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ibflow/internal/analysis"
+	"ibflow/internal/analysis/analysistest"
+)
+
+func testdata(pkg string) string {
+	return filepath.Join("testdata", "src", pkg)
+}
+
+func TestSimWallclock(t *testing.T) {
+	analysistest.Run(t, analysis.SimWallclock, testdata("simwallclock"))
+}
+
+func TestSimGoroutine(t *testing.T) {
+	analysistest.Run(t, analysis.SimGoroutine, testdata("simgoroutine"))
+}
+
+func TestSimMapIter(t *testing.T) {
+	analysistest.Run(t, analysis.SimMapIter, testdata("simmapiter"))
+}
+
+func TestCreditMut(t *testing.T) {
+	analysistest.Run(t, analysis.CreditMut, testdata("creditmut"))
+}
+
+// TestAllowFiltering drives the suppression pipeline end to end over the
+// allow fixture: findings covered by a matching fclint:allow vanish,
+// uncovered or mismatched ones survive, and malformed suppressions are
+// diagnostics in their own right.
+func TestAllowFiltering(t *testing.T) {
+	pkg := analysistest.Load(t, testdata("allow"))
+	diags, err := analysis.Run(analysis.SimWallclock, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 4 {
+		t.Fatalf("raw diagnostics = %d, want 4 (three Sleeps and one Now): %v", len(diags), diags)
+	}
+
+	allows, bad := analysis.CollectAllows(pkg.Fset, pkg.Files, analysis.KnownNames())
+	if len(allows) != 3 {
+		t.Errorf("well-formed allows = %d, want 3", len(allows))
+	}
+	for _, a := range allows {
+		if a.Reason == "" {
+			t.Errorf("allow at %s:%d has empty reason", a.File, a.Line)
+		}
+	}
+	wantBad := []string{
+		"needs an analyzer name and a reason",
+		"unknown analyzer nosuchanalyzer",
+		"needs a reason",
+	}
+	if len(bad) != len(wantBad) {
+		t.Fatalf("malformed-suppression diagnostics = %d, want %d: %v", len(bad), len(wantBad), bad)
+	}
+	for i, d := range bad {
+		if !strings.Contains(d.Message, wantBad[i]) {
+			t.Errorf("bad[%d] = %q, want mention of %q", i, d.Message, wantBad[i])
+		}
+		if d.Analyzer != "fclint" {
+			t.Errorf("bad[%d].Analyzer = %q, want fclint", i, d.Analyzer)
+		}
+	}
+
+	kept := analysis.FilterAllowed(pkg.Fset, diags, allows)
+	if len(kept) != 2 {
+		t.Fatalf("after filtering %d diagnostics remain, want 2 (unsuppressed Now and the wrong-analyzer Sleep): %v",
+			len(kept), kept)
+	}
+	var msgs []string
+	for _, d := range kept {
+		msgs = append(msgs, d.Message)
+	}
+	joined := strings.Join(msgs, "\n")
+	if !strings.Contains(joined, "time.Now") || !strings.Contains(joined, "time.Sleep") {
+		t.Errorf("surviving findings = %v, want one time.Now and one time.Sleep", msgs)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	known := analysis.KnownNames()
+	for _, name := range []string{"simwallclock", "simgoroutine", "simmapiter", "creditmut"} {
+		if !known[name] {
+			t.Errorf("analyzer %s missing from registry", name)
+		}
+	}
+	if len(analysis.All) != 4 {
+		t.Errorf("len(All) = %d, want 4", len(analysis.All))
+	}
+
+	for _, path := range []string{
+		"ibflow/internal/sim",
+		"ibflow/internal/sim_test", // external test package audits with its subject
+		"ibflow/internal/nas",
+	} {
+		if !analysis.Audited(path) {
+			t.Errorf("Audited(%q) = false, want true", path)
+		}
+	}
+	for _, path := range []string{
+		"ibflow/internal/analysis",
+		"ibflow/internal/simulator", // prefix of an audited path must not match
+		"ibflow/cmd/fclint",
+	} {
+		if analysis.Audited(path) {
+			t.Errorf("Audited(%q) = true, want false", path)
+		}
+	}
+
+	if !analysis.Exempt("simgoroutine", "/root/repo/internal/sim/proc.go") {
+		t.Error("proc.go should be exempt from simgoroutine")
+	}
+	if analysis.Exempt("simwallclock", "/root/repo/internal/sim/proc.go") {
+		t.Error("proc.go must not be exempt from simwallclock")
+	}
+	if analysis.Exempt("simgoroutine", "/root/repo/internal/sim/sim.go") {
+		t.Error("sim.go must not be exempt from simgoroutine")
+	}
+}

@@ -1,0 +1,174 @@
+// Package analysistest runs one fclint analyzer over a self-contained
+// testdata package and checks its diagnostics against expectations written
+// as comments in the source, in the style of
+// golang.org/x/tools/go/analysis/analysistest:
+//
+//	time.Sleep(d) // want `wall-clock time\.Sleep in simulation code`
+//
+// A `// want` comment carries one or more quoted regular expressions; each
+// must match a distinct diagnostic reported on that line. Diagnostics with
+// no matching expectation, and expectations with no matching diagnostic,
+// both fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ibflow/internal/analysis"
+)
+
+// Load parses and type-checks the single Go package rooted at dir. The
+// testdata may import only the standard library (resolved from source);
+// any parse or type error fails the test, keeping the fixtures honest.
+func Load(t *testing.T, dir string) *analysis.LoadedPackage {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading testdata dir: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing testdata: %v", err)
+		}
+		files = append(files, f)
+		names = append(names, path)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no Go files in %s", dir)
+	}
+	var terrs []error
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+		Error:    func(err error) { terrs = append(terrs, err) },
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	tpkg, _ := conf.Check(files[0].Name.Name, fset, files, info)
+	for _, err := range terrs {
+		t.Errorf("testdata must type-check cleanly: %v", err)
+	}
+	return &analysis.LoadedPackage{
+		Path: files[0].Name.Name, Dir: dir, FileNames: names,
+		Fset: fset, Files: files, Types: tpkg, Info: info, TypeErrs: terrs,
+	}
+}
+
+// Run loads the package in dir, runs analyzer a over it, and checks the
+// diagnostics against the package's `// want` comments.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	pkg := Load(t, dir)
+	diags, err := analysis.Run(a, pkg)
+	if err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+	Check(t, pkg, diags)
+}
+
+// want is one expectation parsed from a `// want` comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Check matches diags against the `// want` comments in pkg's sources.
+func Check(t *testing.T, pkg *analysis.LoadedPackage, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	index := map[string][]*want{} // "file:line" -> expectations there
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, w := range parseWants(t, pkg.Fset, c) {
+					wants = append(wants, w)
+					key := fmt.Sprintf("%s:%d", w.file, w.line)
+					index[key] = append(index[key], w)
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		p := pkg.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", p.Filename, p.Line)
+		found := false
+		for _, w := range index[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: [%s] %s", key, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %s", w.file, w.line, w.re)
+		}
+	}
+}
+
+// parseWants extracts the expectations from one comment. A `// want`
+// comment holds one or more Go string literals (quoted or backquoted),
+// each a regular expression.
+func parseWants(t *testing.T, fset *token.FileSet, c *ast.Comment) []*want {
+	t.Helper()
+	text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+	if !strings.HasPrefix(text, "want ") {
+		return nil
+	}
+	pos := fset.Position(c.Pos())
+	rest := strings.TrimSpace(strings.TrimPrefix(text, "want"))
+	var out []*want
+	for rest != "" {
+		lit, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			t.Errorf("%s:%d: malformed want comment at %q: %v", pos.Filename, pos.Line, rest, err)
+			return out
+		}
+		expr, err := strconv.Unquote(lit)
+		if err != nil {
+			t.Errorf("%s:%d: unquoting %s: %v", pos.Filename, pos.Line, lit, err)
+			return out
+		}
+		re, err := regexp.Compile(expr)
+		if err != nil {
+			t.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, expr, err)
+			return out
+		}
+		out = append(out, &want{file: pos.Filename, line: pos.Line, re: re})
+		rest = strings.TrimSpace(rest[len(lit):])
+	}
+	if len(out) == 0 {
+		t.Errorf("%s:%d: want comment carries no expectations", pos.Filename, pos.Line)
+	}
+	return out
+}

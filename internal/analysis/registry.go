@@ -1,0 +1,63 @@
+package analysis
+
+import "strings"
+
+// All is the fclint analyzer suite.
+var All = []*Analyzer{SimWallclock, SimGoroutine, SimMapIter, CreditMut}
+
+// KnownNames maps analyzer names, for validating fclint:allow comments.
+func KnownNames() map[string]bool {
+	m := make(map[string]bool, len(All))
+	for _, a := range All {
+		m[a.Name] = true
+	}
+	return m
+}
+
+// AuditedPackages are the simulation packages bound by the determinism
+// contract: inside them only virtual time, engine-serialized processes and
+// audited credit accounting are legal. Test files are audited too —
+// a nondeterministic test is as flaky as a nondeterministic model — with
+// //fclint:allow escape hatches for the few legitimate wall-clock uses.
+var AuditedPackages = []string{
+	"ibflow/internal/sim",
+	"ibflow/internal/ib",
+	"ibflow/internal/core",
+	"ibflow/internal/chdev",
+	"ibflow/internal/mpi",
+	"ibflow/internal/coll",
+	"ibflow/internal/nas",
+	"ibflow/internal/rdc",
+	"ibflow/internal/pfs",
+	"ibflow/internal/dsm",
+}
+
+// Audited reports whether the package at path falls under the determinism
+// contract. External test packages ("..._test") audit with their subject.
+func Audited(path string) bool {
+	path = strings.TrimSuffix(path, "_test")
+	for _, p := range AuditedPackages {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// ExemptFiles lists, per analyzer, path suffixes of files excluded from
+// that analyzer. The engine's own process machinery is the one sanctioned
+// home of goroutines and channels: it is what makes them unnecessary
+// everywhere else.
+var ExemptFiles = map[string][]string{
+	SimGoroutine.Name: {"internal/sim/proc.go"},
+}
+
+// Exempt reports whether file is excluded from analyzer name's findings.
+func Exempt(name, file string) bool {
+	for _, suffix := range ExemptFiles[name] {
+		if strings.HasSuffix(file, suffix) {
+			return true
+		}
+	}
+	return false
+}

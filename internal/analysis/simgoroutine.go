@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// syncPrimitives are the sync types whose presence in simulation code
+// signals real (preemptive) concurrency. Under the engine-serialized
+// process model they are dead weight at best and a hidden race at worst:
+// shared simulation state must be protected by the engine, not by locks.
+var syncPrimitives = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true, "Cond": true, "Locker": true,
+}
+
+// SimGoroutine flags raw goroutines, sync primitives and bare channel
+// operations in simulation packages. Simulated concurrency must go through
+// (*sim.Engine).Go / GoDaemon and sim.Cond, which the engine serializes;
+// anything else executes outside virtual time and races with the engine.
+var SimGoroutine = &Analyzer{
+	Name: "simgoroutine",
+	Doc: "forbid raw go statements, sync.Mutex/WaitGroup and bare channels in simulation code; " +
+		"spawn with (*sim.Engine).Go and synchronize with sim.Cond so the engine serializes everything",
+	Run: runSimGoroutine,
+}
+
+func runSimGoroutine(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(),
+					"raw go statement bypasses the engine-serialized process model; use (*sim.Engine).Go or GoDaemon")
+			case *ast.SelectorExpr:
+				if pkgNameOf(pass.TypesInfo, n.X) == "sync" && syncPrimitives[n.Sel.Name] {
+					pass.Reportf(n.Pos(),
+						"sync.%s in simulation code; the engine already serializes processes — use sim.Cond for waiting",
+						n.Sel.Name)
+				}
+			case *ast.ChanType:
+				pass.Reportf(n.Pos(),
+					"bare channel bypasses the engine-serialized process model; use sim.Cond or engine events")
+				return false // don't re-flag the element type
+			case *ast.SendStmt:
+				pass.Reportf(n.Pos(),
+					"channel send executes outside virtual time; use sim.Cond.Signal/Broadcast or engine events")
+			case *ast.UnaryExpr:
+				if n.Op.String() == "<-" {
+					pass.Reportf(n.Pos(),
+						"channel receive executes outside virtual time; use sim.Cond.Wait or engine events")
+				}
+			case *ast.SelectStmt:
+				pass.Reportf(n.Pos(),
+					"select statement implies real concurrency; simulated processes wait with sim.Cond")
+			case *ast.RangeStmt:
+				if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						pass.Reportf(n.Pos(),
+							"range over channel executes outside virtual time; use sim.Cond or engine events")
+					}
+				}
+			case *ast.CallExpr:
+				if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "close" {
+					if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "close" {
+						pass.Reportf(n.Pos(),
+							"close of a bare channel; channel lifecycles belong to the engine (sim.Engine.Close)")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,205 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// orderSafeBuiltins are builtins whose use inside a map-range body does not
+// make the iteration order observable.
+var orderSafeBuiltins = map[string]bool{
+	"len": true, "cap": true, "append": true, "copy": true, "delete": true,
+	"make": true, "new": true, "min": true, "max": true,
+	"real": true, "imag": true, "complex": true,
+}
+
+// SimMapIter flags `range` over a map whose body has order-dependent
+// effects — it calls functions (emitting events or sending messages in map
+// order), sends on channels, or plain-assigns to state declared outside
+// the loop. Go randomizes map iteration order per run, so any such loop
+// breaks run-to-run determinism. Pure aggregation (x += v, n++) and the
+// collect-keys-then-sort idiom (keys = append(keys, k)) are allowed.
+var SimMapIter = &Analyzer{
+	Name: "simmapiter",
+	Doc: "forbid map iteration with order-dependent effects in simulation code; " +
+		"collect the keys, sort them, and range over the sorted slice instead",
+	Run: runSimMapIter,
+}
+
+func runSimMapIter(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if why := mapBodyEffect(pass, rs); why != "" {
+				pass.Reportf(rs.Pos(),
+					"order-dependent iteration over map: %s; collect the keys, sort them, and range over the sorted slice",
+					why)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// mapBodyEffect reports the first order-dependent effect in the body of
+// map-range rs, or "".
+func mapBodyEffect(pass *Pass, rs *ast.RangeStmt) string {
+	var why string
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if why != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			why = "body sends on a channel"
+		case *ast.GoStmt:
+			why = "body spawns a goroutine"
+		case *ast.DeferStmt:
+			why = "body defers a call"
+		case *ast.CallExpr:
+			if callIsOrderSafe(pass, n) {
+				return true
+			}
+			why = "body calls " + callName(n) + " in map order"
+		case *ast.AssignStmt:
+			if n.Tok != token.ASSIGN {
+				return true // := declares; compound ops accumulate
+			}
+			for i, lhs := range n.Lhs {
+				if selfAppend(n, i) {
+					continue // keys = append(keys, k): the sort idiom
+				}
+				if writesOuterState(pass, rs, lhs) {
+					why = "body assigns to state declared outside the loop"
+					break
+				}
+			}
+		case *ast.IncDecStmt:
+			// Commutative accumulation; order-independent for integers.
+			return true
+		}
+		return why == ""
+	})
+	return why
+}
+
+// callIsOrderSafe reports whether call is a conversion or an order-safe
+// builtin.
+func callIsOrderSafe(pass *Pass, call *ast.CallExpr) bool {
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		return true // type conversion
+	}
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+		return orderSafeBuiltins[b.Name()]
+	}
+	return false
+}
+
+// selfAppend reports whether assignment a's i-th pair is `x = append(x, ...)`.
+func selfAppend(a *ast.AssignStmt, i int) bool {
+	if len(a.Rhs) != len(a.Lhs) {
+		return false
+	}
+	lhs, ok := a.Lhs[i].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := a.Rhs[i].(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	if fn, ok := unparen(call.Fun).(*ast.Ident); !ok || fn.Name != "append" {
+		return false
+	}
+	arg0, ok := call.Args[0].(*ast.Ident)
+	return ok && arg0.Name == lhs.Name
+}
+
+// writesOuterState reports whether assigning to lhs mutates something
+// declared outside the range statement rs.
+func writesOuterState(pass *Pass, rs *ast.RangeStmt, lhs ast.Expr) bool {
+	switch lhs := unparen(lhs).(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			return false
+		}
+		return declaredOutside(pass, rs, lhs)
+	case *ast.SelectorExpr:
+		base := rootIdent(lhs.X)
+		return base == nil || declaredOutside(pass, rs, base)
+	case *ast.IndexExpr:
+		base := rootIdent(lhs.X)
+		return base == nil || declaredOutside(pass, rs, base)
+	case *ast.StarExpr:
+		base := rootIdent(lhs.X)
+		return base == nil || declaredOutside(pass, rs, base)
+	}
+	return true // unknown form: be conservative
+}
+
+// declaredOutside reports whether id's object is declared outside rs
+// (the range variables themselves count as inside).
+func declaredOutside(pass *Pass, rs *ast.RangeStmt, id *ast.Ident) bool {
+	obj := pass.TypesInfo.ObjectOf(id)
+	if obj == nil {
+		return true
+	}
+	return obj.Pos() < rs.Pos() || obj.Pos() >= rs.End()
+}
+
+// rootIdent walks to the base identifier of a selector/index/deref chain.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// callName renders a short name for the called function, for diagnostics.
+func callName(call *ast.CallExpr) string {
+	switch f := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		if id, ok := unparen(f.X).(*ast.Ident); ok {
+			return id.Name + "." + f.Sel.Name
+		}
+		return f.Sel.Name
+	}
+	return "a function"
+}

@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// wallClockFuncs are the time-package functions that read or wait on the
+// host's wall clock. Using one inside simulation code couples results to
+// real time and breaks run-to-run reproducibility. Pure conversions and
+// constants (time.Duration, time.Millisecond, ...) are fine and not listed.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Sleep": true, "After": true, "AfterFunc": true,
+	"Tick": true, "NewTimer": true, "NewTicker": true,
+	"Since": true, "Until": true,
+}
+
+// seededRandOK are the math/rand names that construct explicitly seeded
+// generators; everything else on the package (Intn, Float64, Shuffle, ...)
+// drives the shared global source, whose seed is not under the
+// simulation's control.
+var seededRandOK = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"Source": true, "Rand": true, "Zipf": true,
+}
+
+// SimWallclock flags wall-clock and global-PRNG use in simulation
+// packages, where only the virtual clock (sim.Engine / sim.Proc) and
+// explicitly seeded generators are legal.
+var SimWallclock = &Analyzer{
+	Name: "simwallclock",
+	Doc: "forbid wall-clock time and the global math/rand source in simulation code; " +
+		"virtual time (sim.Engine/Proc) and seeded rand.New generators keep runs reproducible",
+	Run: runSimWallclock,
+}
+
+func runSimWallclock(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch pkgNameOf(pass.TypesInfo, sel.X) {
+			case "time":
+				if wallClockFuncs[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(),
+						"wall-clock time.%s in simulation code; use the virtual clock (sim.Engine/Proc)",
+						sel.Sel.Name)
+				}
+			case "math/rand", "math/rand/v2":
+				if !seededRandOK[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(),
+						"global PRNG rand.%s is not seeded by the simulation; use rand.New(rand.NewSource(seed))",
+						sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

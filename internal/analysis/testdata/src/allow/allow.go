@@ -1,0 +1,29 @@
+// Package allow exercises fclint:allow suppression parsing and
+// filtering: well-formed suppressions silence a finding on their own line
+// or the line below; malformed ones are themselves findings.
+package allow
+
+import "time"
+
+func suppressedSameLine() {
+	time.Sleep(time.Millisecond) //fclint:allow simwallclock testdata exercises same-line suppression
+}
+
+func suppressedLineAbove() {
+	//fclint:allow simwallclock testdata exercises line-above suppression
+	time.Sleep(time.Millisecond)
+}
+
+func notSuppressed() time.Time {
+	return time.Now() // survives filtering: no suppression anywhere near
+}
+
+func wrongAnalyzer() {
+	time.Sleep(time.Millisecond) //fclint:allow simgoroutine suppression names the wrong analyzer, finding survives
+}
+
+func malformed() {
+	//fclint:allow
+	//fclint:allow nosuchanalyzer some reason text
+	//fclint:allow simwallclock
+}

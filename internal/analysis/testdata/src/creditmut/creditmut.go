@@ -1,0 +1,60 @@
+// Package creditmut exercises the creditmut analyzer: writes to
+// credit-accounting fields are legal only inside the owning type's
+// methods (and closures within them); everything else is flagged.
+package creditmut
+
+type vc struct {
+	credits    int
+	owed       int
+	posted     int
+	backlog    int
+	shrinkDebt int
+	limit      int // not a credit field
+}
+
+// Methods of the owning type are the audited accounting API.
+func (v *vc) addCredits(n int) {
+	v.credits += n
+	v.owed++
+}
+
+func (v *vc) take() int {
+	n := v.owed
+	v.owed = 0
+	return n
+}
+
+// closureInsideOwnerOK: a closure inside the manager's method is still
+// the manager.
+func (v *vc) closureInsideOwnerOK() {
+	f := func() { v.credits++ }
+	f()
+	v.limit = 99 // not a credit field
+}
+
+type device struct {
+	vc *vc
+}
+
+func (d *device) progress() {
+	d.vc.credits--   // want `write to credit field vc\.credits outside vc's methods`
+	d.vc.backlog = 0 // want `write to credit field vc\.backlog outside vc's methods`
+}
+
+func steal(v *vc) *int {
+	v.posted++        // want `write to credit field vc\.posted outside vc's methods`
+	v.shrinkDebt += 2 // want `write to credit field vc\.shrinkDebt outside vc's methods`
+	return &v.owed    // want `taking the address of credit field vc\.owed outside vc's methods`
+}
+
+func (d *device) closureInheritsReceiver() func() {
+	return func() {
+		d.vc.credits = 0 // want `write to credit field vc\.credits outside vc's methods`
+	}
+}
+
+// readsOK: reading credit state from anywhere is fine; only mutation is
+// confined to the manager.
+func readsOK(v *vc) int {
+	return v.credits + v.owed + v.posted
+}

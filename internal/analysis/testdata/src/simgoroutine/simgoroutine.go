@@ -1,0 +1,42 @@
+// Package simgoroutine exercises the simgoroutine analyzer: raw
+// goroutines, sync primitives and bare channel machinery are flagged;
+// ordinary sequential code is not.
+package simgoroutine
+
+import "sync"
+
+func work() {}
+
+func spawn() {
+	go work() // want `raw go statement bypasses the engine-serialized process model`
+}
+
+func locks() {
+	var mu sync.Mutex // want `sync\.Mutex in simulation code`
+	mu.Lock()
+	mu.Unlock()
+	var wg sync.WaitGroup // want `sync\.WaitGroup in simulation code`
+	wg.Wait()
+}
+
+func channels() {
+	ch := make(chan int, 1) // want `bare channel bypasses the engine-serialized process model`
+	ch <- 1                 // want `channel send executes outside virtual time`
+	<-ch                    // want `channel receive executes outside virtual time`
+	close(ch)               // want `close of a bare channel`
+	for range ch {          // want `range over channel executes outside virtual time`
+	}
+	select {} // want `select statement implies real concurrency`
+}
+
+// sequentialOK: plain loops, negation and function values are untouched.
+func sequentialOK() int {
+	xs := []int{1, 2, 3}
+	total := 0
+	for _, x := range xs {
+		total += -x
+	}
+	f := work
+	f()
+	return total
+}

@@ -1,0 +1,75 @@
+// Package simmapiter exercises the simmapiter analyzer: map ranges with
+// order-dependent effects are flagged; commutative aggregation and the
+// collect-keys-then-sort idiom are not.
+package simmapiter
+
+import "sort"
+
+func emit(k string) {}
+
+func flaggedCalls(m map[string]int) {
+	for k := range m { // want `order-dependent iteration over map: body calls emit in map order`
+		emit(k)
+	}
+}
+
+func flaggedSend(m map[string]int, out chan string) {
+	for k := range m { // want `order-dependent iteration over map: body sends on a channel`
+		out <- k
+	}
+}
+
+func flaggedSpawn(m map[string]int) {
+	for k := range m { // want `order-dependent iteration over map: body spawns a goroutine`
+		go emit(k)
+	}
+}
+
+func flaggedDefer(m map[string]int) {
+	for k := range m { // want `order-dependent iteration over map: body defers a call`
+		defer emit(k)
+	}
+}
+
+func flaggedAssign(m map[string]int) string {
+	last := ""
+	for k := range m { // want `order-dependent iteration over map: body assigns to state declared outside the loop`
+		last = k
+	}
+	return last
+}
+
+// aggregateOK: compound assignment and increments commute, so iteration
+// order cannot be observed.
+func aggregateOK(m map[string]int) (int, int) {
+	total, n := 0, 0
+	for _, v := range m {
+		total += v
+		n++
+	}
+	return total, n
+}
+
+// sortIdiomOK is the canonical deterministic replacement: collect the
+// keys, sort them, then iterate in sorted order.
+func sortIdiomOK(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		emit(k)
+	}
+}
+
+// localStateOK: writes confined to variables declared inside the loop
+// body cannot leak iteration order.
+func localStateOK(m map[string]int) {
+	for k, v := range m {
+		doubled := v * 2
+		doubled++
+		_ = doubled
+		_ = k
+	}
+}

@@ -1,0 +1,38 @@
+// Package simwallclock exercises the simwallclock analyzer: wall-clock
+// reads and the shared global PRNG are flagged; duration arithmetic and
+// explicitly seeded generators are not.
+package simwallclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Time {
+	time.Sleep(time.Millisecond)           // want `wall-clock time\.Sleep in simulation code`
+	t := time.Now()                        // want `wall-clock time\.Now in simulation code`
+	<-time.After(time.Second)              // want `wall-clock time\.After in simulation code`
+	time.AfterFunc(time.Second, func() {}) // want `wall-clock time\.AfterFunc in simulation code`
+	_ = time.Since(t)                      // want `wall-clock time\.Since in simulation code`
+	tick := time.NewTicker(time.Second)    // want `wall-clock time\.NewTicker in simulation code`
+	tick.Stop()
+	return t
+}
+
+func globalPRNG() int {
+	rand.Shuffle(3, func(i, j int) {}) // want `global PRNG rand\.Shuffle is not seeded by the simulation`
+	return rand.Intn(10)               // want `global PRNG rand\.Intn is not seeded by the simulation`
+}
+
+// durationsOK: pure conversions and constants never touch the host clock.
+func durationsOK() time.Duration {
+	d := 3 * time.Millisecond
+	return d + time.Duration(42)
+}
+
+// seededOK: an explicitly seeded generator is reproducible, and methods on
+// it are not package-level rand calls.
+func seededOK() int {
+	rng := rand.New(rand.NewSource(42))
+	return rng.Intn(10)
+}

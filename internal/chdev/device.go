@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"ibflow/internal/core"
+	"ibflow/internal/debug"
 	"ibflow/internal/ib"
 	"ibflow/internal/mem"
 	"ibflow/internal/sim"
@@ -251,6 +252,20 @@ func (d *Device) announceSlots(c *conn, mr *ib.MR, n int) {
 	}
 }
 
+// pushBacklog appends a held-back send to the connection's backlog queue.
+// The queue and the VC's backlog counter move together; fclint's creditmut
+// analyzer keeps all other code out of the field.
+func (c *conn) pushBacklog(e backlogEntry) {
+	c.backlog = append(c.backlog, e)
+}
+
+// popBacklog removes and returns the backlog head.
+func (c *conn) popBacklog() backlogEntry {
+	e := c.backlog[0]
+	c.backlog = c.backlog[1:]
+	return e
+}
+
 // releaseSlots moves n slots from the in-flight list back to the free
 // list; the receiver processes (and therefore frees) slots in write
 // order, so the FIFO head is always the slot a returning credit means.
@@ -407,7 +422,7 @@ func (d *Device) sendRndvPath(p *sim.Proc, c *conn, tag int, comm uint16, data [
 		if len(c.backlog) > 0 {
 			out.starved = true
 			c.vc.QueueFree()
-			c.backlog = append(c.backlog, backlogEntry{rndv: out})
+			c.pushBacklog(backlogEntry{rndv: out})
 			return
 		}
 		d.sendRTS(p, c, out, false)
@@ -416,7 +431,7 @@ func (d *Device) sendRndvPath(p *sim.Proc, c *conn, tag int, comm uint16, data [
 	consumed, queue := c.vc.DecideRTS()
 	if queue {
 		out.starved = true
-		c.backlog = append(c.backlog, backlogEntry{rndv: out})
+		c.pushBacklog(backlogEntry{rndv: out})
 		d.drainBacklog(p, c)
 		return
 	}
@@ -484,7 +499,7 @@ func (d *Device) enqueueEager(p *sim.Proc, c *conn, tag int, comm uint16, data [
 	h.Encode(buf)
 	copy(buf[HeaderSize:], data)
 	p.Sleep(d.cfg.CopyTime(HeaderSize + len(data)))
-	c.backlog = append(c.backlog, backlogEntry{buf: buf, n: HeaderSize + len(data)})
+	c.pushBacklog(backlogEntry{buf: buf, n: HeaderSize + len(data)})
 	d.handler.SendDone(token)
 }
 
@@ -505,7 +520,7 @@ func (d *Device) drainBacklog(p *sim.Proc, c *conn) bool {
 				}
 				consumed = true
 			}
-			c.backlog = c.backlog[1:]
+			c.popBacklog()
 			d.tr(trace.Drained, c.peer, 0)
 			d.sendRTS(p, c, e.rndv, consumed)
 			did = true
@@ -514,7 +529,7 @@ func (d *Device) drainBacklog(p *sim.Proc, c *conn) bool {
 		if !c.vc.CanDrainBacklog() {
 			break
 		}
-		c.backlog = c.backlog[1:]
+		c.popBacklog()
 		d.tr(trace.Drained, c.peer, int64(e.n))
 		binary.LittleEndian.PutUint32(e.buf[16:], uint32(c.vc.TakePiggyback()))
 		d.postEagerPacket(c, e.buf, e.n)
@@ -665,11 +680,25 @@ func (d *Device) ProgressOnce(p *sim.Proc) bool {
 		if d.drainBacklog(p, c) {
 			did = true
 		}
-		if d.cfg.Debug {
-			c.vc.CheckInvariants()
-		}
+		d.debugCheckConn(c)
 	}
 	return did
+}
+
+// debugCheckConn validates a connection's credit state: the VC's own
+// invariants plus agreement between the queued backlog entries and the
+// VC's backlog counter, which pushBacklog/popBacklog and the
+// QueueFree/DrainFree counters must keep in lockstep. It runs under the
+// per-run Debug switch or an ibdebug build, and compiles away otherwise.
+func (d *Device) debugCheckConn(c *conn) {
+	if !debug.Enabled && !d.cfg.Debug {
+		return
+	}
+	c.vc.CheckInvariants()
+	if got, want := len(c.backlog), c.vc.BacklogLen(); got != want {
+		panic(fmt.Sprintf("chdev: rank %d peer %d: backlog queue has %d entries but VC counter says %d",
+			d.rank, c.peer, got, want))
+	}
 }
 
 // flushCredits sends explicit credit messages for connections whose owed

@@ -27,14 +27,18 @@ func TestHeaderRoundTrip(t *testing.T) {
 }
 
 func TestPacketTypeStringsAndControl(t *testing.T) {
-	cases := map[PktType]string{
-		PktEager:  "EAGER",
-		PktRTS:    "RTS",
-		PktCTS:    "CTS",
-		PktFin:    "FIN",
-		PktCredit: "CREDIT",
+	cases := []struct {
+		ty   PktType
+		want string
+	}{
+		{PktEager, "EAGER"},
+		{PktRTS, "RTS"},
+		{PktCTS, "CTS"},
+		{PktFin, "FIN"},
+		{PktCredit, "CREDIT"},
 	}
-	for ty, want := range cases {
+	for _, tc := range cases {
+		ty, want := tc.ty, tc.want
 		if ty.String() != want {
 			t.Errorf("%d.String() = %q", ty, ty.String())
 		}

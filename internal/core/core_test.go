@@ -276,7 +276,7 @@ func TestCheckInvariantsCatchesCorruption(t *testing.T) {
 	p := Static(2)
 	vc := NewVC(&p)
 	vc.CheckInvariants() // healthy
-	vc.credits = -1
+	vc.credits = -1      //fclint:allow creditmut deliberate corruption to prove CheckInvariants catches it
 	defer func() {
 		if recover() == nil {
 			t.Error("no panic on negative credits")

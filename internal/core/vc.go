@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"ibflow/internal/debug"
 	"ibflow/internal/sim"
 )
 
@@ -73,12 +74,13 @@ type VC struct {
 // NewVC creates the flow control state for one end of a connection.
 // Params must have been validated.
 func NewVC(p *Params) *VC {
-	vc := &VC{params: p, posted: p.Prepost}
+	credits := 0
 	if p.UserLevel() {
 		// Initial credits equal the peer's initial pre-post count;
 		// configuration is uniform across the job, as in the paper.
-		vc.credits = p.Prepost
+		credits = p.Prepost
 	}
+	vc := &VC{params: p, posted: p.Prepost, credits: credits}
 	vc.stats.MaxPosted = vc.posted
 	return vc
 }
@@ -110,6 +112,9 @@ func (vc *VC) CountMsg() { vc.stats.MsgsSent++ }
 // backlog forces ActionBacklog regardless, preserving MPI's non-overtaking
 // order.
 func (vc *VC) DecideEager(canDemote bool) Action {
+	if debug.Enabled {
+		defer vc.debugCheck()
+	}
 	if !vc.params.UserLevel() {
 		vc.stats.EagerSent++
 		return ActionSend
@@ -139,6 +144,9 @@ func (vc *VC) DecideEager(canDemote bool) Action {
 // self-regulation of the paper's Figures 7-8. consumed reports whether a
 // credit was taken; queue tells the device to backlog the RTS.
 func (vc *VC) DecideRTS() (consumed, queue bool) {
+	if debug.Enabled {
+		defer vc.debugCheck()
+	}
 	if !vc.params.UserLevel() {
 		return false, false
 	}
@@ -163,6 +171,7 @@ func (vc *VC) QueueFree() {
 	if vc.backlog > vc.stats.MaxBacklogLen {
 		vc.stats.MaxBacklogLen = vc.backlog
 	}
+	vc.debugCheck()
 }
 
 // DrainFree accounts for a credit-free backlog entry leaving the queue.
@@ -171,6 +180,7 @@ func (vc *VC) DrainFree() {
 		panic("core: DrainFree with empty backlog")
 	}
 	vc.backlog--
+	vc.debugCheck()
 }
 
 // CanDrainBacklog reports whether the device may send the next backlogged
@@ -185,6 +195,7 @@ func (vc *VC) CanDrainBacklog() bool {
 	vc.backlog--
 	vc.credits--
 	vc.stats.EagerSent++
+	vc.debugCheck()
 	return true
 }
 
@@ -197,6 +208,7 @@ func (vc *VC) AddCredits(n int) {
 		panic("core: negative credit return")
 	}
 	vc.credits += n
+	vc.debugCheck()
 }
 
 // --- Receiver side -------------------------------------------------------
@@ -207,6 +219,9 @@ func (vc *VC) AddCredits(n int) {
 // optimistically (control). It returns true if the buffer should be
 // re-posted, false if it should be retired (shrinking).
 func (vc *VC) BufferProcessed(consumedCredit bool, now sim.Time) (repost bool) {
+	if debug.Enabled {
+		defer vc.debugCheck()
+	}
 	if !vc.params.UserLevel() {
 		return true
 	}
@@ -286,6 +301,9 @@ func (vc *VC) OnStarvedFeedbackRDMA(now sim.Time) int {
 }
 
 func (vc *VC) grow(now sim.Time, owe bool) int {
+	if debug.Enabled {
+		defer vc.debugCheck()
+	}
 	vc.lastPressure = now
 	if vc.params.Kind != KindDynamic {
 		return 0
@@ -335,6 +353,26 @@ func (vc *VC) MaybeShrink(now sim.Time) {
 	}
 	vc.shrinkDebt = vc.posted - p.ShrinkFloor
 	vc.lastPressure = now
+}
+
+// debugCheck re-verifies the invariants after every credit mutation when
+// built with the ibdebug tag; otherwise it compiles to nothing. Note that
+// owed <= posted is deliberately NOT asserted: shrink retires buffers
+// while earlier owed credits still await their ride back, so owed may
+// transiently exceed posted. The cross-endpoint conservation law is
+// checked by TestPropertyCreditConservation instead.
+func (vc *VC) debugCheck() {
+	if debug.Enabled {
+		vc.CheckInvariants()
+		debug.Assert(vc.shrinkDebt >= 0,
+			"negative shrink debt %d", vc.shrinkDebt)
+		if vc.params.Kind != KindDynamic {
+			debug.Assert(vc.shrinkDebt == 0,
+				"shrink debt %d on non-dynamic scheme", vc.shrinkDebt)
+			debug.Assert(vc.posted == vc.params.Prepost,
+				"posted %d drifted from fixed pre-post %d", vc.posted, vc.params.Prepost)
+		}
+	}
 }
 
 // CheckInvariants panics if the bookkeeping went inconsistent; tests and

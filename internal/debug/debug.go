@@ -1,0 +1,31 @@
+//go:build ibdebug
+
+// Package debug gates the simulator's runtime invariant checks behind the
+// `ibdebug` build tag.
+//
+// Built normally, Enabled is a false constant and every assertion compiles
+// to nothing, so the hot paths of core, chdev and ib pay zero cost. Built
+// with `go test -tags ibdebug ./...`, the checks run after every credit
+// mutation, progress pass and queue-pair operation: credit non-negativity
+// and conservation (internal/core), backlog-queue/counter agreement
+// (internal/chdev) and send-queue FIFO ordering (internal/ib).
+//
+// The per-run Debug switch (chdev.Config.Debug) enables the same chdev
+// checks dynamically without the tag; the tag additionally arms the
+// fine-grained per-mutation checks that would be too intrusive to toggle
+// at run time.
+package debug
+
+import "fmt"
+
+// Enabled reports whether the build carries the ibdebug tag.
+const Enabled = true
+
+// Assert panics with a formatted message when cond is false. Under the
+// default build it is an empty function; callers may rely on the compiler
+// discarding it and its arguments.
+func Assert(cond bool, format string, args ...any) {
+	if !cond {
+		panic("ibdebug: " + fmt.Sprintf(format, args...))
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !ibdebug
+
+package debug
+
+// Enabled reports whether the build carries the ibdebug tag.
+const Enabled = false
+
+// Assert is a no-op without the ibdebug build tag.
+func Assert(cond bool, format string, args ...any) {}

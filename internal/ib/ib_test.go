@@ -306,17 +306,22 @@ func TestSendWindowLimitsInFlightButCompletesAll(t *testing.T) {
 func TestRDMABoundsArePanics(t *testing.T) {
 	_, qp0, qp1, _, _ := pair(DefaultConfig())
 	mr := qp1.HCA().RegisterMemory(make([]byte, 8))
-	for name, fn := range map[string]func(){
-		"write": func() { qp0.PostWrite(1, make([]byte, 16), RemoteKey{MR: mr}) },
-		"read":  func() { qp0.PostRead(1, make([]byte, 16), RemoteKey{MR: mr}) },
+	// A slice, not a map: test execution order and failure output stay
+	// stable across runs (fclint simmapiter).
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"write", func() { qp0.PostWrite(1, make([]byte, 16), RemoteKey{MR: mr}) }},
+		{"read", func() { qp0.PostRead(1, make([]byte, 16), RemoteKey{MR: mr}) }},
 	} {
 		func() {
 			defer func() {
 				if recover() == nil {
-					t.Errorf("%s beyond region did not panic", name)
+					t.Errorf("%s beyond region did not panic", tc.name)
 				}
 			}()
-			fn()
+			tc.fn()
 		}()
 	}
 }
@@ -471,13 +476,16 @@ func TestCQWaitPollBlocksUntilEntry(t *testing.T) {
 }
 
 func TestEnumStrings(t *testing.T) {
-	for op, want := range map[Opcode]string{
-		OpSendComplete: "SEND", OpRecvComplete: "RECV",
-		OpWriteComplete: "RDMA_WRITE", OpReadComplete: "RDMA_READ",
-		OpRecvImm: "RECV_IMM", Opcode(99): "UNKNOWN",
+	for _, tc := range []struct {
+		op   Opcode
+		want string
+	}{
+		{OpSendComplete, "SEND"}, {OpRecvComplete, "RECV"},
+		{OpWriteComplete, "RDMA_WRITE"}, {OpReadComplete, "RDMA_READ"},
+		{OpRecvImm, "RECV_IMM"}, {Opcode(99), "UNKNOWN"},
 	} {
-		if op.String() != want {
-			t.Errorf("%d.String() = %q", op, op.String())
+		if tc.op.String() != tc.want {
+			t.Errorf("%d.String() = %q", tc.op, tc.op.String())
 		}
 	}
 	if StatusSuccess.String() != "OK" || StatusRNRRetryExceeded.String() != "RNR_RETRY_EXCEEDED" {

@@ -3,6 +3,7 @@ package ib
 import (
 	"fmt"
 
+	"ibflow/internal/debug"
 	"ibflow/internal/sim"
 	"ibflow/internal/trace"
 )
@@ -150,7 +151,27 @@ func (qp *QP) post(w *sendWQE) {
 	if len(qp.queue) > qp.stats.MaxQueueLen {
 		qp.stats.MaxQueueLen = len(qp.queue)
 	}
+	qp.debugCheckQueue()
 	qp.pump()
+}
+
+// debugCheckQueue asserts the send queue's FIFO numbering: every queued
+// WQE carries baseSeq plus its index, sendSeq points one past the tail,
+// and the in-flight cursor stays inside the queue. Only an ibdebug build
+// runs the scan; otherwise the whole method is dead code.
+func (qp *QP) debugCheckQueue() {
+	if !debug.Enabled {
+		return
+	}
+	debug.Assert(qp.next >= 0 && qp.next <= len(qp.queue),
+		"ib: QP %d in-flight cursor %d outside send queue of %d", qp.num, qp.next, len(qp.queue))
+	debug.Assert(qp.sendSeq == qp.baseSeq+uint64(len(qp.queue)),
+		"ib: QP %d sendSeq %d != baseSeq %d + %d queued", qp.num, qp.sendSeq, qp.baseSeq, len(qp.queue))
+	for i, w := range qp.queue {
+		debug.Assert(w.seq == qp.baseSeq+uint64(i),
+			"ib: QP %d send queue out of FIFO order: queue[%d].seq = %d, want %d",
+			qp.num, i, w.seq, qp.baseSeq+uint64(i))
+	}
 }
 
 // pump transmits queued WQEs up to the in-flight window.
@@ -290,6 +311,7 @@ func (qp *QP) retire(w *sendWQE) {
 		op = OpReadComplete
 	}
 	qp.sendCQ.push(WC{QP: qp, Opcode: op, Status: StatusSuccess, WRID: w.wrid, Len: w.wireLen()})
+	qp.debugCheckQueue()
 	qp.pump()
 }
 
@@ -313,12 +335,14 @@ func (qp *QP) onRNRNak(seq uint64) {
 		qp.queue = append(qp.queue[:idx], qp.queue[idx+1:]...)
 		qp.renumber()
 		qp.next = idx
+		qp.debugCheckQueue()
 		qp.sendCQ.push(WC{QP: qp, Opcode: OpSendComplete, Status: StatusRNRRetryExceeded, WRID: w.wrid})
 		qp.pump()
 		return
 	}
 	qp.stalled = true
 	qp.next = idx
+	qp.debugCheckQueue()
 	if qp.rnrTimer == nil {
 		qp.rnrTimer = sim.NewTimer(qp.hca.fabric.eng, func() {
 			qp.stalled = false

@@ -135,7 +135,7 @@ func (c *Comm) Irecv(src, tag int, buf []byte) *Request {
 	if c.r.matchUnex(req) {
 		return req
 	}
-	c.r.posted = append(c.r.posted, req)
+	c.r.postedRecvs = append(c.r.postedRecvs, req)
 	return req
 }
 

@@ -38,14 +38,14 @@ type unexEntry struct {
 // Rank is one MPI process: it owns the matching queues and implements the
 // channel device's upcall interface.
 type Rank struct {
-	world      *World
-	idx        int
-	dev        *chdev.Device
-	proc       *sim.Proc
-	posted     []*Request // posted receives, in post order
-	unex       []unexEntry
-	maxUnex    int
-	nextCommID uint16 // context ids handed out by Split
+	world       *World
+	idx         int
+	dev         *chdev.Device
+	proc        *sim.Proc
+	postedRecvs []*Request // posted receives, in post order
+	unex        []unexEntry
+	maxUnex     int
+	nextCommID  uint16 // context ids handed out by Split
 }
 
 func match(wantComm, comm uint16, wantSrc, wantTag, src, tag int) bool {
@@ -57,9 +57,9 @@ func match(wantComm, comm uint16, wantSrc, wantTag, src, tag int) bool {
 // findPosted removes and returns the first posted receive matching
 // (src, tag), or nil.
 func (r *Rank) findPosted(src, tag int, comm uint16) *Request {
-	for i, req := range r.posted {
+	for i, req := range r.postedRecvs {
 		if match(req.comm, comm, req.src, req.tag, src, tag) {
-			r.posted = append(r.posted[:i], r.posted[i+1:]...)
+			r.postedRecvs = append(r.postedRecvs[:i], r.postedRecvs[i+1:]...)
 			return req
 		}
 	}

@@ -83,7 +83,13 @@ func (c *Comm) Split(color, key int) *Comm {
 				groups[v.color] = append(groups[v.color], v)
 			}
 		}
-		for _, g := range groups {
+		colors := make([]int, 0, len(groups))
+		for color := range groups {
+			colors = append(colors, color)
+		}
+		sort.Ints(colors)
+		for _, color := range colors {
+			g := groups[color]
 			sort.Slice(g, func(i, j int) bool {
 				if g[i].key != g[j].key {
 					return g[i].key < g[j].key

@@ -1,0 +1,57 @@
+package nas
+
+import (
+	"testing"
+
+	"ibflow/internal/chdev"
+	"ibflow/internal/core"
+	"ibflow/internal/sim"
+)
+
+// runResult captures everything observable about one simulation run; every
+// field is comparable so two runs diff with ==.
+type runResult struct {
+	time   sim.Time
+	events uint64
+	total  chdev.Stats
+	ranks  []chdev.Stats
+}
+
+// TestDeterministicReplay is the determinism-contract regression test the
+// fclint analyzers exist to protect: running the same NAS kernel twice on
+// fresh engines must produce bit-identical virtual times, event counts and
+// per-rank statistics. Any wall-clock read, raw goroutine or
+// map-order-dependent event emission that slips past the linters shows up
+// here as a diff between the two runs.
+func TestDeterministicReplay(t *testing.T) {
+	run := func() *runResult {
+		w := runApp(t, "CG", ClassS, 4, core.Dynamic(2, 64))
+		res := &runResult{
+			time:   w.Time(),
+			events: w.Engine().EventsFired(),
+			total:  w.Stats(),
+		}
+		for i := 0; i < w.Size(); i++ {
+			res.ranks = append(res.ranks, w.RankStats(i))
+		}
+		w.Engine().Close()
+		return res
+	}
+
+	a, b := run(), run()
+	if a.time != b.time {
+		t.Errorf("virtual completion time differs between runs: %v vs %v", a.time, b.time)
+	}
+	if a.events != b.events {
+		t.Errorf("events fired differ between runs: %d vs %d", a.events, b.events)
+	}
+	if a.total != b.total {
+		t.Errorf("aggregate stats differ between runs:\n  first:  %+v\n  second: %+v", a.total, b.total)
+	}
+	for i := range a.ranks {
+		if a.ranks[i] != b.ranks[i] {
+			t.Errorf("rank %d stats differ between runs:\n  first:  %+v\n  second: %+v",
+				i, a.ranks[i], b.ranks[i])
+		}
+	}
+}

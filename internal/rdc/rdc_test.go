@@ -207,18 +207,21 @@ func TestUDOversizeAndBadTargetPanic(t *testing.T) {
 	f := ib.NewFabric(eng, ib.DefaultConfig(), 1)
 	cq := f.HCA(0).NewCQ()
 	qp := f.HCA(0).NewUDQP(cq, cq)
-	for name, fn := range map[string]func(){
-		"oversize": func() { qp.SendTo(1, 0, 0, make([]byte, ib.MaxUDPayload+1)) },
-		"badnode":  func() { qp.SendTo(1, 5, 0, []byte("x")) },
-		"badqpn":   func() { qp.SendTo(1, 0, 7, []byte("x")) },
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"oversize", func() { qp.SendTo(1, 0, 0, make([]byte, ib.MaxUDPayload+1)) }},
+		{"badnode", func() { qp.SendTo(1, 5, 0, []byte("x")) }},
+		{"badqpn", func() { qp.SendTo(1, 0, 7, []byte("x")) }},
 	} {
 		func() {
 			defer func() {
 				if recover() == nil {
-					t.Errorf("%s did not panic", name)
+					t.Errorf("%s did not panic", tc.name)
 				}
 			}()
-			fn()
+			tc.fn()
 		}()
 	}
 }

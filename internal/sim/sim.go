@@ -95,12 +95,14 @@ type Engine struct {
 	nlive  int     // processes that have not finished
 	cur    *Proc   // currently executing process, if any
 	fired  uint64  // total events executed, for stats/limits
+	//fclint:allow simgoroutine engine-internal shutdown broadcast that releases parked process goroutines
 	dead   chan struct{}
 	closed bool
 }
 
 // NewEngine creates an empty engine at virtual time zero.
 func NewEngine() *Engine {
+	//fclint:allow simgoroutine engine-internal shutdown broadcast channel (see Engine.dead)
 	return &Engine{dead: make(chan struct{})}
 }
 
@@ -112,7 +114,7 @@ func (e *Engine) Close() {
 		return
 	}
 	e.closed = true
-	close(e.dead)
+	close(e.dead) //fclint:allow simgoroutine closing the engine-internal shutdown broadcast channel
 }
 
 // Now returns the current virtual time.
