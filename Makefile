@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test debug race bench fmt
+.PHONY: all build vet lint test debug race cover bench fmt
 
 all: build vet lint test
 
@@ -23,7 +23,18 @@ debug:
 	$(GO) test -tags ibdebug ./...
 
 race:
-	$(GO) test -race ./internal/sim/... ./internal/mpi/...
+	$(GO) test -race ./...
+
+# cover fails if total statement coverage of internal/... drops below the
+# checked-in floor (coverage.baseline). Raise the floor when coverage
+# improves; never lower it to make a change pass.
+cover:
+	$(GO) test -coverprofile=coverage.out ./internal/...
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	floor=$$(cat coverage.baseline); \
+	echo "coverage: $$total% (floor: $$floor%)"; \
+	awk -v t="$$total" -v f="$$floor" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
+		{ echo "coverage $$total% fell below baseline $$floor%"; exit 1; }
 
 bench:
 	$(GO) test -bench=. -benchmem

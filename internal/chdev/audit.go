@@ -1,0 +1,86 @@
+package chdev
+
+import "fmt"
+
+// Audit verifies the cross-device conservation laws at the end of a run.
+// It must be called at quiescence (after MPI finalize settles the job):
+// every device idle, every completion drained, every owed credit flushed.
+// The invariants checked, per connected pair (A→B direction):
+//
+//   - zero credit leak: every credit B ever granted is either back in A's
+//     sender-side pool or still owed at B awaiting a ride, i.e.
+//     A.credits + B.owed == B.posted (user-level schemes);
+//   - message conservation: every message A's QP transmitted was accepted
+//     by B's QP (Delivered counts first acceptances only);
+//   - no stranded work: empty backlogs, no queued WQEs, no rendezvous in
+//     flight, no degraded connection;
+//   - RDMA eager channel: A's free-slot view matches its credit view.
+//
+// It returns a descriptive error naming the first violated invariant, or
+// nil if every law holds.
+func Audit(devs []*Device) error {
+	for i, d := range devs {
+		if d.rank != i {
+			return fmt.Errorf("chdev audit: devs[%d] has rank %d (must be indexed by rank)", i, d.rank)
+		}
+	}
+	for _, d := range devs {
+		if !d.Quiescent() {
+			return fmt.Errorf("chdev audit: rank %d not quiescent", d.rank)
+		}
+		if n := d.PendingCompletions(); n > 0 {
+			return fmt.Errorf("chdev audit: rank %d has %d unpolled completions", d.rank, n)
+		}
+		for _, c := range d.conns {
+			if c == nil {
+				continue
+			}
+			c.vc.CheckInvariants()
+			if c.degraded {
+				return fmt.Errorf("chdev audit: rank %d -> %d still degraded", d.rank, c.peer)
+			}
+			if len(c.backlog) > 0 || c.vc.BacklogLen() > 0 {
+				return fmt.Errorf("chdev audit: rank %d -> %d: %d messages stranded in backlog",
+					d.rank, c.peer, len(c.backlog))
+			}
+			if n := c.qp.QueuedSends(); n > 0 {
+				return fmt.Errorf("chdev audit: rank %d -> %d: %d WQEs still queued", d.rank, c.peer, n)
+			}
+			if len(c.sendRndv) > 0 || len(c.recvRndv) > 0 {
+				return fmt.Errorf("chdev audit: rank %d -> %d: rendezvous still in flight (%d out, %d in)",
+					d.rank, c.peer, len(c.sendRndv), len(c.recvRndv))
+			}
+
+			rd := devs[c.peer]
+			rc := rd.conns[d.rank]
+			if rc == nil {
+				return fmt.Errorf("chdev audit: rank %d -> %d connected only one way", d.rank, c.peer)
+			}
+			if d.params.UserLevel() {
+				// The conservation law of the credit-based schemes. It
+				// holds through dynamic growth (new buffers mint owed
+				// credit) and shrink (buffer and credit destroyed
+				// together).
+				if got, want := c.vc.Credits()+rc.vc.Owed(), rc.vc.Posted(); got != want {
+					return fmt.Errorf(
+						"chdev audit: credit leak on %d -> %d: credits %d + owed %d = %d, posted %d",
+						d.rank, c.peer, c.vc.Credits(), rc.vc.Owed(), got, want)
+				}
+				if d.cfg.RDMAEager {
+					if got, want := len(c.slotFree), c.vc.Credits(); got != want {
+						return fmt.Errorf(
+							"chdev audit: slot/credit skew on %d -> %d: %d free slots, %d credits",
+							d.rank, c.peer, got, want)
+					}
+				}
+			}
+			ss, rs := c.qp.Stats(), rc.qp.Stats()
+			if ss.MsgsSent != rs.Delivered {
+				return fmt.Errorf(
+					"chdev audit: message loss on %d -> %d: %d sent, %d delivered",
+					d.rank, c.peer, ss.MsgsSent, rs.Delivered)
+			}
+		}
+	}
+	return nil
+}

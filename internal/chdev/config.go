@@ -11,6 +11,20 @@ import (
 	"ibflow/internal/trace"
 )
 
+// ECMFaults injects failures into the explicit-credit-message path. Both
+// methods are called from inside the serialized event loop, so a
+// deterministic implementation (internal/fault.Plan) keeps runs
+// bit-identical per seed. A nil injector means no ECM faults.
+type ECMFaults interface {
+	// DropECM reports whether the ECM from rank to peer fails before
+	// reaching the wire. The device keeps the owed credits and re-issues
+	// after another silence interval.
+	DropECM(now sim.Time, rank, peer int) bool
+	// DuplicateECM reports whether a successfully sent ECM should be
+	// followed by a spurious zero-credit duplicate.
+	DuplicateECM(now sim.Time, rank, peer int) bool
+}
+
 // Config holds the host-side (software) parameters of the channel device.
 type Config struct {
 	// BufSize is the fixed size of pre-pinned communication buffers;
@@ -70,6 +84,20 @@ type Config struct {
 
 	// Debug enables per-progress invariant checking.
 	Debug bool
+
+	// Faults, when non-nil, injects explicit-credit-message drops and
+	// duplications (see internal/fault).
+	Faults ECMFaults
+
+	// ReissueDelay is how long a connection stays in degraded mode after
+	// the transport reports RNR budget exhaustion before the frozen
+	// stream is re-issued; new eager traffic backlogs meanwhile.
+	ReissueDelay sim.Time
+
+	// ReissueLimit bounds how often one send may be re-issued after
+	// budget exhaustion before the device gives up (panics); 0 means
+	// unlimited, mirroring the transport's infinite-retry default.
+	ReissueLimit int
 }
 
 // DefaultConfig returns host overheads calibrated so the full MPI stack
@@ -90,6 +118,7 @@ func DefaultConfig() Config {
 		ConnSetup:         40 * sim.Microsecond,
 		SWRecvRDMA:        1900 * sim.Nanosecond,
 		CtrlPrepost:       8,
+		ReissueDelay:      100 * sim.Microsecond,
 	}
 }
 

@@ -66,10 +66,11 @@ const (
 )
 
 type sendCtx struct {
-	kind ctxKind
-	buf  []byte
-	out  *rndvOut
-	conn *conn
+	kind     ctxKind
+	buf      []byte
+	out      *rndvOut
+	conn     *conn
+	attempts int // times re-issued after RNR budget exhaustion
 }
 
 type recvSlot struct {
@@ -98,6 +99,11 @@ type conn struct {
 	// Explicit-credit-message silence gate state.
 	lastSend sim.Time   // last outgoing traffic on this connection
 	ecmTimer *sim.Timer // deferred ECM when the gate is still closed
+
+	// degraded marks a connection whose QP froze on RNR budget
+	// exhaustion: new eager traffic falls back to the backlog until the
+	// frozen stream is re-issued (Config.ReissueDelay later).
+	degraded bool
 
 	// RDMA eager channel state (Config.RDMAEager). The receiver owns
 	// persistent slots; the sender tracks them through explicit FIFO
@@ -130,6 +136,12 @@ type Stats struct {
 	RegHits       uint64
 	RegMisses     uint64
 	BufBytesInUse int // pre-posted receive buffer memory, bytes
+
+	// Graceful-degradation counters (fault handling).
+	RNRExhausted   uint64 // transport retry budgets exhausted
+	Reissues       uint64 // frozen streams re-issued after degradation
+	ECMsDropped    uint64 // explicit credit messages lost before the wire
+	ECMsDuplicated uint64 // spurious duplicate ECMs injected
 }
 
 // Device is one rank's channel device.
@@ -154,7 +166,8 @@ type Device struct {
 	sendCtxs map[uint64]sendCtx
 	recvCtxs map[uint64]recvSlot
 
-	setups int // on-demand connection setups initiated
+	setups   int // on-demand connection setups initiated
+	handling int // completions popped off the CQ but not fully processed
 }
 
 // New creates a channel device for rank on hca. Wire must be called on the
@@ -380,6 +393,16 @@ func (d *Device) Send(p *sim.Proc, dst, tag int, comm uint16, data []byte, token
 	c := d.conn(p, dst)
 	p.Sleep(d.cfg.SWSend)
 	if len(data) <= d.cfg.EagerThreshold() {
+		if c.degraded {
+			// Degraded mode: the QP is frozen on RNR exhaustion, so
+			// force the backlog regardless of credits (the credit, if
+			// the scheme uses one, is consumed at drain time — net
+			// accounting is identical to a credit-starved backlog).
+			d.tr(trace.Backlogged, c.peer, int64(len(data)))
+			c.vc.QueueFree()
+			d.enqueueEager(p, c, tag, comm, data, token)
+			return
+		}
 		switch c.vc.DecideEager(blocking) {
 		case core.ActionSend:
 			d.postEager(p, c, tag, comm, data, 0)
@@ -504,13 +527,19 @@ func (d *Device) enqueueEager(p *sim.Proc, c *conn, tag int, comm uint16, data [
 }
 
 // drainBacklog sends backlogged messages in FIFO order while credits last.
+// A degraded connection holds its backlog until the frozen QP stream has
+// been re-issued.
 func (d *Device) drainBacklog(p *sim.Proc, c *conn) bool {
+	if c.degraded {
+		return false
+	}
 	did := false
 	for len(c.backlog) > 0 {
 		e := c.backlog[0]
 		if e.rndv != nil {
 			// RDMA-channel RTS entries queued only for ordering
-			// drain without a credit; an RC-channel RTS needs one.
+			// drain without a credit; an RC-channel RTS needs one
+			// under a user-level scheme.
 			consumed := false
 			if d.cfg.RDMAEager {
 				c.vc.DrainFree()
@@ -518,7 +547,7 @@ func (d *Device) drainBacklog(p *sim.Proc, c *conn) bool {
 				if !c.vc.CanDrainBacklog() {
 					break
 				}
-				consumed = true
+				consumed = d.params.UserLevel()
 			}
 			c.popBacklog()
 			d.tr(trace.Drained, c.peer, 0)
@@ -638,7 +667,23 @@ func (d *Device) sendFin(p *sim.Proc, c *conn, peerReq uint64) {
 // bypasses user-level flow control entirely; under the pessimistic policy
 // (for the deadlock demonstration) it needs a credit like any other send.
 // It may run from a timer event, so it never charges process time.
+//
+// An injected drop fails the ECM before the wire: the owed credits stay
+// owed (conservation holds) and the silence timer re-arms so the credits
+// still flow — a peer may be blocked waiting for exactly these. An
+// injected duplicate follows a successful ECM with a zero-credit copy,
+// exercising exactly-once credit application at the receiver.
 func (d *Device) sendECM(c *conn) bool {
+	now := d.eng.Now()
+	if d.cfg.Faults != nil && d.cfg.Faults.DropECM(now, d.rank, c.peer) {
+		c.vc.NoteECMDropped()
+		d.tr(trace.ECMDropped, c.peer, int64(c.vc.Owed()))
+		t := d.ecmTimer(c)
+		if !t.Armed() {
+			t.Reset(d.cfg.ECMSilence)
+		}
+		return false
+	}
 	flags := uint8(0)
 	if d.cfg.PessimisticECM {
 		if c.vc.Credits() == 0 || c.vc.BacklogLen() > 0 {
@@ -658,6 +703,16 @@ func (d *Device) sendECM(c *conn) bool {
 	}
 	h.Encode(buf)
 	d.postPacket(c, buf, HeaderSize, sendCtx{kind: ctxBuf})
+	if d.cfg.Faults != nil && d.cfg.Faults.DuplicateECM(now, d.rank, c.peer) {
+		c.vc.NoteECMDuplicated()
+		d.tr(trace.ECMDuplicated, c.peer, 0)
+		dup := d.pool.Get()
+		// TakeECM above cleared owed, so the duplicate carries zero
+		// credits — double-applying it cannot mint credit at the peer.
+		dh := Header{Type: PktCredit, Src: int32(d.rank)}
+		dh.Encode(dup)
+		d.postPacket(c, dup, HeaderSize, sendCtx{kind: ctxBuf})
+	}
 	return true
 }
 
@@ -671,7 +726,12 @@ func (d *Device) ProgressOnce(p *sim.Proc) bool {
 			break
 		}
 		did = true
+		// Handlers sleep for software overheads, so other processes can
+		// observe the device between Poll and the handler's effects;
+		// Busy keeps that window visible to the settlement detector.
+		d.handling++
 		d.handleWC(p, wc)
+		d.handling--
 	}
 	for _, c := range d.conns {
 		if c == nil {
@@ -723,6 +783,23 @@ func (d *Device) flushCredits(p *sim.Proc) bool {
 	return did
 }
 
+// ecmTimer lazily creates the connection's deferred-ECM timer. The timer
+// re-checks the silence gate at expiry and keeps re-arming while credits
+// remain owed, so an ECM that was deferred — or dropped by fault
+// injection — is eventually delivered.
+func (d *Device) ecmTimer(c *conn) *sim.Timer {
+	if c.ecmTimer == nil {
+		c.ecmTimer = sim.NewTimer(d.eng, func() {
+			if c.vc.NeedECM() && d.eng.Now()-c.lastSend >= d.cfg.ECMSilence {
+				d.sendECM(c)
+			} else if c.vc.NeedECM() {
+				c.ecmTimer.Reset(d.cfg.ECMSilence)
+			}
+		})
+	}
+	return c.ecmTimer
+}
+
 // maybeSendECM sends an explicit credit message if the connection has been
 // outbound-silent long enough; otherwise it arms a timer so the credits
 // still flow even if this rank stays parked (liveness: a peer may be
@@ -733,17 +810,9 @@ func (d *Device) maybeSendECM(c *conn) bool {
 	if now-c.lastSend >= silence {
 		return d.sendECM(c)
 	}
-	if c.ecmTimer == nil {
-		c.ecmTimer = sim.NewTimer(d.eng, func() {
-			if c.vc.NeedECM() && d.eng.Now()-c.lastSend >= d.cfg.ECMSilence {
-				d.sendECM(c)
-			} else if c.vc.NeedECM() {
-				c.ecmTimer.Reset(d.cfg.ECMSilence)
-			}
-		})
-	}
-	if !c.ecmTimer.Armed() {
-		c.ecmTimer.Reset(c.lastSend + silence - now)
+	t := d.ecmTimer(c)
+	if !t.Armed() {
+		t.Reset(c.lastSend + silence - now)
 	}
 	return false
 }
@@ -792,6 +861,40 @@ func (d *Device) Poke(p *sim.Proc) {
 	d.flushCredits(p)
 }
 
+// PendingCompletions reports completions waiting on the device's CQ.
+// The end-of-run settlement loop uses it to know in-flight work remains.
+func (d *Device) PendingCompletions() int { return d.cq.Len() }
+
+// Busy reports that a completion has been polled but its handler has not
+// finished (it is sleeping out a software overhead). The settlement
+// detector must treat such a device as active: the handler may still
+// apply credits, drain a backlog or queue an explicit credit message.
+func (d *Device) Busy() bool { return d.handling > 0 }
+
+// CreditFlushPending reports whether any connection still owes enough
+// credits to require an explicit credit message. Until this clears, the
+// job is not settled: a cross-rank credit audit would see the owed
+// credits as in flight.
+func (d *Device) CreditFlushPending() bool {
+	for _, c := range d.conns {
+		if c != nil && c.vc.NeedECM() {
+			return true
+		}
+	}
+	return false
+}
+
+// Degraded reports whether any connection is currently in degraded mode
+// (frozen QP awaiting re-issue).
+func (d *Device) Degraded() bool {
+	for _, c := range d.conns {
+		if c != nil && c.degraded {
+			return true
+		}
+	}
+	return false
+}
+
 // handleWC dispatches one completion.
 func (d *Device) handleWC(p *sim.Proc, wc ib.WC) {
 	switch wc.Opcode {
@@ -799,6 +902,10 @@ func (d *Device) handleWC(p *sim.Proc, wc ib.WC) {
 		ctx, ok := d.sendCtxs[wc.WRID]
 		if !ok {
 			panic("chdev: unknown send completion")
+		}
+		if wc.Status == ib.StatusRNRRetryExceeded {
+			d.onRetryExhausted(wc, ctx)
+			return
 		}
 		delete(d.sendCtxs, wc.WRID)
 		if wc.Status != ib.StatusSuccess {
@@ -829,6 +936,31 @@ func (d *Device) handleWC(p *sim.Proc, wc ib.WC) {
 	default:
 		panic(fmt.Sprintf("chdev: unexpected completion opcode %v", wc.Opcode))
 	}
+}
+
+// onRetryExhausted handles the transport's typed RNR-exhaustion error:
+// graceful degradation instead of a silent stall or a crash. The frozen
+// QP kept the failed WQE (and everything behind it) queued, so re-issuing
+// is just ResumeStalled with a fresh retry budget after ReissueDelay; the
+// connection meanwhile runs degraded, forcing new eager traffic into the
+// backlog so nothing piles onto the frozen stream out of order.
+func (d *Device) onRetryExhausted(wc ib.WC, ctx sendCtx) {
+	c := ctx.conn
+	ctx.attempts++
+	if d.cfg.ReissueLimit > 0 && ctx.attempts > d.cfg.ReissueLimit {
+		panic(fmt.Sprintf("chdev: rank %d giving up on peer %d after %d re-issues: %v",
+			d.rank, c.peer, ctx.attempts-1, wc.Err))
+	}
+	// The WQE is still queued in the frozen QP; keep its context (the
+	// pool buffer is still pinned under it) with the bumped count.
+	d.sendCtxs[wc.WRID] = ctx
+	c.degraded = true
+	c.vc.NoteReissue()
+	d.tr(trace.Reissued, c.peer, int64(ctx.attempts))
+	d.eng.At(d.eng.Now()+d.cfg.ReissueDelay, func() {
+		c.degraded = false
+		c.qp.ResumeStalled()
+	})
 }
 
 // handlePacket processes one arrived packet and re-posts (or retires) the
@@ -965,10 +1097,14 @@ func (d *Device) Stats() Stats {
 			s.MaxPosted = vs.MaxPosted
 		}
 		s.SumPosted += c.vc.Posted()
+		s.Reissues += vs.Reissues
+		s.ECMsDropped += vs.ECMsDropped
+		s.ECMsDuplicated += vs.ECMsDuplicated
 		qs := c.qp.Stats()
 		s.RNRNaks += qs.RNRNaks
 		s.Retransmits += qs.Retransmits
 		s.WastedBytes += qs.WastedBytes
+		s.RNRExhausted += qs.RNRExhausted
 	}
 	s.BufBytesInUse = s.SumPosted * d.cfg.BufSize
 	return s

@@ -48,6 +48,11 @@ type Stats struct {
 	ShrinkEvents  uint64 // dynamic-scheme decreases (extension)
 	MaxPosted     int    // high-water mark of the pre-post count (Table 2)
 	MaxBacklogLen int    // high-water mark of the backlog queue
+
+	// Graceful-degradation counters (fault handling; see internal/fault).
+	Reissues       uint64 // sends re-issued after RNR budget exhaustion
+	ECMsDropped    uint64 // explicit credit messages lost before the wire
+	ECMsDuplicated uint64 // spurious duplicate ECMs injected after a send
 }
 
 // VC is the flow control state of one virtual channel: the sender-side
@@ -103,6 +108,20 @@ func (vc *VC) Stats() Stats { return vc.stats }
 // CountMsg records any outgoing message for the totals in Table 1.
 func (vc *VC) CountMsg() { vc.stats.MsgsSent++ }
 
+// NoteReissue records that the device re-issued traffic on this channel
+// after the transport's RNR retry budget ran out.
+func (vc *VC) NoteReissue() { vc.stats.Reissues++ }
+
+// NoteECMDropped records an explicit credit message lost before the wire.
+// The owed credits are untouched — they stay owed and ride the next
+// attempt, which is exactly what keeps the conservation law intact.
+func (vc *VC) NoteECMDropped() { vc.stats.ECMsDropped++ }
+
+// NoteECMDuplicated records a spurious duplicate ECM sent after a real
+// one. The duplicate carries zero credits (TakeECM already cleared owed),
+// so applying it twice at the peer cannot mint credit.
+func (vc *VC) NoteECMDuplicated() { vc.stats.ECMsDuplicated++ }
+
 // DecideEager decides the fate of an outgoing eager (credit-consuming)
 // send. For user-level schemes a returned ActionSend has already consumed
 // one credit. canDemote distinguishes blocking sends — which can afford to
@@ -148,7 +167,18 @@ func (vc *VC) DecideRTS() (consumed, queue bool) {
 		defer vc.debugCheck()
 	}
 	if !vc.params.UserLevel() {
-		return false, false
+		if vc.backlog == 0 {
+			return false, false
+		}
+		// The hardware scheme backlogs only while the device is in
+		// degraded mode (after RNR budget exhaustion); an RTS must not
+		// overtake that queued traffic.
+		vc.backlog++
+		vc.stats.Backlogged++
+		if vc.backlog > vc.stats.MaxBacklogLen {
+			vc.stats.MaxBacklogLen = vc.backlog
+		}
+		return false, true
 	}
 	if vc.backlog == 0 && vc.credits > 0 {
 		vc.credits--
@@ -189,7 +219,18 @@ func (vc *VC) DrainFree() {
 // return eventually (piggybacked on handshakes or via an optimistic ECM
 // before the peer blocks).
 func (vc *VC) CanDrainBacklog() bool {
-	if vc.backlog == 0 || vc.credits == 0 {
+	if vc.backlog == 0 {
+		return false
+	}
+	if !vc.params.UserLevel() {
+		// No credit gate: the hardware scheme's backlog exists only
+		// while the device is degraded, so drain unconditionally.
+		vc.backlog--
+		vc.stats.EagerSent++
+		vc.debugCheck()
+		return true
+	}
+	if vc.credits == 0 {
 		return false
 	}
 	vc.backlog--

@@ -1,0 +1,256 @@
+// Package fault implements seeded, deterministic fault injection for the
+// simulated InfiniBand fabric and the MPI channel device.
+//
+// A Plan is constructed from a sim.NewRand seed — never wall clock — and
+// perturbs a run through narrow hooks the transport and device consult at
+// well-defined points of the (serialized) event loop:
+//
+//   - per-message link-latency jitter and transient link outages
+//     (ib.Config.Faults, consulted by the fabric's delivery path),
+//   - forced Receiver-Not-Ready verdicts that exercise the RNR
+//     retry/backoff machinery up to budget exhaustion (ib),
+//   - delayed acknowledgements, i.e. late completion events (ib),
+//   - dropped and duplicated explicit credit messages
+//     (chdev.Config.Faults, consulted when an ECM is about to post).
+//
+// Because the simulation core serializes all processes and events, the
+// Plan's generator is drawn in a deterministic order: the same seed and
+// configuration reproduce bit-identical runs, which is what lets the
+// torture harness assert invariants across a seed sweep and demand
+// identical stats and traces on rerun.
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"ibflow/internal/sim"
+	"ibflow/internal/trace"
+)
+
+// Config parameterizes a fault plan. The zero value injects nothing.
+type Config struct {
+	// Seed feeds the deterministic generator (sim.NewRand). Zero is
+	// remapped by sim.NewRand, so every seed, including 0, is valid.
+	Seed uint64
+
+	// Nodes is the fabric size; outages pick victim nodes in [0, Nodes).
+	Nodes int
+
+	// JitterProb is the per-message probability of extra path latency,
+	// drawn uniformly from (0, JitterMax].
+	JitterProb float64
+	JitterMax  sim.Time
+
+	// OutageCount transient link outages are scheduled over [0, Horizon):
+	// a node's links stall and traffic touching it is delayed until the
+	// outage ends. Durations draw uniformly from (0, OutageMax].
+	OutageCount int
+	OutageMax   sim.Time
+	Horizon     sim.Time
+
+	// ECMDropProb is the probability an explicit credit message fails
+	// before reaching the wire (the device keeps the credits owed and
+	// re-issues later). ECMDupProb is the probability a successfully sent
+	// ECM is followed by a spurious zero-credit duplicate.
+	ECMDropProb float64
+	ECMDupProb  float64
+
+	// RNRForceProb is the probability a delivery is NAKed as
+	// receiver-not-ready even though a buffer is posted (models HCA
+	// backpressure); it drives the sender's retry budget toward
+	// exhaustion when the budget is finite.
+	RNRForceProb float64
+
+	// AckDelayProb delays a WQE's acknowledgement — a late completion
+	// event — by a uniform draw from (0, AckDelayMax].
+	AckDelayProb float64
+	AckDelayMax  sim.Time
+
+	// Tracer, when non-nil, records injected faults on the timeline
+	// (trace.LinkOutage at plan construction, trace.FaultDelay per
+	// delayed message).
+	Tracer *trace.Buffer
+}
+
+// Outage is one scheduled link stall: node's ports are down in [Start, End).
+type Outage struct {
+	Node       int
+	Start, End sim.Time
+}
+
+// Stats counts the faults a plan actually injected. All counters are
+// deterministic for a given seed and event order.
+type Stats struct {
+	Jitters      uint64
+	JitterTime   sim.Time
+	OutageDelays uint64
+	OutageTime   sim.Time
+	ForcedRNRs   uint64
+	AckDelays    uint64
+	AckDelayTime sim.Time
+	ECMDrops     uint64
+	ECMDups      uint64
+}
+
+// Plan is a deterministic fault schedule. It implements ib.FaultInjector
+// and chdev.ECMFaults; wire one plan into both configurations (or use
+// mpi.Options.Faults, which does so for a whole job).
+type Plan struct {
+	cfg      Config
+	rng      *sim.Rand
+	outages  []Outage
+	lastExit map[[2]int]sim.Time // last wire-entry time per directed pair
+	stats    Stats
+}
+
+// New builds a plan from cfg. Outage windows are precomputed here so they
+// are a pure function of the seed, independent of traffic.
+func New(cfg Config) *Plan {
+	if cfg.OutageCount > 0 && cfg.Nodes <= 0 {
+		panic("fault: outages need Nodes > 0")
+	}
+	if cfg.OutageCount > 0 && cfg.Horizon <= 0 {
+		panic("fault: outages need a positive Horizon")
+	}
+	p := &Plan{cfg: cfg, rng: sim.NewRand(cfg.Seed), lastExit: map[[2]int]sim.Time{}}
+	for i := 0; i < cfg.OutageCount; i++ {
+		node := p.rng.Intn(cfg.Nodes)
+		start := sim.Time(p.rng.Intn(int(cfg.Horizon)))
+		dur := p.drawDuration(cfg.OutageMax)
+		p.outages = append(p.outages, Outage{Node: node, Start: start, End: start + dur})
+	}
+	sort.Slice(p.outages, func(i, j int) bool {
+		if p.outages[i].Start != p.outages[j].Start {
+			return p.outages[i].Start < p.outages[j].Start
+		}
+		return p.outages[i].Node < p.outages[j].Node
+	})
+	if cfg.Tracer != nil {
+		for _, o := range p.outages {
+			cfg.Tracer.Add(trace.Event{T: o.Start, Rank: o.Node, Peer: -1,
+				Kind: trace.LinkOutage, Arg: int64(o.End - o.Start)})
+		}
+	}
+	return p
+}
+
+// drawDuration returns a uniform draw from (0, max], or 1ns when max <= 0.
+func (p *Plan) drawDuration(max sim.Time) sim.Time {
+	if max <= 0 {
+		return sim.Nanosecond
+	}
+	return sim.Time(p.rng.Intn(int(max))) + 1
+}
+
+// Outages returns the precomputed outage windows, ordered by start time.
+func (p *Plan) Outages() []Outage {
+	out := make([]Outage, len(p.outages))
+	copy(out, p.outages)
+	return out
+}
+
+// Stats returns a copy of the injection counters.
+func (p *Plan) Stats() Stats { return p.stats }
+
+// String summarizes the plan configuration for logs.
+func (p *Plan) String() string {
+	return fmt.Sprintf("fault.Plan{seed=%#x outages=%d jitter=%.2f ecmDrop=%.2f ecmDup=%.2f rnrForce=%.2f ackDelay=%.2f}",
+		p.cfg.Seed, len(p.outages), p.cfg.JitterProb, p.cfg.ECMDropProb,
+		p.cfg.ECMDupProb, p.cfg.RNRForceProb, p.cfg.AckDelayProb)
+}
+
+// outageDelay returns how long a message touching src or dst at time t
+// must wait for every covering outage window to pass.
+func (p *Plan) outageDelay(t sim.Time, src, dst int) sim.Time {
+	delay := sim.Time(0)
+	for changed := true; changed; {
+		changed = false
+		for _, o := range p.outages {
+			if o.Node != src && o.Node != dst {
+				continue
+			}
+			if at := t + delay; at >= o.Start && at < o.End {
+				delay = o.End - t
+				changed = true
+			}
+		}
+	}
+	return delay
+}
+
+// MessageDelay implements ib.FaultInjector: extra path latency for one
+// message of n wire bytes from src to dst, combining outage stalls and
+// random jitter. now is the message's undelayed wire-entry time; the
+// delayed times stay strictly monotonic per directed pair, because an RC
+// link stretches under faults but never reorders — a reordered arrival
+// would be dropped by the receiver's sequence check with no NAK to
+// trigger retransmission, turning one jittered message into a hang.
+func (p *Plan) MessageDelay(now sim.Time, src, dst, n int) sim.Time {
+	var delay sim.Time
+	if d := p.outageDelay(now, src, dst); d > 0 {
+		p.stats.OutageDelays++
+		p.stats.OutageTime += d
+		delay += d
+	}
+	if p.cfg.JitterProb > 0 && p.rng.Float64() < p.cfg.JitterProb {
+		j := p.drawDuration(p.cfg.JitterMax)
+		p.stats.Jitters++
+		p.stats.JitterTime += j
+		delay += j
+	}
+	pair := [2]int{src, dst}
+	if last, ok := p.lastExit[pair]; ok && now+delay <= last {
+		delay = last + 1 - now // keep FIFO behind an earlier, slower message
+	}
+	p.lastExit[pair] = now + delay
+	if delay > 0 && p.cfg.Tracer != nil {
+		p.cfg.Tracer.Add(trace.Event{T: now, Rank: src, Peer: dst,
+			Kind: trace.FaultDelay, Arg: int64(delay)})
+	}
+	return delay
+}
+
+// ForceRNR implements ib.FaultInjector: pretend the receiver at node is
+// not ready even though a buffer is posted.
+func (p *Plan) ForceRNR(now sim.Time, node int) bool {
+	if p.cfg.RNRForceProb <= 0 || p.rng.Float64() >= p.cfg.RNRForceProb {
+		return false
+	}
+	p.stats.ForcedRNRs++
+	return true
+}
+
+// AckDelay implements ib.FaultInjector: extra latency before a WQE's
+// acknowledgement retires it (a delayed completion event).
+func (p *Plan) AckDelay(now sim.Time) sim.Time {
+	if p.cfg.AckDelayProb <= 0 || p.rng.Float64() >= p.cfg.AckDelayProb {
+		return 0
+	}
+	d := p.drawDuration(p.cfg.AckDelayMax)
+	p.stats.AckDelays++
+	p.stats.AckDelayTime += d
+	return d
+}
+
+// DropECM implements chdev.ECMFaults: the explicit credit message from
+// rank to peer fails before the wire; the device must keep the credits
+// and re-issue.
+func (p *Plan) DropECM(now sim.Time, rank, peer int) bool {
+	if p.cfg.ECMDropProb <= 0 || p.rng.Float64() >= p.cfg.ECMDropProb {
+		return false
+	}
+	p.stats.ECMDrops++
+	return true
+}
+
+// DuplicateECM implements chdev.ECMFaults: follow a sent ECM with a
+// spurious zero-credit duplicate (exercises exactly-once credit
+// application at the receiver).
+func (p *Plan) DuplicateECM(now sim.Time, rank, peer int) bool {
+	if p.cfg.ECMDupProb <= 0 || p.rng.Float64() >= p.cfg.ECMDupProb {
+		return false
+	}
+	p.stats.ECMDups++
+	return true
+}

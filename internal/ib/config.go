@@ -21,6 +21,22 @@ import (
 	"ibflow/internal/trace"
 )
 
+// FaultInjector perturbs the fabric at three well-defined points. All
+// methods are called from inside the serialized event loop, so a
+// deterministic implementation (internal/fault.Plan) yields bit-identical
+// runs per seed. A nil injector means a fault-free fabric.
+type FaultInjector interface {
+	// MessageDelay returns extra path latency for one message of n wire
+	// bytes from node src to node dst (jitter, link outages).
+	MessageDelay(now sim.Time, src, dst, n int) sim.Time
+	// ForceRNR reports whether a delivery at node should be NAKed as
+	// receiver-not-ready even though a buffer is posted.
+	ForceRNR(now sim.Time, node int) bool
+	// AckDelay returns extra latency before a WQE's acknowledgement
+	// retires it (a delayed completion event).
+	AckDelay(now sim.Time) sim.Time
+}
+
 // Config holds the fabric timing and protocol parameters.
 type Config struct {
 	// LinkBytesPerSec is the effective point-to-point bandwidth: the
@@ -56,6 +72,12 @@ type Config struct {
 	// (the paper sets it to infinite so the MPI level stays reliable).
 	RNRRetryCount int
 
+	// RNRBackoffFactor, when > 1, grows the RNR wait geometrically:
+	// attempt k waits RNRTimeout * Factor^(k-1), capped at RNRBackoffMax
+	// (if positive). A factor <= 1 keeps the classic fixed timeout.
+	RNRBackoffFactor int
+	RNRBackoffMax    sim.Time
+
 	// SendWindow is the maximum number of unacknowledged messages a
 	// queue pair keeps in flight (models the packet window / SQ depth).
 	SendWindow int
@@ -71,6 +93,10 @@ type Config struct {
 	// Tracer, when non-nil, records transport events (RNR NAKs and
 	// retransmissions) with node numbers in the rank fields.
 	Tracer *trace.Buffer
+
+	// Faults, when non-nil, injects latency jitter, link outages, forced
+	// RNR NAKs and delayed acks into the fabric (see internal/fault).
+	Faults FaultInjector
 
 	// RegisterBase and RegisterPerPage model memory registration
 	// (pinning) cost; PageSize is the pinning granularity.

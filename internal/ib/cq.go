@@ -64,6 +64,7 @@ type WC struct {
 	Len     int    // payload bytes (receives and RDMA)
 	Imm     uint64 // immediate value for OpRecvImm
 	SrcNode int    // UD receives: source node of the datagram
+	Err     error  // typed detail for non-success statuses (*RNRExhaustedError)
 }
 
 // CQ is a completion queue. Multiple queue pairs may share one CQ; the

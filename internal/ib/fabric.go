@@ -72,6 +72,7 @@ type HCAStats struct {
 	RNRNaks       uint64
 	Retransmits   uint64
 	WastedBytes   uint64 // bytes of go-back-N retransmissions
+	RNRExhausted  uint64 // WQEs that ran out of RNR retry budget
 }
 
 // HCA is a host channel adapter: one egress and one ingress link plus the

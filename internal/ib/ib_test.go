@@ -2,6 +2,7 @@ package ib
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -106,37 +107,129 @@ func TestRNRNakRetriesUntilReceiverReady(t *testing.T) {
 	}
 }
 
-func TestRNRRetryExceededErrorsAndUnblocksStream(t *testing.T) {
+// A receiver that never posts must exhaust the sender's retry budget and
+// surface a typed error — not stall silently — while the stream freezes
+// with every WQE still queued (nothing is dropped or reordered).
+func TestRNRRetryExhaustionSurfacesTypedError(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.RNRRetryCount = 2
-	eng, qp0, qp1, cq0, cq1 := pair(cfg)
+	eng, qp0, _, cq0, cq1 := pair(cfg)
 	qp0.PostSend(1, []byte("doomed"))
-	qp0.PostSend(2, []byte("ok"))
-	// Post one buffer after the first message has exhausted its retries
-	// (~2 RNR cycles) but before the second message exhausts its own.
-	buf := make([]byte, 16)
-	eng.At(3*cfg.RNRTimeout+cfg.RNRTimeout/2, func() { qp1.PostRecv(5, buf) })
+	qp0.PostSend(2, []byte("behind"))
 	if err := eng.Run(sim.MaxTime); err != nil {
 		t.Fatal(err)
 	}
-	var sawError, sawOK bool
-	for {
+	if !qp0.Failed() {
+		t.Fatal("QP not frozen after budget exhaustion")
+	}
+	wc, ok := cq0.Poll()
+	if !ok || wc.Status != StatusRNRRetryExceeded || wc.WRID != 1 {
+		t.Fatalf("error completion = %+v ok=%v", wc, ok)
+	}
+	var rnr *RNRExhaustedError
+	if !errors.As(wc.Err, &rnr) {
+		t.Fatalf("WC.Err = %v (%T), want *RNRExhaustedError", wc.Err, wc.Err)
+	}
+	// Budget 2: first transmission plus two retries, the third NAK kills it.
+	if rnr.Attempts != 3 {
+		t.Errorf("Attempts = %d, want 3", rnr.Attempts)
+	}
+	if rnr.Node != 0 || rnr.PeerNode != 1 || rnr.WRID != 1 {
+		t.Errorf("error detail = %+v", rnr)
+	}
+	st := qp0.Stats()
+	if st.RNRNaks != 3 {
+		t.Errorf("RNRNaks = %d, want 3", st.RNRNaks)
+	}
+	if st.RNRExhausted != 1 {
+		t.Errorf("RNRExhausted = %d, want 1", st.RNRExhausted)
+	}
+	if n := qp0.QueuedSends(); n != 2 {
+		t.Errorf("frozen QP holds %d WQEs, want 2 (nothing dropped)", n)
+	}
+	if _, ok := cq1.Poll(); ok {
+		t.Error("receiver saw a delivery without posting a buffer")
+	}
+	if _, ok := cq0.Poll(); ok {
+		t.Error("more than one completion surfaced from a frozen QP")
+	}
+}
+
+// After exhaustion the owner can re-issue: ResumeStalled restarts the
+// frozen stream with a fresh budget and the messages arrive in FIFO order.
+func TestRNRRetryExceededResumesInOrder(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RNRRetryCount = 2
+	eng, qp0, qp1, cq0, cq1 := pair(cfg)
+	qp0.PostSend(1, []byte("first"))
+	qp0.PostSend(2, []byte("second"))
+	if err := eng.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	if wc, ok := cq0.Poll(); !ok || wc.Status != StatusRNRRetryExceeded {
+		t.Fatalf("no exhaustion completion: %+v ok=%v", wc, ok)
+	}
+	// Recovery: the receiver finally posts; the owner re-issues.
+	bufs := [][]byte{make([]byte, 16), make([]byte, 16)}
+	qp1.PostRecv(5, bufs[0])
+	qp1.PostRecv(6, bufs[1])
+	qp0.ResumeStalled()
+	if err := eng.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []string{"first", "second"} {
+		wc, ok := cq1.Poll()
+		if !ok || wc.WRID != uint64(5+i) {
+			t.Fatalf("recv %d = %+v ok=%v", i, wc, ok)
+		}
+		if got := string(bufs[i][:wc.Len]); got != want {
+			t.Errorf("recv %d payload = %q, want %q (FIFO violated)", i, got, want)
+		}
+	}
+	for i := 1; i <= 2; i++ {
 		wc, ok := cq0.Poll()
-		if !ok {
-			break
-		}
-		switch {
-		case wc.WRID == 1 && wc.Status == StatusRNRRetryExceeded:
-			sawError = true
-		case wc.WRID == 2 && wc.Status == StatusSuccess:
-			sawOK = true
+		if !ok || wc.Status != StatusSuccess || wc.WRID != uint64(i) {
+			t.Errorf("send completion %d = %+v ok=%v", i, wc, ok)
 		}
 	}
-	if !sawError || !sawOK {
-		t.Errorf("sawError=%v sawOK=%v", sawError, sawOK)
+	if qp0.Failed() || qp0.QueuedSends() != 0 {
+		t.Errorf("QP not drained after resume: failed=%v queued=%d",
+			qp0.Failed(), qp0.QueuedSends())
 	}
-	if wc, ok := cq1.Poll(); !ok || !bytes.Equal(buf[:2], []byte("ok")) {
-		t.Errorf("second message not delivered: %+v %v %q", wc, ok, buf[:2])
+	// ResumeStalled on a healthy QP is a no-op.
+	qp0.ResumeStalled()
+	if err := eng.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Geometric RNR backoff stretches the waits (T, 2T, 4T...) so exhaustion
+// takes strictly longer than with the classic fixed timeout; the cap
+// bounds the growth.
+func TestRNRBackoffStretchesRetries(t *testing.T) {
+	exhaustTime := func(factor int, max sim.Time) sim.Time {
+		cfg := DefaultConfig()
+		cfg.RNRRetryCount = 3
+		cfg.RNRBackoffFactor = factor
+		cfg.RNRBackoffMax = max
+		eng, qp0, _, _, _ := pair(cfg)
+		qp0.PostSend(1, []byte("x"))
+		if err := eng.Run(sim.MaxTime); err != nil {
+			t.Fatal(err)
+		}
+		if !qp0.Failed() {
+			t.Fatal("budget never exhausted")
+		}
+		return eng.Now()
+	}
+	fixed := exhaustTime(0, 0)
+	backed := exhaustTime(2, 0)
+	capped := exhaustTime(2, DefaultConfig().RNRTimeout)
+	if backed <= fixed {
+		t.Errorf("backoff exhausted at %v, fixed at %v; want strictly later", backed, fixed)
+	}
+	if capped != fixed {
+		t.Errorf("capped backoff exhausted at %v, fixed at %v; cap at RNRTimeout should equalize", capped, fixed)
 	}
 }
 

@@ -29,6 +29,7 @@ type sendWQE struct {
 	seq      uint64
 	attempts int  // RNR retry attempts
 	sent     bool // has been transmitted at least once
+	acked    bool // delivery acknowledged, awaiting in-order retirement
 }
 
 func (w *sendWQE) wireLen() int {
@@ -48,13 +49,30 @@ type recvWQE struct {
 
 // QPStats counts per-connection transport events.
 type QPStats struct {
-	MsgsSent    uint64 // distinct messages transmitted (first attempts)
-	Delivered   uint64 // messages accepted by the receiver
-	BytesSent   uint64
-	RNRNaks     uint64 // NAKs received by this (sending) side
-	Retransmits uint64 // messages re-transmitted after a rewind
-	WastedBytes uint64 // bytes of dropped or re-sent traffic
-	MaxQueueLen int    // high-water mark of the send queue
+	MsgsSent     uint64 // distinct messages transmitted (first attempts)
+	Delivered    uint64 // messages accepted by the receiver
+	BytesSent    uint64
+	RNRNaks      uint64 // NAKs received by this (sending) side
+	Retransmits  uint64 // messages re-transmitted after a rewind
+	WastedBytes  uint64 // bytes of dropped or re-sent traffic
+	MaxQueueLen  int    // high-water mark of the send queue
+	RNRExhausted uint64 // WQEs that ran out of RNR retry budget
+}
+
+// RNRExhaustedError reports that a send WQE ran out of its RNR retry
+// budget: the receiver stayed not-ready through RNRRetryCount+1
+// transmissions. It is carried in the error completion's WC.Err.
+type RNRExhaustedError struct {
+	Node     int    // sending node
+	PeerNode int    // receiving node that kept NAKing
+	QPNum    int    // sending queue pair number
+	WRID     uint64 // work request that failed
+	Attempts int    // transmissions attempted (budget + 1)
+}
+
+func (e *RNRExhaustedError) Error() string {
+	return fmt.Sprintf("ib: QP %d (node %d): RNR retry budget exhausted after %d attempts sending wrid %d to node %d",
+		e.QPNum, e.Node, e.Attempts, e.WRID, e.PeerNode)
 }
 
 // QP is one side of a Reliable Connection. Work requests complete in FIFO
@@ -74,6 +92,7 @@ type QP struct {
 	baseSeq  uint64 // seq of queue[0]
 	sendSeq  uint64 // next seq to assign
 	stalled  bool   // waiting out an RNR timer
+	failed   bool   // frozen after RNR budget exhaustion (see ResumeStalled)
 	rnrTimer *sim.Timer
 
 	// receiver state
@@ -177,7 +196,7 @@ func (qp *QP) debugCheckQueue() {
 // pump transmits queued WQEs up to the in-flight window.
 func (qp *QP) pump() {
 	cfg := qp.hca.fabric.Config()
-	for !qp.stalled && qp.next < len(qp.queue) && qp.next < cfg.SendWindow {
+	for !qp.stalled && !qp.failed && qp.next < len(qp.queue) && qp.next < cfg.SendWindow {
 		qp.transmit(qp.queue[qp.next])
 		qp.next++
 	}
@@ -229,7 +248,12 @@ func (qp *QP) deliver(w *sendWQE, sender *QP) {
 
 	switch w.kind {
 	case opSend:
-		if qp.recvHead >= len(qp.recvQ) {
+		notReady := qp.recvHead >= len(qp.recvQ)
+		if !notReady && cfg.Faults != nil && cfg.Faults.ForceRNR(eng.Now(), qp.hca.node) {
+			// Injected HCA backpressure: NAK despite a posted buffer.
+			notReady = true
+		}
+		if notReady {
 			// Receiver not ready: NAK back to the sender.
 			qp.hca.stats.RNRNaks++
 			sender.stats.RNRNaks++
@@ -288,38 +312,48 @@ func (qp *QP) deliver(w *sendWQE, sender *QP) {
 	}
 }
 
-// ack schedules the sender-side retirement of w after the ack round-trip.
+// ack schedules the sender-side retirement of w after the ack round-trip,
+// possibly stretched by an injected completion delay.
 func (qp *QP) ack(sender *QP, w *sendWQE) {
 	eng := qp.hca.fabric.eng
 	cfg := qp.hca.fabric.Config()
-	eng.At(eng.Now()+cfg.AckLatency, func() { sender.retire(w) })
+	lat := cfg.AckLatency
+	if cfg.Faults != nil {
+		lat += cfg.Faults.AckDelay(eng.Now())
+	}
+	eng.At(eng.Now()+lat, func() { sender.retire(w) })
 }
 
-// retire pops the acknowledged head WQE and posts its completion.
+// retire marks w acknowledged and pops the acked prefix of the queue,
+// posting completions in FIFO order. Acks are cumulative, as on a real
+// HCA: an ack delayed past its successor's (injected completion delay)
+// simply retires both when the earlier one lands.
 func (qp *QP) retire(w *sendWQE) {
-	if len(qp.queue) == 0 || qp.queue[0] != w {
-		panic("ib: out-of-order ack")
+	w.acked = true
+	for len(qp.queue) > 0 && qp.queue[0].acked {
+		head := qp.queue[0]
+		qp.queue = qp.queue[1:]
+		qp.next--
+		qp.baseSeq++
+		op := OpSendComplete
+		switch head.kind {
+		case opWrite, opWriteImm:
+			op = OpWriteComplete
+		case opRead:
+			op = OpReadComplete
+		}
+		qp.sendCQ.push(WC{QP: qp, Opcode: op, Status: StatusSuccess, WRID: head.wrid, Len: head.wireLen()})
 	}
-	qp.queue = qp.queue[1:]
-	qp.next--
-	qp.baseSeq++
-	op := OpSendComplete
-	switch w.kind {
-	case opWrite, opWriteImm:
-		op = OpWriteComplete
-	case opRead:
-		op = OpReadComplete
-	}
-	qp.sendCQ.push(WC{QP: qp, Opcode: op, Status: StatusSuccess, WRID: w.wrid, Len: w.wireLen()})
 	qp.debugCheckQueue()
 	qp.pump()
 }
 
 // onRNRNak handles a Receiver-Not-Ready NAK for seq: rewind the stream to
-// seq and retry after the RNR timer, or fail the WQE past the retry budget.
+// seq and retry after the RNR timer, or — past the retry budget — freeze
+// the QP and surface a typed error completion.
 func (qp *QP) onRNRNak(seq uint64) {
-	if seq < qp.baseSeq || qp.stalled {
-		return // stale NAK, or already rewinding
+	if seq < qp.baseSeq || qp.stalled || qp.failed {
+		return // stale NAK, already rewinding, or already frozen
 	}
 	idx := int(seq - qp.baseSeq)
 	if idx >= len(qp.queue) {
@@ -329,15 +363,29 @@ func (qp *QP) onRNRNak(seq uint64) {
 	w := qp.queue[idx]
 	w.attempts++
 	if cfg.RNRRetryCount >= 0 && w.attempts > cfg.RNRRetryCount {
-		// Retry budget exhausted: error completion, drop the WQE, and
-		// let the rest of the stream proceed (the QP would really move
-		// to an error state; MPI never configures a finite budget).
-		qp.queue = append(qp.queue[:idx], qp.queue[idx+1:]...)
-		qp.renumber()
+		// Retry budget exhausted. A real HCA transitions the QP to the
+		// error state; we freeze the stream (the WQE and everything
+		// behind it stay queued, preserving FIFO) and surface a typed
+		// error completion instead of stalling silently. The owner
+		// decides: re-issue via ResumeStalled after degrading, or tear
+		// the connection down.
+		qp.failed = true
 		qp.next = idx
+		qp.stats.RNRExhausted++
+		qp.hca.stats.RNRExhausted++
 		qp.debugCheckQueue()
-		qp.sendCQ.push(WC{QP: qp, Opcode: OpSendComplete, Status: StatusRNRRetryExceeded, WRID: w.wrid})
-		qp.pump()
+		if cfg.Tracer != nil {
+			cfg.Tracer.Add(trace.Event{T: qp.hca.fabric.eng.Now(), Rank: qp.hca.node,
+				Peer: qp.peer.hca.node, Kind: trace.RetryExhausted, Arg: int64(w.attempts)})
+		}
+		qp.sendCQ.push(WC{QP: qp, Opcode: OpSendComplete, Status: StatusRNRRetryExceeded,
+			WRID: w.wrid, Err: &RNRExhaustedError{
+				Node:     qp.hca.node,
+				PeerNode: qp.peer.hca.node,
+				QPNum:    qp.num,
+				WRID:     w.wrid,
+				Attempts: w.attempts,
+			}})
 		return
 	}
 	qp.stalled = true
@@ -349,16 +397,39 @@ func (qp *QP) onRNRNak(seq uint64) {
 			qp.pump()
 		})
 	}
-	qp.rnrTimer.Reset(cfg.RNRTimeout)
+	qp.rnrTimer.Reset(qp.rnrWait(w.attempts))
 }
 
-// renumber reassigns consecutive sequence numbers after dropping a WQE, so
-// that the next WQE inherits the dropped sequence number and the receiver's
-// expected counter (which still points at the dropped message's slot) stays
-// meaningful.
-func (qp *QP) renumber() {
-	for i, w := range qp.queue {
-		w.seq = qp.baseSeq + uint64(i)
+// rnrWait returns the RNR back-off delay before retry attempt k (1-based):
+// fixed RNRTimeout classically, or geometric when RNRBackoffFactor > 1.
+func (qp *QP) rnrWait(attempt int) sim.Time {
+	cfg := qp.hca.fabric.Config()
+	d := cfg.RNRTimeout
+	if cfg.RNRBackoffFactor > 1 {
+		for i := 1; i < attempt; i++ {
+			d *= sim.Time(cfg.RNRBackoffFactor)
+			if cfg.RNRBackoffMax > 0 && d >= cfg.RNRBackoffMax {
+				return cfg.RNRBackoffMax
+			}
+		}
 	}
-	qp.sendSeq = qp.baseSeq + uint64(len(qp.queue))
+	return d
+}
+
+// Failed reports whether the QP is frozen after RNR budget exhaustion.
+func (qp *QP) Failed() bool { return qp.failed }
+
+// ResumeStalled clears the frozen state after RNR budget exhaustion and
+// restarts transmission from the failed WQE with a fresh retry budget.
+// The failed WQE was never dropped, so the FIFO stream resumes intact.
+// It is a no-op on a healthy QP.
+func (qp *QP) ResumeStalled() {
+	if !qp.failed {
+		return
+	}
+	qp.failed = false
+	if qp.next < len(qp.queue) {
+		qp.queue[qp.next].attempts = 0
+	}
+	qp.pump()
 }

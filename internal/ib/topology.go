@@ -62,6 +62,12 @@ func (f *Fabric) deliverPath(src, dst *HCA, start, tx sim.Time, n int, fn func()
 	eng := f.eng
 	cfg := &f.cfg
 
+	if cfg.Faults != nil {
+		// The injector sees the wire-entry time, not the posting time, so
+		// it can keep per-pair delivery order (RC links never reorder).
+		start += cfg.Faults.MessageDelay(start, src.node, dst.node, n+cfg.HeaderBytes)
+	}
+
 	finish := func() {
 		arrive := dst.ingress.reserve(eng.Now(), tx) + tx
 		eng.At(arrive+cfg.RecvOverhead, fn)

@@ -4,8 +4,11 @@ import (
 	"fmt"
 	"testing"
 
+	"ibflow/internal/chdev"
 	"ibflow/internal/core"
+	"ibflow/internal/fault"
 	"ibflow/internal/sim"
+	"ibflow/internal/trace"
 )
 
 // tortureMsg is one entry of a deterministic global traffic schedule.
@@ -167,6 +170,182 @@ func TestTortureDelayedReceivers(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// faultTortureOpts builds an aggressively faulty job configuration: a
+// finite RNR budget with geometric backoff, every fault hook armed, full
+// invariant checking, and the settlement phase the end-of-run audit needs.
+func faultTortureOpts(fc core.Params, seed uint64, tracer *trace.Buffer) Options {
+	opts := DefaultOptions(fc)
+	opts.IB.RNRTimeout = 20 * sim.Microsecond
+	opts.IB.RNRRetryCount = 3
+	opts.IB.RNRBackoffFactor = 2
+	opts.IB.RNRBackoffMax = 160 * sim.Microsecond
+	opts.IB.Tracer = tracer
+	opts.Chan.Debug = true
+	opts.Chan.Tracer = tracer
+	opts.Settle = true
+	// Backstop: a liveness bug surfaces as a crisp error, not a hang.
+	opts.TimeLimit = 2 * sim.Second
+	opts.Faults = fault.New(fault.Config{
+		Seed:         seed,
+		Nodes:        4,
+		JitterProb:   0.2,
+		JitterMax:    30 * sim.Microsecond,
+		OutageCount:  2,
+		OutageMax:    200 * sim.Microsecond,
+		Horizon:      5 * sim.Millisecond,
+		ECMDropProb:  0.3,
+		ECMDupProb:   0.2,
+		RNRForceProb: 0.25,
+		AckDelayProb: 0.1,
+		AckDelayMax:  20 * sim.Microsecond,
+		Tracer:       tracer,
+	})
+	return opts
+}
+
+// faultRunResult snapshots everything a rerun must reproduce bit-identically.
+type faultRunResult struct {
+	makespan sim.Time
+	stats    chdev.Stats
+	fstats   fault.Stats
+	events   []trace.Event
+}
+
+// runFaultTorture executes one seeded faulty run and asserts the per-run
+// invariants: no deadlock, every payload intact and FIFO-matched, and the
+// end-of-run audit (zero credit leak, message conservation, nothing
+// stranded). It returns the run's observable state for rerun comparison.
+func runFaultTorture(t *testing.T, fc core.Params, seed uint64) faultRunResult {
+	t.Helper()
+	const n, count = 4, 40
+	tracer := trace.NewBuffer(1 << 14)
+	opts := faultTortureOpts(fc, seed, tracer)
+	sched := tortureSchedule(n, count, seed^0xf001)
+	w := NewWorld(n, opts)
+	err := w.Run(func(c *Comm) {
+		me := c.Rank()
+		var reqs []*Request
+		var bufs [][]byte
+		var expect []tortureMsg
+		for _, m := range sched {
+			if m.dst == me {
+				buf := make([]byte, m.size)
+				reqs = append(reqs, c.Irecv(m.src, m.tag, buf))
+				bufs = append(bufs, buf)
+				expect = append(expect, m)
+			}
+		}
+		for _, m := range sched {
+			if m.src == me {
+				data := make([]byte, m.size)
+				fillPattern(data, m.seed)
+				c.Wait(c.Isend(m.dst, m.tag, data))
+			}
+		}
+		c.Waitall(reqs...)
+		for i, m := range expect {
+			if !checkPattern(bufs[i], m.seed) {
+				c.Abort(fmt.Sprintf("payload %d from %d (tag %d, %dB) corrupted under faults",
+					i, m.src, m.tag, m.size))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("%v seed %#x: %v", fc.Kind, seed, err)
+	}
+	if err := w.Audit(); err != nil {
+		t.Fatalf("%v seed %#x: %v", fc.Kind, seed, err)
+	}
+	return faultRunResult{
+		makespan: w.Time(),
+		stats:    w.Stats(),
+		fstats:   opts.Faults.Stats(),
+		events:   tracer.Events(),
+	}
+}
+
+// TestTortureFaultSweep sweeps 64 seeds per flow control scheme through
+// the full fault mix. Each run asserts no deadlock, payload integrity with
+// per-pair FIFO matching, and the conservation audit; the sweep as a whole
+// asserts the degradation machinery actually fired (no vacuous pass).
+func TestTortureFaultSweep(t *testing.T) {
+	const seeds = 64
+	schemes := []core.Params{
+		core.Hardware(2),
+		core.Static(2),
+		core.Dynamic(1, 64),
+	}
+	for _, fc := range schemes {
+		fc := fc
+		t.Run(fc.Kind.String(), func(t *testing.T) {
+			var agg chdev.Stats
+			var fagg fault.Stats
+			for seed := uint64(0); seed < seeds; seed++ {
+				res := runFaultTorture(t, fc, seed)
+				agg.RNRExhausted += res.stats.RNRExhausted
+				agg.Reissues += res.stats.Reissues
+				agg.ECMsDropped += res.stats.ECMsDropped
+				agg.ECMsDuplicated += res.stats.ECMsDuplicated
+				fagg.Jitters += res.fstats.Jitters
+				fagg.OutageDelays += res.fstats.OutageDelays
+				fagg.ForcedRNRs += res.fstats.ForcedRNRs
+				fagg.AckDelays += res.fstats.AckDelays
+			}
+			if fagg.Jitters == 0 || fagg.OutageDelays == 0 ||
+				fagg.ForcedRNRs == 0 || fagg.AckDelays == 0 {
+				t.Errorf("a fabric fault hook never fired across the sweep: %+v", fagg)
+			}
+			if agg.RNRExhausted == 0 || agg.Reissues == 0 {
+				t.Errorf("retry-exhaustion path never exercised: %+v", agg)
+			}
+			if fc.UserLevel() && agg.ECMsDropped == 0 {
+				t.Errorf("ECM drop path never exercised under %v", fc.Kind)
+			}
+			t.Logf("%v: %d seeds: jitters=%d outageDelays=%d forcedRNRs=%d ackDelays=%d "+
+				"rnrExhausted=%d reissues=%d ecmDrops=%d ecmDups=%d",
+				fc.Kind, seeds, fagg.Jitters, fagg.OutageDelays, fagg.ForcedRNRs, fagg.AckDelays,
+				agg.RNRExhausted, agg.Reissues, agg.ECMsDropped, agg.ECMsDuplicated)
+		})
+	}
+}
+
+// TestTortureFaultDeterminism reruns representative faulty seeds and
+// demands bit-identical results: same makespan, same device and fault
+// stats, and the same trace event sequence.
+func TestTortureFaultDeterminism(t *testing.T) {
+	schemes := []core.Params{
+		core.Hardware(2),
+		core.Static(2),
+		core.Dynamic(1, 64),
+	}
+	for _, fc := range schemes {
+		for _, seed := range []uint64{3, 17, 42} {
+			a := runFaultTorture(t, fc, seed)
+			b := runFaultTorture(t, fc, seed)
+			if a.makespan != b.makespan {
+				t.Errorf("%v seed %#x: makespan %v != %v", fc.Kind, seed, a.makespan, b.makespan)
+			}
+			if a.stats != b.stats {
+				t.Errorf("%v seed %#x: device stats diverge:\n%+v\n%+v", fc.Kind, seed, a.stats, b.stats)
+			}
+			if a.fstats != b.fstats {
+				t.Errorf("%v seed %#x: fault stats diverge:\n%+v\n%+v", fc.Kind, seed, a.fstats, b.fstats)
+			}
+			if len(a.events) != len(b.events) {
+				t.Errorf("%v seed %#x: %d trace events vs %d", fc.Kind, seed, len(a.events), len(b.events))
+				continue
+			}
+			for i := range a.events {
+				if a.events[i] != b.events[i] {
+					t.Errorf("%v seed %#x: trace diverges at %d: %v != %v",
+						fc.Kind, seed, i, a.events[i], b.events[i])
+					break
+				}
+			}
+		}
 	}
 }
 

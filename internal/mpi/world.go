@@ -10,6 +10,7 @@ import (
 
 	"ibflow/internal/chdev"
 	"ibflow/internal/core"
+	"ibflow/internal/fault"
 	"ibflow/internal/ib"
 	"ibflow/internal/sim"
 )
@@ -29,6 +30,16 @@ type Options struct {
 	RanksPerNode int
 	// TimeLimit aborts the simulation at this virtual time (0 = none).
 	TimeLimit sim.Time
+	// Faults, when non-nil, injects the plan's fabric and ECM faults
+	// into the whole job (it is wired into both IB.Faults and
+	// Chan.Faults by NewWorld).
+	Faults *fault.Plan
+	// Settle extends finalize with a termination-detection phase: ranks
+	// keep running the progress engine until every device is quiescent
+	// with no pending completions and no owed-credit flush outstanding.
+	// Audit requires a settled job; perf runs leave this off so their
+	// makespans stay comparable.
+	Settle bool
 }
 
 // DefaultOptions returns the calibrated testbed configuration under the
@@ -43,10 +54,12 @@ func DefaultOptions(fc core.Params) Options {
 
 // World is a simulated MPI job: n ranks on n nodes of one fabric.
 type World struct {
-	eng    *sim.Engine
-	fabric *ib.Fabric
-	ranks  []*Rank
-	opts   Options
+	eng      *sim.Engine
+	fabric   *ib.Fabric
+	ranks    []*Rank
+	devs     []*chdev.Device
+	opts     Options
+	settling int // ranks that have finished main + finalize (Settle barrier)
 }
 
 // NewWorld builds a job of n ranks.
@@ -59,6 +72,10 @@ func NewWorld(n int, opts Options) *World {
 		rpn = 1
 	}
 	nodes := (n + rpn - 1) / rpn
+	if opts.Faults != nil {
+		opts.IB.Faults = opts.Faults
+		opts.Chan.Faults = opts.Faults
+	}
 	eng := sim.NewEngine()
 	w := &World{
 		eng:    eng,
@@ -73,6 +90,7 @@ func NewWorld(n int, opts Options) *World {
 		devs[i] = r.dev
 	}
 	chdev.Wire(devs)
+	w.devs = devs
 	return w
 }
 
@@ -96,6 +114,10 @@ func (w *World) Run(main func(c *Comm)) error {
 			// rendezvous before the rank exits, as MPI_Finalize
 			// does.
 			r.dev.WaitProgress(p, r.dev.Quiescent)
+			if w.opts.Settle {
+				w.settling++
+				w.settle(p, r)
+			}
 		})
 	}
 	limit := w.opts.TimeLimit
@@ -114,6 +136,41 @@ func (w *World) Run(main func(c *Comm)) error {
 	}
 	return nil
 }
+
+// settle keeps a finished rank's progress engine turning until the whole
+// job is settled: every device quiescent, every completion polled, every
+// owed-credit flush done. Without this, a rank that exits early leaves
+// in-flight credits (ECMs, late arrivals) unprocessed, and the end-of-run
+// audit would misread them as leaks. The predicate is stable once true:
+// it requires every rank to have reached the settle barrier first, so no
+// application-level work can originate after it holds, and Busy covers a
+// peer that already popped a completion but has not applied its effects.
+func (w *World) settle(p *sim.Proc, r *Rank) {
+	const tick = 10 * sim.Microsecond
+	for !w.settled() {
+		r.dev.Poke(p)
+		p.Sleep(tick)
+	}
+}
+
+// settled reports whether no protocol work remains anywhere in the job.
+func (w *World) settled() bool {
+	if w.settling < len(w.ranks) {
+		return false // a rank is still in its main body or finalize
+	}
+	for _, d := range w.devs {
+		if !d.Quiescent() || d.Busy() || d.PendingCompletions() > 0 ||
+			d.CreditFlushPending() || d.Degraded() {
+			return false
+		}
+	}
+	return true
+}
+
+// Audit runs the chdev end-of-run conservation audit over all devices:
+// zero credit leak, message conservation, nothing stranded. Meaningful
+// after Run with Settle enabled.
+func (w *World) Audit() error { return chdev.Audit(w.devs) }
 
 // Time returns the virtual time consumed so far (after Run: the job's
 // makespan).
@@ -146,6 +203,10 @@ func (w *World) Stats() chdev.Stats {
 		s.RegHits += rs.RegHits
 		s.RegMisses += rs.RegMisses
 		s.BufBytesInUse += rs.BufBytesInUse
+		s.RNRExhausted += rs.RNRExhausted
+		s.Reissues += rs.Reissues
+		s.ECMsDropped += rs.ECMsDropped
+		s.ECMsDuplicated += rs.ECMsDuplicated
 	}
 	return s
 }

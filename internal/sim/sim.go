@@ -145,12 +145,18 @@ func (e *Engine) After(d Time, fn func()) {
 // processes are still parked: nothing can ever wake them again.
 type DeadlockError struct {
 	Time    Time
-	Blocked []string // names of parked processes
+	Blocked []string // names of parked non-daemon processes, sorted
+	Daemons []string // daemon processes also left parked, sorted
+	Fired   uint64   // events executed before the queue drained
 }
 
 func (e *DeadlockError) Error() string {
-	return fmt.Sprintf("sim: deadlock at %v: %d process(es) blocked forever: %v",
-		e.Time, len(e.Blocked), e.Blocked)
+	msg := fmt.Sprintf("sim: deadlock at %v after %d event(s): %d process(es) blocked forever: %v",
+		e.Time, e.Fired, len(e.Blocked), e.Blocked)
+	if len(e.Daemons) > 0 {
+		msg += fmt.Sprintf(" (daemons parked: %v)", e.Daemons)
+	}
+	return msg
 }
 
 // Run executes events until the queue is empty or until virtual time would
@@ -169,14 +175,20 @@ func (e *Engine) Run(limit Time) error {
 		next.fn()
 	}
 	if e.nlive > 0 {
-		var blocked []string
+		var blocked, daemons []string
 		for _, p := range e.procs {
-			if !p.finished && !p.daemon {
+			if p.finished {
+				continue
+			}
+			if p.daemon {
+				daemons = append(daemons, p.name)
+			} else {
 				blocked = append(blocked, p.name)
 			}
 		}
 		sort.Strings(blocked)
-		return &DeadlockError{Time: e.now, Blocked: blocked}
+		sort.Strings(daemons)
+		return &DeadlockError{Time: e.now, Blocked: blocked, Daemons: daemons, Fired: e.fired}
 	}
 	return nil
 }

@@ -1,7 +1,9 @@
 package sim
 
 import (
+	"fmt"
 	"runtime"
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
@@ -243,6 +245,43 @@ func TestDeadlockDetection(t *testing.T) {
 	}
 	if len(de.Blocked) != 2 || de.Blocked[0] != "stuck-a" || de.Blocked[1] != "stuck-b" {
 		t.Errorf("Blocked = %v, want sorted [stuck-a stuck-b]", de.Blocked)
+	}
+	if len(de.Daemons) != 0 {
+		t.Errorf("Daemons = %v, want none", de.Daemons)
+	}
+}
+
+// The error message must name the blocked processes and the event count so
+// a failing torture run is diagnosable from the message alone.
+func TestDeadlockErrorMessage(t *testing.T) {
+	e := NewEngine()
+	c := NewCond(e)
+	e.Go("consumer", func(p *Proc) {
+		p.Sleep(5)
+		c.Wait(p)
+	})
+	e.GoDaemon("driver", func(p *Proc) { c.Wait(p) })
+	err := e.Run(MaxTime)
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("Run = %v, want DeadlockError", err)
+	}
+	msg := de.Error()
+	for _, want := range []string{
+		"deadlock at 5ns",
+		"1 process(es) blocked forever",
+		"[consumer]",
+		"daemons parked: [driver]",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("message %q missing %q", msg, want)
+		}
+	}
+	if de.Fired == 0 {
+		t.Error("Fired = 0, want the executed event count")
+	}
+	if !strings.Contains(msg, fmt.Sprintf("after %d event(s)", de.Fired)) {
+		t.Errorf("message %q missing event count %d", msg, de.Fired)
 	}
 }
 

@@ -33,24 +33,36 @@ const (
 	Shrank
 	RNRNak
 	Retransmit
+	FaultDelay
+	LinkOutage
+	ECMDropped
+	ECMDuplicated
+	RetryExhausted
+	Reissued
 )
 
 var kindNames = map[Kind]string{
-	SendEager:    "send-eager",
-	SendRTS:      "send-rts",
-	SendCTS:      "send-cts",
-	SendFin:      "send-fin",
-	SendECM:      "send-ecm",
-	SendRingExt:  "send-ringext",
-	SendRDMAData: "rdma-data",
-	Recv:         "recv",
-	Demoted:      "demoted",
-	Backlogged:   "backlogged",
-	Drained:      "drained",
-	Grew:         "grew",
-	Shrank:       "shrank",
-	RNRNak:       "rnr-nak",
-	Retransmit:   "retransmit",
+	SendEager:      "send-eager",
+	SendRTS:        "send-rts",
+	SendCTS:        "send-cts",
+	SendFin:        "send-fin",
+	SendECM:        "send-ecm",
+	SendRingExt:    "send-ringext",
+	SendRDMAData:   "rdma-data",
+	Recv:           "recv",
+	Demoted:        "demoted",
+	Backlogged:     "backlogged",
+	Drained:        "drained",
+	Grew:           "grew",
+	Shrank:         "shrank",
+	RNRNak:         "rnr-nak",
+	Retransmit:     "retransmit",
+	FaultDelay:     "fault-delay",
+	LinkOutage:     "link-outage",
+	ECMDropped:     "ecm-dropped",
+	ECMDuplicated:  "ecm-duplicated",
+	RetryExhausted: "retry-exhausted",
+	Reissued:       "reissued",
 }
 
 func (k Kind) String() string {

@@ -63,13 +63,52 @@ func TestDumpAndSummary(t *testing.T) {
 }
 
 func TestKindStrings(t *testing.T) {
-	for k := SendEager; k <= Retransmit; k++ {
+	for k := SendEager; k <= Reissued; k++ {
 		if strings.HasPrefix(k.String(), "Kind(") {
 			t.Errorf("kind %d has no name", k)
 		}
 	}
 	if !strings.HasPrefix(Kind(200).String(), "Kind(") {
 		t.Error("unknown kind should fall back")
+	}
+}
+
+// Events are retained in insertion order, which on the single-threaded
+// simulation timeline is non-decreasing virtual time. The buffer must not
+// reorder them even across a ring wrap.
+func TestEventOrderingPreserved(t *testing.T) {
+	b := NewBuffer(4)
+	times := []sim.Time{100, 100, 250, 250, 300, 900}
+	for i, ts := range times {
+		b.Add(Event{T: ts, Rank: i, Kind: SendECM})
+	}
+	evs := b.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].T < evs[i-1].T {
+			t.Errorf("events out of order: %v before %v", evs[i-1], evs[i])
+		}
+		if evs[i].Rank != evs[i-1].Rank+1 {
+			t.Errorf("insertion order lost: rank %d follows %d", evs[i].Rank, evs[i-1].Rank)
+		}
+	}
+	if evs[0].Rank != 2 {
+		t.Errorf("oldest retained rank = %d, want 2", evs[0].Rank)
+	}
+}
+
+// Recording must stay allocation-free after the ring is built, so tracing
+// can remain enabled during experiments without perturbing benchmarks.
+func TestAddDoesNotAllocate(t *testing.T) {
+	b := NewBuffer(64)
+	e := Event{T: 1000, Rank: 1, Peer: 2, Kind: SendEager, Arg: 52}
+	allocs := testing.AllocsPerRun(1000, func() {
+		b.Add(e)
+	})
+	if allocs != 0 {
+		t.Errorf("Add allocates %v times per call, want 0", allocs)
 	}
 }
 
