@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test debug race cover bench fmt
+.PHONY: all build vet lint test debug race cover bench fmt metrics-smoke
 
 all: build vet lint test
 
@@ -38,6 +38,13 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# metrics-smoke mirrors the CI step: an instrumented run must produce a
+# parseable dump whose key set matches the checked-in golden inventory.
+metrics-smoke:
+	$(GO) run ./cmd/fcbench -test latency -size 64 -iters 50 -scheme static -metrics-out /tmp/ibflow-metrics.json
+	$(GO) run ./cmd/fcstats /tmp/ibflow-metrics.json > /dev/null
+	$(GO) run ./cmd/fcstats -keys /tmp/ibflow-metrics.json | diff - cmd/fcstats/testdata/latency_metrics_keys.golden
 
 fmt:
 	gofmt -w .

@@ -5,24 +5,74 @@
 //	experiments            # full suite (NAS class A) — takes a while
 //	experiments -quick     # class W, reduced sweeps
 //	experiments -only fig9 # one experiment
+//	experiments -quick -only fig2 -json          # machine-readable tables
+//	experiments -quick -only fig2 -metrics-out m # per-world metric dumps m-000.json, ...
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"ibflow/internal/bench"
+	"ibflow/internal/metrics"
+	"ibflow/internal/mpi"
 )
+
+// metricsSink hands every simulated world a fresh registry (a registry
+// belongs to exactly one world) and writes the dumps out afterwards,
+// numbered in world-construction order.
+type metricsSink struct {
+	prefix string
+	regs   []*metrics.Registry
+}
+
+func (s *metricsSink) attach(o *mpi.Options) {
+	r := metrics.New()
+	o.Metrics = r
+	s.regs = append(s.regs, r)
+}
+
+func (s *metricsSink) flush() error {
+	for i, r := range s.regs {
+		path := fmt.Sprintf("%s-%03d.json", s.prefix, i)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		err = r.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("writing %s: %w", path, err)
+		}
+	}
+	return nil
+}
 
 func main() {
 	quick := flag.Bool("quick", false, "class W and reduced sweep points")
 	only := flag.String("only", "", "comma-separated subset, e.g. fig2,fig9,table1,ablations,scaling")
 	csv := flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+	jsonOut := flag.Bool("json", false, "emit tables as one JSON document instead of aligned text")
+	metricsOut := flag.String("metrics-out", "", "dump each world's metrics to <prefix>-NNN.json")
 	flag.Parse()
 
+	if *csv && *jsonOut {
+		fmt.Fprintln(os.Stderr, "experiments: -csv and -json are mutually exclusive")
+		flag.Usage()
+		os.Exit(2)
+	}
+
 	o := bench.Opts{Quick: *quick}
+	var sink *metricsSink
+	if *metricsOut != "" {
+		sink = &metricsSink{prefix: strings.TrimSuffix(*metricsOut, ".json")}
+		o.Tune = sink.attach
+	}
 	want := map[string]bool{}
 	for _, k := range strings.Split(*only, ",") {
 		if k != "" {
@@ -76,16 +126,22 @@ func main() {
 	if *quick {
 		mode = "quick (class W)"
 	}
-	fmt.Printf("# ibflow experiment suite — %s\n\n", mode)
+	if !*jsonOut {
+		fmt.Printf("# ibflow experiment suite — %s\n\n", mode)
+	}
 	ran := 0
+	var tables []json.RawMessage
 	for _, e := range experiments {
 		if !sel(e.keys...) {
 			continue
 		}
 		t := e.run()
-		if *csv {
+		switch {
+		case *jsonOut:
+			tables = append(tables, json.RawMessage(t.JSON()))
+		case *csv:
 			fmt.Printf("# %s\n%s\n", t.Title, t.CSV())
-		} else {
+		default:
 			fmt.Println(t.String())
 		}
 		ran++
@@ -93,5 +149,23 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "no experiment matched -only=%s\n", *only)
 		os.Exit(2)
+	}
+	if *jsonOut {
+		doc := struct {
+			Mode   string            `json:"mode"`
+			Tables []json.RawMessage `json:"tables"`
+		}{mode, tables}
+		b, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			panic(err)
+		}
+		os.Stdout.Write(append(b, '\n'))
+	}
+	if sink != nil {
+		if err := sink.flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d metric dumps to %s-*.json\n", len(sink.regs), sink.prefix)
 	}
 }

@@ -5,16 +5,28 @@
 //
 //	fcbench -test latency -scheme static -prepost 100
 //	fcbench -test bandwidth -scheme dynamic -prepost 10 -size 4 -blocking=false
+//	fcbench -test latency -size 64 -metrics-out lat.json
+//	fcbench -test micro -json > BENCH_micro.json
+//
+// With -metrics-out the tool runs a single instrumented point (one
+// world, one metrics registry) and dumps the deterministic metric
+// series in the chosen -metrics-format; "perfetto" output opens in
+// ui.perfetto.dev. -test micro sweeps all three schemes through the
+// latency and bandwidth tests; with -json it emits the machine-readable
+// document stored as BENCH_micro.json at the repo root.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"ibflow/internal/bench"
 	"ibflow/internal/core"
+	"ibflow/internal/metrics"
 	"ibflow/internal/mpi"
+	"ibflow/internal/trace"
 )
 
 func schemeFor(name string, prepost, dynmax int) (core.Params, error) {
@@ -29,47 +41,296 @@ func schemeFor(name string, prepost, dynmax int) (core.Params, error) {
 	return core.Params{}, fmt.Errorf("unknown scheme %q (hardware|static|dynamic)", name)
 }
 
+// fail prints a flag-combination error plus usage and exits nonzero.
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "fcbench: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
+var (
+	latSizes  = []int{4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384}
+	bwWindows = []int{1, 2, 4, 8, 16, 24, 32, 48, 64, 80, 100}
+)
+
+type latPoint struct {
+	SizeB int     `json:"size_b"`
+	US    float64 `json:"us"`
+}
+
+type bwPoint struct {
+	Window int     `json:"window"`
+	MBs    float64 `json:"mb_s"`
+}
+
+// series is one scheme's sweep in the micro document.
+type series struct {
+	Scheme string    `json:"scheme"`
+	Values []float64 `json:"values"`
+}
+
+func emitJSON(v any) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		panic(err) // plain structs of ints/floats/strings: cannot fail
+	}
+	os.Stdout.Write(append(b, '\n'))
+}
+
+// writeMetrics dumps the registry (and, for perfetto, the trace ring)
+// to path in the requested format.
+func writeMetrics(reg *metrics.Registry, ring *trace.Buffer, path, format string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fcbench: %v\n", err)
+		os.Exit(1)
+	}
+	switch format {
+	case "json":
+		err = reg.WriteJSON(f)
+	case "csv":
+		err = reg.WriteCSV(f)
+	case "perfetto":
+		err = reg.WritePerfetto(f, ring.Events())
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fcbench: writing %s: %v\n", path, err)
+		os.Exit(1)
+	}
+}
+
 func main() {
-	test := flag.String("test", "latency", "benchmark: latency or bandwidth")
+	test := flag.String("test", "latency", "benchmark: latency, bandwidth, or micro (all schemes)")
 	scheme := flag.String("scheme", "static", "flow control scheme: hardware, static, dynamic")
 	prepost := flag.Int("prepost", 100, "pre-posted buffers per connection")
 	dynmax := flag.Int("dynmax", 300, "dynamic scheme growth cap")
-	size := flag.Int("size", 4, "message size in bytes (bandwidth; latency sweeps sizes)")
+	size := flag.Int("size", 4, "message size in bytes (bandwidth; latency sweeps unless set)")
 	window := flag.Int("window", 0, "bandwidth window size (0 = sweep)")
 	reps := flag.Int("reps", 10, "bandwidth repetitions")
 	iters := flag.Int("iters", 200, "latency ping-pong iterations")
 	blocking := flag.Bool("blocking", true, "use blocking MPI_Send/Recv")
 	rdma := flag.Bool("rdma", false, "use the RDMA-write eager channel (ICS'03 extension)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text")
+	metricsOut := flag.String("metrics-out", "", "write the run's metric dump to this file (single point only)")
+	metricsFormat := flag.String("metrics-format", "json", "metric dump format: json, csv, or perfetto")
 	flag.Parse()
+
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	// Validate flag combinations before running anything.
+	switch *test {
+	case "latency":
+		if set["window"] {
+			fail("-window applies to -test bandwidth, not latency")
+		}
+		if set["reps"] {
+			fail("-reps applies to -test bandwidth, not latency")
+		}
+		if *metricsOut != "" && !set["size"] {
+			fail("-metrics-out instruments a single run: pick one -size")
+		}
+	case "bandwidth":
+		if set["iters"] {
+			fail("-iters applies to -test latency, not bandwidth")
+		}
+		if *metricsOut != "" && !set["window"] {
+			fail("-metrics-out instruments a single run: pick one -window")
+		}
+	case "micro":
+		if set["scheme"] {
+			fail("-test micro sweeps all schemes; drop -scheme")
+		}
+		if set["metrics-out"] {
+			fail("-metrics-out is not supported with -test micro (many worlds, one registry)")
+		}
+	default:
+		fail("unknown -test %q (latency|bandwidth|micro)", *test)
+	}
+	if set["metrics-format"] && *metricsOut == "" {
+		fail("-metrics-format requires -metrics-out")
+	}
+	switch *metricsFormat {
+	case "json", "csv", "perfetto":
+	default:
+		fail("unknown -metrics-format %q (json|csv|perfetto)", *metricsFormat)
+	}
+
+	if *test == "micro" {
+		runMicro(*prepost, *dynmax, *size, *iters, *reps, *blocking, *rdma, *jsonOut)
+		return
+	}
 
 	fc, err := schemeFor(*scheme, *prepost, *dynmax)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(os.Stderr, "fcbench:", err)
+		flag.Usage()
 		os.Exit(2)
 	}
 
-	tune := func(o *mpi.Options) { o.Chan.RDMAEager = *rdma }
+	// One registry + trace ring per process; only ever attached when the
+	// run is a single instrumented point (validated above).
+	var reg *metrics.Registry
+	var ring *trace.Buffer
+	if *metricsOut != "" {
+		reg = metrics.New()
+		ring = trace.NewBuffer(1 << 14)
+	}
+	tune := func(o *mpi.Options) {
+		o.Chan.RDMAEager = *rdma
+		if reg != nil {
+			o.Metrics = reg
+			o.Chan.Tracer = ring
+			o.IB.Tracer = ring
+		}
+	}
 
 	switch *test {
 	case "latency":
-		fmt.Printf("# one-way latency, scheme=%s prepost=%d rdma=%v\n", *scheme, *prepost, *rdma)
-		fmt.Printf("%-10s %s\n", "size(B)", "latency(us)")
-		for _, s := range []int{4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384} {
-			fmt.Printf("%-10d %.2f\n", s, bench.LatencyOpts(fc, s, *iters, tune))
+		sizes := latSizes
+		if set["size"] {
+			sizes = []int{*size}
+		}
+		points := make([]latPoint, 0, len(sizes))
+		for _, s := range sizes {
+			points = append(points, latPoint{s, bench.LatencyOpts(fc, s, *iters, tune)})
+		}
+		if *jsonOut {
+			emitJSON(struct {
+				Test    string     `json:"test"`
+				Scheme  string     `json:"scheme"`
+				Prepost int        `json:"prepost"`
+				Iters   int        `json:"iters"`
+				RDMA    bool       `json:"rdma"`
+				Points  []latPoint `json:"points"`
+			}{"latency", *scheme, *prepost, *iters, *rdma, points})
+		} else {
+			fmt.Printf("# one-way latency, scheme=%s prepost=%d rdma=%v\n", *scheme, *prepost, *rdma)
+			fmt.Printf("%-10s %s\n", "size(B)", "latency(us)")
+			for _, p := range points {
+				fmt.Printf("%-10d %.2f\n", p.SizeB, p.US)
+			}
 		}
 	case "bandwidth":
-		fmt.Printf("# bandwidth MB/s, scheme=%s prepost=%d size=%dB blocking=%v\n",
-			*scheme, *prepost, *size, *blocking)
-		windows := []int{1, 2, 4, 8, 16, 24, 32, 48, 64, 80, 100}
+		windows := bwWindows
 		if *window > 0 {
 			windows = []int{*window}
 		}
-		fmt.Printf("%-10s %s\n", "window", "MB/s")
+		points := make([]bwPoint, 0, len(windows))
 		for _, w := range windows {
-			fmt.Printf("%-10d %.1f\n", w, bench.BandwidthOpts(fc, *size, w, *reps, *blocking, tune))
+			points = append(points, bwPoint{w, bench.BandwidthOpts(fc, *size, w, *reps, *blocking, tune)})
 		}
-	default:
-		fmt.Fprintf(os.Stderr, "unknown -test %q\n", *test)
-		os.Exit(2)
+		if *jsonOut {
+			emitJSON(struct {
+				Test     string    `json:"test"`
+				Scheme   string    `json:"scheme"`
+				Prepost  int       `json:"prepost"`
+				SizeB    int       `json:"size_b"`
+				Reps     int       `json:"reps"`
+				Blocking bool      `json:"blocking"`
+				RDMA     bool      `json:"rdma"`
+				Points   []bwPoint `json:"points"`
+			}{"bandwidth", *scheme, *prepost, *size, *reps, *blocking, *rdma, points})
+		} else {
+			fmt.Printf("# bandwidth MB/s, scheme=%s prepost=%d size=%dB blocking=%v\n",
+				*scheme, *prepost, *size, *blocking)
+			fmt.Printf("%-10s %s\n", "window", "MB/s")
+			for _, p := range points {
+				fmt.Printf("%-10d %.1f\n", p.Window, p.MBs)
+			}
+		}
+	}
+
+	if reg != nil {
+		writeMetrics(reg, ring, *metricsOut, *metricsFormat)
+	}
+}
+
+// runMicro sweeps all three schemes through the latency and bandwidth
+// micro-benchmarks; its -json form is the BENCH_micro.json document.
+func runMicro(prepost, dynmax, size, iters, reps int, blocking, rdma, jsonOut bool) {
+	tune := func(o *mpi.Options) { o.Chan.RDMAEager = rdma }
+	names := []string{"hardware", "static", "dynamic"}
+	schemes := bench.Schemes(prepost, dynmax)
+
+	lat := make([]series, len(schemes))
+	for i, fc := range schemes {
+		vals := make([]float64, len(latSizes))
+		for j, s := range latSizes {
+			vals[j] = bench.LatencyOpts(fc, s, iters, tune)
+		}
+		lat[i] = series{names[i], vals}
+	}
+	bw := make([]series, len(schemes))
+	for i, fc := range schemes {
+		vals := make([]float64, len(bwWindows))
+		for j, w := range bwWindows {
+			vals[j] = bench.BandwidthOpts(fc, size, w, reps, blocking, tune)
+		}
+		bw[i] = series{names[i], vals}
+	}
+
+	if jsonOut {
+		doc := struct {
+			Benchmark string `json:"benchmark"`
+			Prepost   int    `json:"prepost"`
+			DynMax    int    `json:"dynmax"`
+			RDMA      bool   `json:"rdma"`
+			Latency   struct {
+				Unit   string   `json:"unit"`
+				Iters  int      `json:"iters"`
+				Sizes  []int    `json:"sizes_b"`
+				Series []series `json:"series"`
+			} `json:"latency"`
+			Bandwidth struct {
+				Unit     string   `json:"unit"`
+				SizeB    int      `json:"size_b"`
+				Reps     int      `json:"reps"`
+				Blocking bool     `json:"blocking"`
+				Windows  []int    `json:"windows"`
+				Series   []series `json:"series"`
+			} `json:"bandwidth"`
+		}{Benchmark: "micro", Prepost: prepost, DynMax: dynmax, RDMA: rdma}
+		doc.Latency.Unit = "us"
+		doc.Latency.Iters = iters
+		doc.Latency.Sizes = latSizes
+		doc.Latency.Series = lat
+		doc.Bandwidth.Unit = "MB/s"
+		doc.Bandwidth.SizeB = size
+		doc.Bandwidth.Reps = reps
+		doc.Bandwidth.Blocking = blocking
+		doc.Bandwidth.Windows = bwWindows
+		doc.Bandwidth.Series = bw
+		emitJSON(doc)
+		return
+	}
+
+	fmt.Printf("# micro suite, prepost=%d dynmax=%d rdma=%v\n", prepost, dynmax, rdma)
+	fmt.Printf("\n## one-way latency (us)\n%-10s", "size(B)")
+	for _, n := range names {
+		fmt.Printf(" %10s", n)
+	}
+	fmt.Println()
+	for j, s := range latSizes {
+		fmt.Printf("%-10d", s)
+		for i := range lat {
+			fmt.Printf(" %10.2f", lat[i].Values[j])
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\n## bandwidth MB/s (%dB, blocking=%v)\n%-10s", size, blocking, "window")
+	for _, n := range names {
+		fmt.Printf(" %10s", n)
+	}
+	fmt.Println()
+	for j, w := range bwWindows {
+		fmt.Printf("%-10d", w)
+		for i := range bw {
+			fmt.Printf(" %10.1f", bw[i].Values[j])
+		}
+		fmt.Println()
 	}
 }

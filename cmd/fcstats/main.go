@@ -1,0 +1,155 @@
+// Command fcstats inspects deterministic metric dumps written by
+// fcbench/experiments -metrics-out.
+//
+//	fcstats dump.json            # per-metric summary table
+//	fcstats old.json new.json    # diff/regression table
+//	fcstats -keys dump.json      # sorted canonical keys, one per line
+//	fcstats -csv old.json new.json
+//
+// Histograms are compared by observation count (their Value field);
+// gauges by final level; counters by final count.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"ibflow/internal/bench"
+	"ibflow/internal/metrics"
+)
+
+func loadDump(path string) (metrics.Dump, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return metrics.Dump{}, err
+	}
+	defer f.Close()
+	d, err := metrics.DecodeDump(f)
+	if err != nil {
+		return metrics.Dump{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return d, nil
+}
+
+// keyList returns the dump's canonical metric keys, sorted.
+func keyList(d metrics.Dump) []string {
+	keys := make([]string, len(d.Metrics))
+	for i := range d.Metrics {
+		keys[i] = d.Metrics[i].Key()
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// summaryTable renders one dump: final value and sample count per metric.
+func summaryTable(d metrics.Dump) bench.Table {
+	t := bench.Table{
+		Title:   "metric summary",
+		Columns: []string{"metric", "kind", "value", "samples"},
+		Note:    fmt.Sprintf("%d samples at %dns interval", len(d.SampleNS), d.IntervalNS),
+	}
+	for i := range d.Metrics {
+		m := &d.Metrics[i]
+		t.AddRow(m.Key(), m.Kind, fmt.Sprint(m.Value), fmt.Sprint(len(m.Series)))
+	}
+	return t
+}
+
+// diffTable renders the regression view of two dumps, matched by
+// canonical key; metrics present in only one side show "-".
+func diffTable(oldD, newD metrics.Dump) bench.Table {
+	t := bench.Table{
+		Title:   "metric diff (old -> new)",
+		Columns: []string{"metric", "kind", "old", "new", "delta", "change"},
+	}
+	type pair struct {
+		kind     string
+		old, new *int64
+	}
+	byKey := map[string]*pair{}
+	var order []string
+	for i := range oldD.Metrics {
+		m := &oldD.Metrics[i]
+		k := m.Key()
+		byKey[k] = &pair{kind: m.Kind, old: &m.Value}
+		order = append(order, k)
+	}
+	for i := range newD.Metrics {
+		m := &newD.Metrics[i]
+		k := m.Key()
+		p, ok := byKey[k]
+		if !ok {
+			p = &pair{kind: m.Kind}
+			byKey[k] = p
+			order = append(order, k)
+		}
+		p.new = &m.Value
+	}
+	sort.Strings(order)
+	for _, k := range order {
+		p := byKey[k]
+		oldCell, newCell, deltaCell, changeCell := "-", "-", "-", "-"
+		if p.old != nil {
+			oldCell = fmt.Sprint(*p.old)
+		}
+		if p.new != nil {
+			newCell = fmt.Sprint(*p.new)
+		}
+		if p.old != nil && p.new != nil {
+			delta := *p.new - *p.old
+			deltaCell = fmt.Sprintf("%+d", delta)
+			if *p.old != 0 {
+				changeCell = fmt.Sprintf("%+.1f%%", float64(delta)/float64(*p.old)*100)
+			}
+		}
+		t.AddRow(k, p.kind, oldCell, newCell, deltaCell, changeCell)
+	}
+	return t
+}
+
+func main() {
+	keys := flag.Bool("keys", false, "print sorted canonical metric keys, one per line")
+	csv := flag.Bool("csv", false, "emit the table as CSV")
+	flag.Usage = func() {
+		fmt.Fprintln(flag.CommandLine.Output(),
+			"usage: fcstats [-keys] [-csv] <dump.json> [new.json]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 || len(args) > 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	d, err := loadDump(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fcstats:", err)
+		os.Exit(1)
+	}
+	if *keys {
+		for _, k := range keyList(d) {
+			fmt.Println(k)
+		}
+		return
+	}
+
+	var t bench.Table
+	if len(args) == 1 {
+		t = summaryTable(d)
+	} else {
+		d2, err := loadDump(args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fcstats:", err)
+			os.Exit(1)
+		}
+		t = diffTable(d, d2)
+	}
+	if *csv {
+		fmt.Print(t.CSV())
+	} else {
+		fmt.Print(t.String())
+	}
+}

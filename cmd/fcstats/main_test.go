@@ -1,0 +1,108 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ibflow/internal/bench"
+	"ibflow/internal/core"
+	"ibflow/internal/metrics"
+	"ibflow/internal/mpi"
+)
+
+// instrumentedLatencyDump mirrors the CI metrics smoke invocation:
+// fcbench -test latency -size 64 -iters 50 -scheme static -metrics-out.
+func instrumentedLatencyDump() metrics.Dump {
+	reg := metrics.New()
+	bench.LatencyOpts(core.Static(100), 64, 50, func(o *mpi.Options) { o.Metrics = reg })
+	return reg.Snapshot()
+}
+
+// TestKeyListMatchesGolden pins the instrumentation key set: adding or
+// renaming a metric anywhere in the stack must update
+// testdata/latency_metrics_keys.golden (which CI also diffs against a
+// live fcbench|fcstats run).
+func TestKeyListMatchesGolden(t *testing.T) {
+	d := instrumentedLatencyDump()
+	got := strings.Join(keyList(d), "\n") + "\n"
+	want, err := os.ReadFile(filepath.Join("testdata", "latency_metrics_keys.golden"))
+	if err != nil {
+		t.Fatalf("reading golden: %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("metric key set diverged from golden:\ngot:\n%swant:\n%s", got, want)
+	}
+}
+
+func TestSummaryTable(t *testing.T) {
+	d := instrumentedLatencyDump()
+	tab := summaryTable(d)
+	if len(tab.Rows) != len(d.Metrics) {
+		t.Fatalf("summary rows = %d, want %d", len(tab.Rows), len(d.Metrics))
+	}
+	for _, r := range tab.Rows {
+		if len(r) != len(tab.Columns) {
+			t.Fatalf("row %v has %d cells, want %d", r, len(r), len(tab.Columns))
+		}
+	}
+	// The whole-job event counter must be present and nonzero.
+	found := false
+	for _, r := range tab.Rows {
+		if r[0] == "sim_events_fired" {
+			found = true
+			if r[1] != "counter" || r[2] == "0" {
+				t.Errorf("sim_events_fired row = %v", r)
+			}
+		}
+	}
+	if !found {
+		t.Error("sim_events_fired missing from summary")
+	}
+}
+
+func TestDiffTableIdenticalDumps(t *testing.T) {
+	d := instrumentedLatencyDump()
+	tab := diffTable(d, d)
+	if len(tab.Rows) != len(d.Metrics) {
+		t.Fatalf("diff rows = %d, want %d", len(tab.Rows), len(d.Metrics))
+	}
+	for _, r := range tab.Rows {
+		if r[4] != "+0" {
+			t.Errorf("metric %s: delta %q, want +0 for identical dumps", r[0], r[4])
+		}
+	}
+}
+
+func TestDiffTableDisjointAndChanged(t *testing.T) {
+	oldD := metrics.Dump{Version: metrics.DumpVersion, Metrics: []metrics.DumpMetric{
+		{Name: "gone", Kind: "counter", Value: 3},
+		{Name: "shared", Kind: "gauge", Value: 10},
+	}}
+	newD := metrics.Dump{Version: metrics.DumpVersion, Metrics: []metrics.DumpMetric{
+		{Name: "added", Kind: "counter", Value: 7},
+		{Name: "shared", Kind: "gauge", Value: 15},
+	}}
+	tab := diffTable(oldD, newD)
+	want := map[string][]string{
+		"added":  {"added", "counter", "-", "7", "-", "-"},
+		"gone":   {"gone", "counter", "3", "-", "-", "-"},
+		"shared": {"shared", "gauge", "10", "15", "+5", "+50.0%"},
+	}
+	if len(tab.Rows) != len(want) {
+		t.Fatalf("diff rows = %d, want %d", len(tab.Rows), len(want))
+	}
+	for _, r := range tab.Rows {
+		w, ok := want[r[0]]
+		if !ok {
+			t.Errorf("unexpected row %v", r)
+			continue
+		}
+		for i := range w {
+			if r[i] != w[i] {
+				t.Errorf("row %s cell %d = %q, want %q", r[0], i, r[i], w[i])
+			}
+		}
+	}
+}

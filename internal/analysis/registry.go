@@ -25,6 +25,7 @@ var AuditedPackages = []string{
 	"ibflow/internal/core",
 	"ibflow/internal/chdev",
 	"ibflow/internal/mpi",
+	"ibflow/internal/metrics",
 	"ibflow/internal/coll",
 	"ibflow/internal/nas",
 	"ibflow/internal/rdc",

@@ -63,6 +63,30 @@ func sortIdiomOK(m map[string]int) {
 	}
 }
 
+func emitRow(k, v string) {}
+
+// exporterFlagged mirrors a metrics exporter that walks a label map
+// directly: row order would depend on the map's iteration order, so two
+// identical runs could produce different dumps.
+func exporterFlagged(labels map[string]string) {
+	for k, v := range labels { // want `order-dependent iteration over map: body calls emitRow in map order`
+		emitRow(k, v)
+	}
+}
+
+// exporterSortedOK is the export idiom internal/metrics uses: collect
+// the label keys, sort them, then emit rows in canonical key order.
+func exporterSortedOK(labels map[string]string) {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		emitRow(k, labels[k])
+	}
+}
+
 // localStateOK: writes confined to variables declared inside the loop
 // body cannot leak iteration order.
 func localStateOK(m map[string]int) {

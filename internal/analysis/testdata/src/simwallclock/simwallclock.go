@@ -24,6 +24,22 @@ func globalPRNG() int {
 	return rand.Intn(10)               // want `global PRNG rand\.Intn is not seeded by the simulation`
 }
 
+// exporterTimestamp mirrors a metrics exporter stamping its dump with
+// the host clock: the byte-identical-dump contract would break between
+// two otherwise identical runs.
+func exporterTimestamp() int64 {
+	return time.Now().UnixNano() // want `wall-clock time\.Now in simulation code`
+}
+
+// simTimestampOK: sample times come from the virtual clock, already in
+// hand as plain integers — no host clock involved.
+func simTimestampOK(sampleNS []int64) int64 {
+	if len(sampleNS) == 0 {
+		return 0
+	}
+	return sampleNS[len(sampleNS)-1]
+}
+
 // durationsOK: pure conversions and constants never touch the host clock.
 func durationsOK() time.Duration {
 	d := 3 * time.Millisecond

@@ -20,11 +20,11 @@ func AblationDemotion(o Opts) Table {
 	for _, pol := range []core.ZeroCreditPolicy{core.DemoteToRendezvous, core.PureBacklog} {
 		fc := core.Static(10)
 		fc.ZeroCredit = pol
-		nb := Bandwidth(fc, 4, 100, o.bwReps(), false)
-		blk := Bandwidth(fc, 4, 100, o.bwReps(), true)
+		nb := bandwidthTuned(fc, 4, 100, o.bwReps(), false, o.Tune)
+		blk := bandwidthTuned(fc, 4, 100, o.bwReps(), true, o.Tune)
 		fcLU := core.Static(2)
 		fcLU.ZeroCredit = pol
-		res, err := RunNAS("LU", o.class(), 8, fcLU)
+		res, err := RunNASOpts("LU", o.class(), 8, fcLU, o.Tune)
 		if err != nil {
 			panic(err)
 		}
@@ -52,8 +52,8 @@ func AblationGrowth(o Opts) Table {
 	} {
 		fc := core.Dynamic(1, dynMax)
 		gr.mut(&fc)
-		bw := Bandwidth(fc, 4, 100, o.bwReps(), false)
-		res, err := RunNAS("LU", o.class(), 8, fc)
+		bw := bandwidthTuned(fc, 4, 100, o.bwReps(), false, o.Tune)
+		res, err := RunNASOpts("LU", o.class(), 8, fc, o.Tune)
 		if err != nil {
 			panic(err)
 		}
@@ -75,7 +75,7 @@ func AblationECMThreshold(o Opts) Table {
 	for _, th := range []int{1, 2, 5, 10, 32} {
 		fc := core.Static(100)
 		fc.ECMThreshold = th
-		res, err := RunNAS("LU", o.class(), 8, fc)
+		res, err := RunNASOpts("LU", o.class(), 8, fc, o.Tune)
 		if err != nil {
 			panic(err)
 		}
@@ -97,9 +97,9 @@ func AblationRNRTimeout(o Opts) Table {
 	}
 	for _, us := range []int{10, 40, 80, 320, 1280} {
 		us := us
-		res, err := RunNASOpts("LU", o.class(), 8, core.Hardware(1), func(op *mpi.Options) {
+		res, err := RunNASOpts("LU", o.class(), 8, core.Hardware(1), composeTune(func(op *mpi.Options) {
 			op.IB.RNRTimeout = sim.Time(us) * sim.Microsecond
-		})
+		}, o.Tune))
 		if err != nil {
 			panic(err)
 		}
@@ -119,7 +119,7 @@ func AblationEagerThreshold(o Opts) Table {
 	}
 	for _, bs := range []int{256, 512, 1024, 2048, 4096, 8192} {
 		bs := bs
-		tune := func(op *mpi.Options) { op.Chan.BufSize = bs }
+		tune := composeTune(func(op *mpi.Options) { op.Chan.BufSize = bs }, o.Tune)
 		lat1 := latencyTuned(core.Static(10), 1024, o.latIters(), tune)
 		lat4 := latencyTuned(core.Static(10), 4096, o.latIters(), tune)
 		res, err := RunNASOpts("IS", o.class(), 8, core.Static(10), tune)
@@ -172,7 +172,9 @@ func AblationShrink(o Opts) Table {
 			fc.ShrinkIdle = 2 * sim.Millisecond
 			fc.ShrinkFloor = 2
 		}
-		w := mpi.NewWorld(2, mpi.DefaultOptions(fc))
+		opts := mpi.DefaultOptions(fc)
+		o.tune(&opts)
+		w := mpi.NewWorld(2, opts)
 		err := w.Run(func(c *mpi.Comm) {
 			// Phase 1: one-way burst creating buffer pressure.
 			const burst = 60
@@ -234,6 +236,7 @@ func ScalingMeasured(o Opts) Table {
 		opts := mpi.DefaultOptions(fc)
 		opts.Chan.OnDemand = true
 		opts.TimeLimit = timeLimit
+		o.tune(&opts)
 		w := mpi.NewWorld(n, opts)
 		if err := w.Run(func(c *mpi.Comm) {
 			// 1-D ring halo with distance-1 and distance-2 neighbours
@@ -267,7 +270,7 @@ func ScalingMeasured(o Opts) Table {
 // and measures on-demand connection setup on a ring workload.
 func ScalingTable(o Opts) Table {
 	// Measure dynamic demand on LU (the worst case) once.
-	res, err := RunNAS("LU", o.class(), 8, core.Dynamic(1, dynMax))
+	res, err := RunNASOpts("LU", o.class(), 8, core.Dynamic(1, dynMax), o.Tune)
 	if err != nil {
 		panic(err)
 	}

@@ -11,9 +11,11 @@ import (
 
 // collTime measures the average virtual time of one collective invocation
 // on an 8-rank cluster under the static scheme with ample buffers.
-func collTime(iters int, body func(c *mpi.Comm, scratch []byte)) sim.Time {
+func collTime(o Opts, iters int, body func(c *mpi.Comm, scratch []byte)) sim.Time {
 	const ranks = 8
-	w := mpi.NewWorld(ranks, mpi.DefaultOptions(core.Static(100)))
+	opts := mpi.DefaultOptions(core.Static(100))
+	o.tune(&opts)
+	w := mpi.NewWorld(ranks, opts)
 	if err := w.Run(func(c *mpi.Comm) {
 		scratch := make([]byte, 1<<21)
 		for i := 0; i < iters; i++ {
@@ -43,10 +45,10 @@ func AblationCollectives(o Opts) Table {
 
 	for _, block := range []int{8, 4096} {
 		block := block
-		def := collTime(iters, func(c *mpi.Comm, s []byte) {
+		def := collTime(o, iters, func(c *mpi.Comm, s []byte) {
 			coll.Alltoall(c, s[:c.Size()*block], s[1<<20:1<<20+c.Size()*block], block)
 		})
-		bruck := collTime(iters, func(c *mpi.Comm, s []byte) {
+		bruck := collTime(o, iters, func(c *mpi.Comm, s []byte) {
 			coll.AlltoallBruck(c, s[:c.Size()*block], s[1<<20:1<<20+c.Size()*block], block)
 		})
 		row("alltoall", fmt.Sprintf("%dB blocks", block), def, bruck, "bruck")
@@ -54,10 +56,10 @@ func AblationCollectives(o Opts) Table {
 
 	for _, size := range []int{1024, 512 * 1024} {
 		size := size
-		def := collTime(iters, func(c *mpi.Comm, s []byte) {
+		def := collTime(o, iters, func(c *mpi.Comm, s []byte) {
 			coll.Bcast(c, 0, s[:size])
 		})
-		sag := collTime(iters, func(c *mpi.Comm, s []byte) {
+		sag := collTime(o, iters, func(c *mpi.Comm, s []byte) {
 			coll.BcastSAG(c, 0, s[:size])
 		})
 		row("bcast", fmt.Sprintf("%dB", size), def, sag, "scatter+allgather")
@@ -65,10 +67,10 @@ func AblationCollectives(o Opts) Table {
 
 	for _, size := range []int{64, 1 << 20} {
 		size := size
-		def := collTime(iters, func(c *mpi.Comm, s []byte) {
+		def := collTime(o, iters, func(c *mpi.Comm, s []byte) {
 			coll.Allreduce(c, s[:size], coll.SumF64)
 		})
-		ring := collTime(iters, func(c *mpi.Comm, s []byte) {
+		ring := collTime(o, iters, func(c *mpi.Comm, s []byte) {
 			coll.AllreduceRing(c, s[:size], coll.SumF64)
 		})
 		row("allreduce", fmt.Sprintf("%dB", size), def, ring, "ring")

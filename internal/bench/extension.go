@@ -24,7 +24,7 @@ func ExtensionRDMAChannel(o Opts) Table {
 		if rdma {
 			name = "rdma-write"
 		}
-		tune := func(op *mpi.Options) { op.Chan.RDMAEager = rdma }
+		tune := composeTune(func(op *mpi.Options) { op.Chan.RDMAEager = rdma }, o.Tune)
 		lat := latencyTuned(core.Static(100), 4, o.latIters(), tune)
 		bw := bandwidthTuned(core.Dynamic(10, dynMax), 4, 64, o.bwReps(), false, tune)
 		res, err := RunNASOpts("LU", o.class(), 8, core.Dynamic(1, dynMax), tune)

@@ -34,6 +34,7 @@ func ExtensionFatTree(o Opts) Table {
 		opts.IB.LeafRadix = 8
 		opts.IB.Oversub = 4
 		opts.TimeLimit = timeLimit
+		o.tune(&opts)
 		w := mpi.NewWorld(ranks, opts)
 		if err := w.Run(func(c *mpi.Comm) {
 			n, me := c.Size(), c.Rank()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ibflow/internal/core"
+	"ibflow/internal/mpi"
 	"ibflow/internal/nas"
 )
 
@@ -12,6 +13,31 @@ import (
 // class A setup.
 type Opts struct {
 	Quick bool
+
+	// Tune, when non-nil, is applied to every simulated world's options
+	// just before construction — the hook cmd/experiments uses to attach
+	// a fresh metrics registry (and tracer) per world. Experiments with
+	// their own option tweaks compose: the site's tweak runs first, Tune
+	// last.
+	Tune func(*mpi.Options)
+}
+
+// tune applies the Opts-level hook, if any.
+func (o Opts) tune(opts *mpi.Options) {
+	if o.Tune != nil {
+		o.Tune(opts)
+	}
+}
+
+// composeTune chains option hooks left to right, skipping nil ones.
+func composeTune(hooks ...func(*mpi.Options)) func(*mpi.Options) {
+	return func(opts *mpi.Options) {
+		for _, h := range hooks {
+			if h != nil {
+				h(opts)
+			}
+		}
+	}
 }
 
 func (o Opts) class() nas.Class {
@@ -65,7 +91,7 @@ func Figure2(o Opts) Table {
 	for _, size := range o.latSizes() {
 		row := []string{fmt.Sprint(size)}
 		for _, fc := range Schemes(100, dynMax) {
-			row = append(row, f2(Latency(fc, size, o.latIters())))
+			row = append(row, f2(latencyTuned(fc, size, o.latIters(), o.Tune)))
 		}
 		t.AddRow(row...)
 	}
@@ -82,7 +108,7 @@ func bwFigure(o Opts, title, note string, size, prepost int, blocking bool) Tabl
 	for _, win := range o.windows() {
 		row := []string{fmt.Sprint(win)}
 		for _, fc := range Schemes(prepost, dynMax) {
-			row = append(row, f1(Bandwidth(fc, size, win, o.bwReps(), blocking)))
+			row = append(row, f1(bandwidthTuned(fc, size, win, o.bwReps(), blocking, o.Tune)))
 		}
 		t.AddRow(row...)
 	}
@@ -139,7 +165,7 @@ func Figure9(o Opts) (Table, []NASResult) {
 	for _, app := range nasApps {
 		row := []string{app}
 		for _, fc := range Schemes(100, dynMax) {
-			res, err := RunNAS(app, o.class(), ProcsFor(app), fc)
+			res, err := RunNASOpts(app, o.class(), ProcsFor(app), fc, o.Tune)
 			if err != nil {
 				panic(err)
 			}
@@ -167,14 +193,14 @@ func Figure10(o Opts) (Table, []NASResult) {
 		row := []string{app}
 		base := make([]float64, 3)
 		for i, fc := range Schemes(100, dynMax) {
-			res, err := RunNAS(app, o.class(), ProcsFor(app), fc)
+			res, err := RunNASOpts(app, o.class(), ProcsFor(app), fc, o.Tune)
 			if err != nil {
 				panic(err)
 			}
 			base[i] = res.Time.Seconds()
 		}
 		for i, fc := range Schemes(1, dynMax) {
-			res, err := RunNAS(app, o.class(), ProcsFor(app), fc)
+			res, err := RunNASOpts(app, o.class(), ProcsFor(app), fc, o.Tune)
 			if err != nil {
 				panic(err)
 			}
@@ -198,7 +224,7 @@ func Table1(o Opts) Table {
 		Note:    "paper: LU ~18% ECMs; all other applications near zero",
 	}
 	for _, app := range nasApps {
-		res, err := RunNAS(app, o.class(), ProcsFor(app), core.Static(100))
+		res, err := RunNASOpts(app, o.class(), ProcsFor(app), core.Static(100), o.Tune)
 		if err != nil {
 			panic(err)
 		}
@@ -221,7 +247,7 @@ func Table2(o Opts) Table {
 		Note:    "paper: IS 4, FT 4, LU 63, CG 3, MG 6, BT 7, SP 7",
 	}
 	for _, app := range nasApps {
-		res, err := RunNAS(app, o.class(), ProcsFor(app), core.Dynamic(1, dynMax))
+		res, err := RunNASOpts(app, o.class(), ProcsFor(app), core.Dynamic(1, dynMax), o.Tune)
 		if err != nil {
 			panic(err)
 		}

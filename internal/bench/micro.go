@@ -6,10 +6,7 @@
 package bench
 
 import (
-	"fmt"
-
 	"ibflow/internal/core"
-	"ibflow/internal/mpi"
 	"ibflow/internal/sim"
 )
 
@@ -27,23 +24,7 @@ func Schemes(prepost, dynMax int) []core.Params {
 // Latency measures the one-way small-message latency (the paper's
 // ping-pong test, Figure 2) in microseconds for one message size.
 func Latency(fc core.Params, size, iters int) float64 {
-	w := mpi.NewWorld(2, mpi.DefaultOptions(fc))
-	err := w.Run(func(c *mpi.Comm) {
-		buf := make([]byte, size)
-		for i := 0; i < iters; i++ {
-			if c.Rank() == 0 {
-				c.Send(1, 0, buf)
-				c.Recv(1, 0, buf)
-			} else {
-				c.Recv(0, 0, buf)
-				c.Send(0, 0, buf)
-			}
-		}
-	})
-	if err != nil {
-		panic(fmt.Sprintf("bench: latency run failed: %v", err))
-	}
-	return w.Time().Micros() / float64(2*iters)
+	return latencyTuned(fc, size, iters, nil)
 }
 
 // Bandwidth measures the paper's window-based bandwidth test: the sender
@@ -54,59 +35,7 @@ func Latency(fc core.Params, size, iters int) float64 {
 // loops measured). Blocking selects MPI_Send/Recv vs MPI_Isend/Irecv.
 // The result is MB/s (10^6 bytes per second, as the paper plots).
 func Bandwidth(fc core.Params, size, window, reps int, blocking bool) float64 {
-	const warmup = 6
-	var start sim.Time
-	w := mpi.NewWorld(2, mpi.DefaultOptions(fc))
-	const tag, ackTag = 1, 2
-	err := w.Run(func(c *mpi.Comm) {
-		ack := make([]byte, 4)
-		if c.Rank() == 0 {
-			data := make([]byte, size)
-			for r := 0; r < warmup+reps; r++ {
-				if r == warmup {
-					start = c.Time()
-				}
-				if blocking {
-					for i := 0; i < window; i++ {
-						c.Send(1, tag, data)
-					}
-				} else {
-					reqs := make([]*mpi.Request, window)
-					for i := 0; i < window; i++ {
-						reqs[i] = c.Isend(1, tag, data)
-					}
-					c.Waitall(reqs...)
-				}
-				c.Recv(1, ackTag, ack)
-			}
-		} else {
-			buf := make([]byte, size)
-			bufs := make([][]byte, window)
-			for i := range bufs {
-				bufs[i] = make([]byte, size)
-			}
-			for r := 0; r < warmup+reps; r++ {
-				if blocking {
-					for i := 0; i < window; i++ {
-						c.Recv(0, tag, buf)
-					}
-				} else {
-					reqs := make([]*mpi.Request, window)
-					for i := 0; i < window; i++ {
-						reqs[i] = c.Irecv(0, tag, bufs[i])
-					}
-					c.Waitall(reqs...)
-				}
-				c.Send(0, ackTag, ack)
-			}
-		}
-	})
-	if err != nil {
-		panic(fmt.Sprintf("bench: bandwidth run failed: %v", err))
-	}
-	bytes := float64(size) * float64(window) * float64(reps)
-	elapsed := w.Time() - start
-	return bytes / elapsed.Seconds() / 1e6
+	return bandwidthTuned(fc, size, window, reps, blocking, nil)
 }
 
 // LatencySweep runs Latency across message sizes.

@@ -30,6 +30,7 @@ func ExtensionMiddleware(o Opts) Table {
 		// Parallel file system: 2 servers, 6 clients all checkpointing.
 		opts := mpi.DefaultOptions(fc)
 		opts.TimeLimit = timeLimit
+		o.tune(&opts)
 		w := mpi.NewWorld(ranks, opts)
 		if err := w.Run(func(c *mpi.Comm) {
 			fs := pfs.Mount(c, 2)
@@ -48,6 +49,7 @@ func ExtensionMiddleware(o Opts) Table {
 		// DSM: everyone pulls every page homed at rank 0.
 		opts2 := mpi.DefaultOptions(fc)
 		opts2.TimeLimit = timeLimit
+		o.tune(&opts2)
 		w2 := mpi.NewWorld(ranks, opts2)
 		if err := w2.Run(func(c *mpi.Comm) {
 			s := dsm.New(c, pages*c.Size()) // pages*n so rank 0 homes `pages` of them

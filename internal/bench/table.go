@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 )
@@ -83,6 +84,22 @@ func (t *Table) CSV() string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// JSON renders the table as an indented JSON object (title, columns,
+// rows, note) for machine consumers; output is byte-deterministic.
+func (t *Table) JSON() string {
+	v := struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+		Note    string     `json:"note,omitempty"`
+	}{t.Title, t.Columns, t.Rows, t.Note}
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		panic(err) // strings-only payload: cannot fail
+	}
+	return string(b) + "\n"
 }
 
 func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }

@@ -31,7 +31,9 @@ func ExtensionUDChannel(o Opts) Table {
 
 	// Reliable Connection: the paper's design, static scheme.
 	{
-		w := mpi.NewWorld(ranks, mpi.DefaultOptions(core.Static(10)))
+		opts := mpi.DefaultOptions(core.Static(10))
+		o.tune(&opts)
+		w := mpi.NewWorld(ranks, opts)
 		if err := w.Run(func(c *mpi.Comm) {
 			n, me := c.Size(), c.Rank()
 			data := make([]byte, size)

@@ -7,6 +7,7 @@
 package chdev
 
 import (
+	"ibflow/internal/metrics"
 	"ibflow/internal/sim"
 	"ibflow/internal/trace"
 )
@@ -81,6 +82,12 @@ type Config struct {
 	// starvation, growth, transport retries) on the virtual timeline.
 	// All devices of a job share one buffer.
 	Tracer *trace.Buffer
+
+	// Metrics, when non-nil, receives per-connection flow control
+	// gauges/counters (registered as connections are established) and
+	// per-rank rendezvous latency histograms (see internal/metrics).
+	// All devices of a job share one registry.
+	Metrics *metrics.Registry
 
 	// Debug enables per-progress invariant checking.
 	Debug bool

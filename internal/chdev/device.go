@@ -8,6 +8,7 @@ import (
 	"ibflow/internal/debug"
 	"ibflow/internal/ib"
 	"ibflow/internal/mem"
+	"ibflow/internal/metrics"
 	"ibflow/internal/sim"
 	"ibflow/internal/trace"
 )
@@ -55,6 +56,7 @@ type rndvOut struct {
 	token   any
 	starved bool
 	peerReq uint64
+	start   sim.Time // when the rendezvous began, for the latency histogram
 }
 
 // ctxKind classifies outstanding work requests.
@@ -168,6 +170,10 @@ type Device struct {
 
 	setups   int // on-demand connection setups initiated
 	handling int // completions popped off the CQ but not fully processed
+
+	// rndvHist, when metrics are attached, is the per-rank histogram of
+	// sender-side rendezvous latency (RTS posted to FIN sent).
+	rndvHist *metrics.Histogram
 }
 
 // New creates a channel device for rank on hca. Wire must be called on the
@@ -194,6 +200,8 @@ func New(eng *sim.Engine, hca *ib.HCA, cfg Config, params core.Params, rank, siz
 		qpConn:   make(map[*ib.QP]*conn),
 		sendCtxs: make(map[uint64]sendCtx),
 		recvCtxs: make(map[uint64]recvSlot),
+		rndvHist: cfg.Metrics.Histogram("chdev_rndv_ns", metrics.TimeBuckets,
+			metrics.RankLabel(rank)),
 	}
 }
 
@@ -230,6 +238,11 @@ func establish(a, b *Device) {
 	b.conns[a.rank] = cb
 	a.qpConn[qa] = ca
 	b.qpConn[qb] = cb
+	// Each direction of the connection is a distinct metric series; with
+	// on-demand wiring this runs mid-job and the series align via the
+	// registry's first-sample offsets.
+	ca.vc.RegisterMetrics(a.cfg.Metrics, a.rank, b.rank)
+	cb.vc.RegisterMetrics(b.cfg.Metrics, b.rank, a.rank)
 	if a.cfg.RDMAEager {
 		a.prepost(ca, a.cfg.CtrlPrepost)
 		b.prepost(cb, b.cfg.CtrlPrepost)
@@ -345,9 +358,15 @@ func (d *Device) conn(p *sim.Proc, peer int) *conn {
 			panic("chdev: devices not wired")
 		}
 		p.Sleep(d.cfg.ConnSetup)
-		establish(d, d.peers[peer])
-		d.setups++
-		c = d.conns[peer]
+		// Both ends can decide to connect within the same setup window;
+		// whichever wakes first establishes, the other reuses. Without
+		// the re-check the loser would wire a second QP pair over the
+		// first (and double-register the connection's metrics).
+		if c = d.conns[peer]; c == nil {
+			establish(d, d.peers[peer])
+			d.setups++
+			c = d.conns[peer]
+		}
 	}
 	return c
 }
@@ -571,7 +590,8 @@ func (d *Device) drainBacklog(p *sim.Proc, c *conn) bool {
 // outgoing rendezvous state.
 func (d *Device) newRndvOut(p *sim.Proc, c *conn, tag int, comm uint16, data []byte, token any, starved bool) *rndvOut {
 	d.rndvSeq++
-	out := &rndvOut{id: d.rndvSeq, tag: tag, comm: comm, data: data, token: token, starved: starved}
+	out := &rndvOut{id: d.rndvSeq, tag: tag, comm: comm, data: data, token: token,
+		starved: starved, start: d.eng.Now()}
 	c.sendRndv[out.id] = out
 	if len(data) > 0 {
 		_, cost := d.regs.Register(data)
@@ -917,6 +937,7 @@ func (d *Device) handleWC(p *sim.Proc, wc ib.WC) {
 		case ctxRndvData:
 			d.sendFin(p, ctx.conn, ctx.out.peerReq)
 			delete(ctx.conn.sendRndv, ctx.out.id)
+			d.rndvHist.ObserveTime(d.eng.Now() - ctx.out.start)
 			d.handler.SendDone(ctx.out.token)
 		}
 	case ib.OpRecvComplete:
@@ -1021,6 +1042,7 @@ func (d *Device) handlePacket(p *sim.Proc, c *conn, buf []byte, viaRDMA bool) {
 		if len(out.data) == 0 {
 			d.sendFin(p, c, out.peerReq)
 			delete(c.sendRndv, out.id)
+			d.rndvHist.ObserveTime(d.eng.Now() - out.start)
 			d.handler.SendDone(out.token)
 		} else {
 			mr := c.qp.Peer().HCA().LookupMR(int(h.MRID))

@@ -35,6 +35,7 @@ func Barrier(c *mpi.Comm) {
 	if n == 1 {
 		return
 	}
+	start := c.Time()
 	var tiny [1]byte
 	in := make([]byte, 1)
 	for dist := 1; dist < n; dist *= 2 {
@@ -42,6 +43,7 @@ func Barrier(c *mpi.Comm) {
 		from := (me - dist + n) % n
 		c.Sendrecv(to, tagBarrier, tiny[:], from, tagBarrier, in)
 	}
+	c.World().ObserveBarrier(c.Time() - start)
 }
 
 // Bcast distributes root's data to every rank via a binomial tree. All

@@ -17,6 +17,7 @@
 package ib
 
 import (
+	"ibflow/internal/metrics"
 	"ibflow/internal/sim"
 	"ibflow/internal/trace"
 )
@@ -93,6 +94,12 @@ type Config struct {
 	// Tracer, when non-nil, records transport events (RNR NAKs and
 	// retransmissions) with node numbers in the rank fields.
 	Tracer *trace.Buffer
+
+	// Metrics, when non-nil, receives per-QP transport counters and
+	// queue-depth gauges at Connect time (see internal/metrics). The
+	// registry only reads QP state at sampling instants; hot paths are
+	// untouched.
+	Metrics *metrics.Registry
 
 	// Faults, when non-nil, injects latency jitter, link outages, forced
 	// RNR NAKs and delayed acks into the fabric (see internal/fault).

@@ -129,6 +129,8 @@ func Connect(a, b *QP) {
 		panic("ib: cannot connect a QP to itself")
 	}
 	a.peer, b.peer = b, a
+	a.registerMetrics()
+	b.registerMetrics()
 }
 
 // MR is a registered memory region. RDMA operations address remote memory

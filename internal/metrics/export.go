@@ -1,0 +1,182 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// DumpVersion identifies the dump schema; bump on incompatible change.
+const DumpVersion = 1
+
+// Dump is the exported form of a Registry — what -metrics-out writes and
+// what cmd/fcstats reads back.
+type Dump struct {
+	Version    int          `json:"version"`
+	IntervalNS int64        `json:"interval_ns,omitempty"`
+	SampleNS   []int64      `json:"sample_ns,omitempty"`
+	Metrics    []DumpMetric `json:"metrics"`
+}
+
+// DumpMetric is one metric in a Dump, sorted by canonical key.
+type DumpMetric struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Kind   string            `json:"kind"`
+
+	// Value is the final value: count for counters and histograms
+	// (observation count), level for gauges.
+	Value int64 `json:"value"`
+
+	// FirstSample indexes into SampleNS at the metric's first sample —
+	// nonzero for connections established mid-run (on-demand schemes).
+	FirstSample int     `json:"first_sample"`
+	Series      []int64 `json:"series,omitempty"`
+
+	// Histogram-only fields.
+	Sum     int64        `json:"sum,omitempty"`
+	Min     int64        `json:"min,omitempty"`
+	Max     int64        `json:"max,omitempty"`
+	Buckets []DumpBucket `json:"buckets,omitempty"`
+}
+
+// DumpBucket is one histogram bucket: observations <= LE nanoseconds
+// (or whatever the metric's unit is). LE of -1 marks the overflow
+// (+Inf) bucket.
+type DumpBucket struct {
+	LE int64  `json:"le"`
+	N  uint64 `json:"n"`
+}
+
+// Key renders the metric's canonical identity, matching Registry keys.
+func (m *DumpMetric) Key() string {
+	if len(m.Labels) == 0 {
+		return m.Name
+	}
+	keys := make([]string, 0, len(m.Labels))
+	for k := range m.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ls := make([]Label, len(keys))
+	for i, k := range keys {
+		ls[i] = Label{Key: k, Value: m.Labels[k]}
+	}
+	return Key(m.Name, ls)
+}
+
+// Snapshot captures the registry as a Dump, metrics sorted by canonical
+// key. Nil-safe: a nil registry yields an empty dump.
+func (r *Registry) Snapshot() Dump {
+	d := Dump{Version: DumpVersion}
+	if r == nil {
+		return d
+	}
+	d.IntervalNS = int64(r.interval)
+	d.SampleNS = make([]int64, len(r.times))
+	for i, t := range r.times {
+		d.SampleNS[i] = int64(t)
+	}
+	for _, m := range r.sorted() {
+		dm := DumpMetric{
+			Name:        m.name,
+			Kind:        m.kind.String(),
+			Value:       m.value(),
+			FirstSample: m.first,
+			Series:      append([]int64(nil), m.series...),
+		}
+		if len(m.labels) > 0 {
+			dm.Labels = make(map[string]string, len(m.labels))
+			for _, l := range m.labels {
+				dm.Labels[l.Key] = l.Value
+			}
+		}
+		if h := m.hist; h != nil {
+			dm.Sum = h.sum
+			dm.Min = h.min
+			dm.Max = h.max
+			dm.Buckets = make([]DumpBucket, 0, len(h.bounds)+1)
+			for i, b := range h.bounds {
+				dm.Buckets = append(dm.Buckets, DumpBucket{LE: b, N: h.counts[i]})
+			}
+			dm.Buckets = append(dm.Buckets, DumpBucket{LE: -1, N: h.counts[len(h.bounds)]})
+		}
+		d.Metrics = append(d.Metrics, dm)
+	}
+	return d
+}
+
+// WriteJSON writes the dump as indented JSON. encoding/json marshals
+// maps with sorted keys, so the output is byte-deterministic.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(b); err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, "\n")
+	return err
+}
+
+// DecodeDump parses a JSON dump written by WriteJSON.
+func DecodeDump(rd io.Reader) (Dump, error) {
+	var d Dump
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&d); err != nil {
+		return Dump{}, fmt.Errorf("metrics: decoding dump: %w", err)
+	}
+	if d.Version != DumpVersion {
+		return Dump{}, fmt.Errorf("metrics: dump version %d, want %d", d.Version, DumpVersion)
+	}
+	return d, nil
+}
+
+// WriteCSV writes the sampled time series in wide form: a t_ns column
+// followed by one column per metric (sorted by key), one row per sample.
+// Cells before a metric's first sample are empty. Histogram columns
+// carry the observation count.
+func (r *Registry) WriteCSV(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "t_ns\n")
+		return err
+	}
+	ms := r.sorted()
+	row := make([]byte, 0, 256)
+	row = append(row, "t_ns"...)
+	for _, m := range ms {
+		row = append(row, ',')
+		row = append(row, csvQuote(m.key)...)
+	}
+	row = append(row, '\n')
+	if _, err := w.Write(row); err != nil {
+		return err
+	}
+	for i, t := range r.times {
+		row = row[:0]
+		row = strconv.AppendInt(row, int64(t), 10)
+		for _, m := range ms {
+			row = append(row, ',')
+			if j := i - m.first; j >= 0 && j < len(m.series) {
+				row = strconv.AppendInt(row, m.series[j], 10)
+			}
+		}
+		row = append(row, '\n')
+		if _, err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// csvQuote quotes a header cell if it contains a comma (label lists do).
+func csvQuote(s string) string {
+	if !strings.ContainsAny(s, ",\"") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}

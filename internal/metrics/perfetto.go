@@ -1,0 +1,174 @@
+package metrics
+
+import (
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ibflow/internal/trace"
+)
+
+// WritePerfetto writes the registry's sampled series — and, optionally,
+// events from the trace ring — as a Chrome/Perfetto trace-event JSON
+// file that opens directly in ui.perfetto.dev.
+//
+// Mapping onto the trace model:
+//   - Each MPI rank becomes a process (pid = rank, named by metadata);
+//     metrics without a rank label land on pid 0.
+//   - Every sampled metric becomes a counter track ("ph":"C") named by
+//     the metric name plus its non-rank labels, so credit occupancy,
+//     backlog depth, and pre-post count render as aligned step plots.
+//   - Every trace.Event becomes an instant event ("ph":"i") on its
+//     rank's process, tid = peer, so protocol events line up with the
+//     counter tracks on the same timeline.
+//
+// Timestamps are virtual nanoseconds rendered as microseconds with
+// fixed 3-digit precision; output is byte-deterministic.
+func (r *Registry) WritePerfetto(w io.Writer, events []trace.Event) error {
+	bw := &errWriter{w: w}
+	bw.str(`{"displayTimeUnit":"ns","traceEvents":[`)
+
+	first := true
+	sep := func() {
+		if first {
+			first = false
+		} else {
+			bw.str(",")
+		}
+		bw.str("\n")
+	}
+
+	// Process-name metadata for every pid in play, sorted.
+	pids := map[int]bool{}
+	var ms []*metric
+	if r != nil {
+		ms = r.sorted()
+	}
+	for _, m := range ms {
+		pids[metricPid(m)] = true
+	}
+	for _, e := range events {
+		pids[e.Rank] = true
+	}
+	order := make([]int, 0, len(pids))
+	for pid := range pids {
+		order = append(order, pid)
+	}
+	sort.Ints(order)
+	for _, pid := range order {
+		sep()
+		bw.str(`{"name":"process_name","ph":"M","pid":`)
+		bw.int(int64(pid))
+		bw.str(`,"tid":0,"args":{"name":"rank `)
+		bw.int(int64(pid))
+		bw.str(`"}}`)
+	}
+
+	// Counter tracks: one sample per event.
+	for _, m := range ms {
+		pid := metricPid(m)
+		name := counterTrackName(m)
+		for i, v := range m.series {
+			t := r.times[m.first+i]
+			sep()
+			bw.str(`{"name":`)
+			bw.quote(name)
+			bw.str(`,"ph":"C","pid":`)
+			bw.int(int64(pid))
+			bw.str(`,"ts":`)
+			bw.ts(int64(t))
+			bw.str(`,"args":{"value":`)
+			bw.int(v)
+			bw.str(`}}`)
+		}
+	}
+
+	// Protocol events from the trace ring as instants on the same
+	// timeline.
+	for _, e := range events {
+		sep()
+		bw.str(`{"name":`)
+		bw.quote(e.Kind.String())
+		bw.str(`,"ph":"i","s":"t","pid":`)
+		bw.int(int64(e.Rank))
+		bw.str(`,"tid":`)
+		bw.int(int64(tidFor(e.Peer)))
+		bw.str(`,"ts":`)
+		bw.ts(int64(e.T))
+		bw.str(`,"args":{"peer":`)
+		bw.int(int64(e.Peer))
+		bw.str(`,"arg":`)
+		bw.int(e.Arg)
+		bw.str(`}}`)
+	}
+
+	bw.str("\n]}\n")
+	return bw.err
+}
+
+// metricPid maps a metric to its process: its rank label, or 0.
+func metricPid(m *metric) int {
+	for _, l := range m.labels {
+		if l.Key == "rank" {
+			if n, err := strconv.Atoi(l.Value); err == nil {
+				return n
+			}
+		}
+	}
+	return 0
+}
+
+// counterTrackName renders the track name: metric name plus any labels
+// other than rank (rank is carried by the pid).
+func counterTrackName(m *metric) string {
+	var rest []Label
+	for _, l := range m.labels {
+		if l.Key != "rank" {
+			rest = append(rest, l)
+		}
+	}
+	return Key(m.name, rest)
+}
+
+// tidFor maps a trace event's peer to a thread id; negative peers
+// (broadcast/none) collapse onto tid 0.
+func tidFor(peer int) int {
+	if peer < 0 {
+		return 0
+	}
+	return peer
+}
+
+// errWriter accumulates the first write error so the emitters above stay
+// linear.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (b *errWriter) str(s string) {
+	if b.err == nil {
+		_, b.err = io.WriteString(b.w, s)
+	}
+}
+
+func (b *errWriter) int(v int64) { b.str(strconv.FormatInt(v, 10)) }
+
+func (b *errWriter) quote(s string) { b.str(strconv.Quote(s)) }
+
+// ts renders virtual nanoseconds as trace-event microseconds with fixed
+// sub-microsecond precision.
+func (b *errWriter) ts(ns int64) {
+	micros := ns / 1000
+	frac := ns % 1000
+	var sb strings.Builder
+	sb.WriteString(strconv.FormatInt(micros, 10))
+	sb.WriteByte('.')
+	f := strconv.FormatInt(frac, 10)
+	for i := len(f); i < 3; i++ {
+		sb.WriteByte('0')
+	}
+	sb.WriteString(f)
+	b.str(sb.String())
+}

@@ -1,0 +1,72 @@
+package metrics
+
+import "ibflow/internal/sim"
+
+// Sampler drives periodic Registry sampling from the sim event loop. It
+// is created with Registry.StartSampler and stopped with Stop.
+//
+// The sampler must never change what the simulation computes. Two rules
+// guarantee that:
+//
+//   - A tick re-arms itself only while other events are queued. If the
+//     sampler's own tick would be the only event left, the workload has
+//     either finished or deadlocked; re-arming would keep the engine
+//     spinning to its time limit (or forever without one) for nothing.
+//
+//   - Stop cancels the pending tick through sim.Scheduled, which the
+//     engine discards without advancing the clock. The workload must
+//     call Stop when it completes (mpi.World does, as its last rank
+//     finishes) so the final armed tick cannot fire past the last real
+//     event; then an instrumented run's makespan is byte-for-byte the
+//     same as an uninstrumented one.
+type Sampler struct {
+	reg     *Registry
+	eng     *sim.Engine
+	every   sim.Time
+	next    sim.Scheduled
+	stopped bool
+}
+
+// StartSampler begins sampling r every `every` nanoseconds of virtual
+// time, taking an immediate first sample. Nil-safe: a nil registry
+// returns a nil (no-op) sampler.
+func (r *Registry) StartSampler(eng *sim.Engine, every sim.Time) *Sampler {
+	if r == nil {
+		return nil
+	}
+	if every <= 0 {
+		panic("metrics: non-positive sampling interval")
+	}
+	r.interval = every
+	s := &Sampler{reg: r, eng: eng, every: every}
+	r.Sample(eng.Now())
+	s.arm()
+	return s
+}
+
+func (s *Sampler) arm() {
+	s.next = s.eng.AtCancel(s.eng.Now()+s.every, s.tick)
+}
+
+func (s *Sampler) tick() {
+	if s.stopped {
+		return
+	}
+	s.reg.Sample(s.eng.Now())
+	if s.eng.Pending() == 0 {
+		return // nothing else can happen; don't keep the engine alive
+	}
+	s.arm()
+}
+
+// Stop cancels the pending tick and takes a final sample at the current
+// virtual time, so the series always ends with end-of-run state. It is
+// idempotent and nil-safe.
+func (s *Sampler) Stop() {
+	if s == nil || s.stopped {
+		return
+	}
+	s.stopped = true
+	s.next.Cancel()
+	s.reg.Sample(s.eng.Now())
+}

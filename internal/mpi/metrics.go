@@ -1,0 +1,49 @@
+package mpi
+
+import (
+	"ibflow/internal/metrics"
+	"ibflow/internal/sim"
+)
+
+// DefaultMetricsInterval is the sampling period used when
+// Options.Metrics is set but Options.MetricsInterval is not: fine
+// enough to resolve credit dynamics at eager-message granularity
+// (~7.5us round trips) without dominating the event count.
+const DefaultMetricsInterval = 20 * sim.Microsecond
+
+// registerMetrics registers the job-level instruments on the attached
+// registry; connection- and transport-level metrics register themselves
+// as connections are established. No-op without a registry.
+func (w *World) registerMetrics() {
+	r := w.opts.Metrics
+	if r == nil {
+		return
+	}
+	r.CounterFunc("sim_events_fired", w.eng.EventsFired)
+	w.settleHist = r.Histogram("mpi_settle_ns", metrics.TimeBuckets)
+	w.barrierHist = r.Histogram("coll_barrier_ns", metrics.TimeBuckets)
+	for _, rk := range w.ranks {
+		rk := rk
+		r.GaugeFunc("mpi_unexpected", func() int64 { return int64(len(rk.unex)) },
+			metrics.RankLabel(rk.idx))
+	}
+}
+
+// startSampler begins periodic sampling for Run. Nil-safe: without a
+// registry it returns a nil (no-op) sampler.
+func (w *World) startSampler() *metrics.Sampler {
+	iv := w.opts.MetricsInterval
+	if iv <= 0 {
+		iv = DefaultMetricsInterval
+	}
+	return w.opts.Metrics.StartSampler(w.eng, iv)
+}
+
+// ObserveBarrier records one rank's barrier participation time in the
+// job's collective-latency histogram. Collectives (internal/coll) call
+// it through Comm.World; nil-safe, so they never check for a registry.
+func (w *World) ObserveBarrier(d sim.Time) { w.barrierHist.ObserveTime(d) }
+
+// Metrics returns the attached registry, if any (for tools dumping
+// after Run).
+func (w *World) Metrics() *metrics.Registry { return w.opts.Metrics }

@@ -1,0 +1,134 @@
+package mpi
+
+import (
+	"bytes"
+	"testing"
+
+	"ibflow/internal/core"
+	"ibflow/internal/metrics"
+	"ibflow/internal/sim"
+	"ibflow/internal/trace"
+)
+
+// runInstrumented drives a small mixed workload (every pair talking,
+// eager and rendezvous sizes) under the given options and returns the
+// finished world.
+func runInstrumented(t *testing.T, opts Options, n int) *World {
+	t.Helper()
+	sched := tortureSchedule(n, 60, 0x5eed)
+	w := NewWorld(n, opts)
+	if err := w.Run(func(c *Comm) {
+		me := c.Rank()
+		var reqs []*Request
+		for _, m := range sched {
+			if m.dst == me {
+				reqs = append(reqs, c.Irecv(m.src, m.tag, make([]byte, m.size)))
+			}
+		}
+		for _, m := range sched {
+			if m.src == me {
+				data := make([]byte, m.size)
+				fillPattern(data, m.seed)
+				c.Wait(c.Isend(m.dst, m.tag, data))
+			}
+		}
+		c.Waitall(reqs...)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestMetricsDumpDeterminism is the subsystem's core contract: the same
+// seed and configuration must yield byte-identical metric dumps in every
+// export format, across all three flow control schemes.
+func TestMetricsDumpDeterminism(t *testing.T) {
+	schemes := []core.Params{
+		core.Hardware(2),
+		core.Static(2),
+		core.Dynamic(1, 64),
+	}
+	for _, fc := range schemes {
+		fc := fc
+		t.Run(fc.Kind.String(), func(t *testing.T) {
+			run := func() (jsonB, csvB, pftB []byte) {
+				ring := trace.NewBuffer(1 << 12)
+				opts := DefaultOptions(fc)
+				opts.Metrics = metrics.New()
+				opts.Chan.Tracer = ring
+				opts.IB.Tracer = ring
+				w := runInstrumented(t, opts, 3)
+				var j, c, p bytes.Buffer
+				if err := w.Metrics().WriteJSON(&j); err != nil {
+					t.Fatal(err)
+				}
+				if err := w.Metrics().WriteCSV(&c); err != nil {
+					t.Fatal(err)
+				}
+				if err := w.Metrics().WritePerfetto(&p, ring.Events()); err != nil {
+					t.Fatal(err)
+				}
+				return j.Bytes(), c.Bytes(), p.Bytes()
+			}
+			j1, c1, p1 := run()
+			j2, c2, p2 := run()
+			if !bytes.Equal(j1, j2) {
+				t.Error("JSON dumps differ between identical runs")
+			}
+			if !bytes.Equal(c1, c2) {
+				t.Error("CSV dumps differ between identical runs")
+			}
+			if !bytes.Equal(p1, p2) {
+				t.Error("Perfetto dumps differ between identical runs")
+			}
+			if len(j1) == 0 || len(c1) == 0 || len(p1) == 0 {
+				t.Error("an export format produced no output")
+			}
+		})
+	}
+}
+
+// TestMetricsDoNotChangeMakespan pins the observer-effect contract:
+// attaching a registry (sampler events and all) must not move the
+// simulated completion time by a single nanosecond.
+func TestMetricsDoNotChangeMakespan(t *testing.T) {
+	mk := func(instrument bool) sim.Time {
+		opts := DefaultOptions(core.Dynamic(1, 64))
+		if instrument {
+			opts.Metrics = metrics.New()
+		}
+		return runInstrumented(t, opts, 3).Time()
+	}
+	plain := mk(false)
+	instrumented := mk(true)
+	if plain != instrumented {
+		t.Errorf("instrumentation changed the makespan: %v (plain) != %v (instrumented)",
+			plain, instrumented)
+	}
+}
+
+// TestMetricsOnDemandMidRunRegistration: with on-demand connections the
+// fc/ib instruments register only when two ranks first talk, so their
+// series start mid-run (FirstSample > 0) and must still align with the
+// registry's sample axis.
+func TestMetricsOnDemandMidRunRegistration(t *testing.T) {
+	opts := DefaultOptions(core.Dynamic(1, 64))
+	opts.Chan.OnDemand = true
+	opts.Metrics = metrics.New()
+	w := runInstrumented(t, opts, 3)
+	d := w.Metrics().Snapshot()
+	late := 0
+	for i := range d.Metrics {
+		m := &d.Metrics[i]
+		if m.FirstSample > 0 {
+			late++
+		}
+		if m.FirstSample+len(m.Series) != len(d.SampleNS) {
+			t.Errorf("%s: first_sample %d + %d series points != %d samples",
+				m.Key(), m.FirstSample, len(m.Series), len(d.SampleNS))
+		}
+	}
+	if late == 0 {
+		t.Error("on-demand run registered no metric after the first sample")
+	}
+}

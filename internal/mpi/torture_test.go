@@ -1,12 +1,14 @@
 package mpi
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 
 	"ibflow/internal/chdev"
 	"ibflow/internal/core"
 	"ibflow/internal/fault"
+	"ibflow/internal/metrics"
 	"ibflow/internal/sim"
 	"ibflow/internal/trace"
 )
@@ -186,6 +188,9 @@ func faultTortureOpts(fc core.Params, seed uint64, tracer *trace.Buffer) Options
 	opts.Chan.Debug = true
 	opts.Chan.Tracer = tracer
 	opts.Settle = true
+	// Instrumentation rides along under the full fault mix: the metric
+	// dump is part of the bit-identical rerun contract below.
+	opts.Metrics = metrics.New()
 	// Backstop: a liveness bug surfaces as a crisp error, not a hang.
 	opts.TimeLimit = 2 * sim.Second
 	opts.Faults = fault.New(fault.Config{
@@ -208,10 +213,11 @@ func faultTortureOpts(fc core.Params, seed uint64, tracer *trace.Buffer) Options
 
 // faultRunResult snapshots everything a rerun must reproduce bit-identically.
 type faultRunResult struct {
-	makespan sim.Time
-	stats    chdev.Stats
-	fstats   fault.Stats
-	events   []trace.Event
+	makespan    sim.Time
+	stats       chdev.Stats
+	fstats      fault.Stats
+	events      []trace.Event
+	metricsJSON []byte
 }
 
 // runFaultTorture executes one seeded faulty run and asserts the per-run
@@ -259,11 +265,16 @@ func runFaultTorture(t *testing.T, fc core.Params, seed uint64) faultRunResult {
 	if err := w.Audit(); err != nil {
 		t.Fatalf("%v seed %#x: %v", fc.Kind, seed, err)
 	}
+	var mbuf bytes.Buffer
+	if err := w.Metrics().WriteJSON(&mbuf); err != nil {
+		t.Fatalf("%v seed %#x: metrics dump: %v", fc.Kind, seed, err)
+	}
 	return faultRunResult{
-		makespan: w.Time(),
-		stats:    w.Stats(),
-		fstats:   opts.Faults.Stats(),
-		events:   tracer.Events(),
+		makespan:    w.Time(),
+		stats:       w.Stats(),
+		fstats:      opts.Faults.Stats(),
+		events:      tracer.Events(),
+		metricsJSON: mbuf.Bytes(),
 	}
 }
 
@@ -333,6 +344,9 @@ func TestTortureFaultDeterminism(t *testing.T) {
 			}
 			if a.fstats != b.fstats {
 				t.Errorf("%v seed %#x: fault stats diverge:\n%+v\n%+v", fc.Kind, seed, a.fstats, b.fstats)
+			}
+			if !bytes.Equal(a.metricsJSON, b.metricsJSON) {
+				t.Errorf("%v seed %#x: metric dumps diverge between identical runs", fc.Kind, seed)
 			}
 			if len(a.events) != len(b.events) {
 				t.Errorf("%v seed %#x: %d trace events vs %d", fc.Kind, seed, len(a.events), len(b.events))

@@ -12,6 +12,7 @@ import (
 	"ibflow/internal/core"
 	"ibflow/internal/fault"
 	"ibflow/internal/ib"
+	"ibflow/internal/metrics"
 	"ibflow/internal/sim"
 )
 
@@ -40,6 +41,16 @@ type Options struct {
 	// Audit requires a settled job; perf runs leave this off so their
 	// makespans stay comparable.
 	Settle bool
+	// Metrics, when non-nil, attaches the deterministic metrics registry
+	// to the whole job: NewWorld wires it into Chan.Metrics and
+	// IB.Metrics, and Run samples it on the sim clock every
+	// MetricsInterval. Instrumentation never changes what the simulation
+	// computes — an instrumented run has the same makespan and stats as
+	// an uninstrumented one. A registry belongs to exactly one world.
+	Metrics *metrics.Registry
+	// MetricsInterval is the sampling period for Metrics
+	// (default DefaultMetricsInterval).
+	MetricsInterval sim.Time
 }
 
 // DefaultOptions returns the calibrated testbed configuration under the
@@ -60,6 +71,11 @@ type World struct {
 	devs     []*chdev.Device
 	opts     Options
 	settling int // ranks that have finished main + finalize (Settle barrier)
+
+	// Job-level histograms, non-nil only when Options.Metrics is set
+	// (their methods are nil-safe).
+	settleHist  *metrics.Histogram
+	barrierHist *metrics.Histogram
 }
 
 // NewWorld builds a job of n ranks.
@@ -76,6 +92,10 @@ func NewWorld(n int, opts Options) *World {
 		opts.IB.Faults = opts.Faults
 		opts.Chan.Faults = opts.Faults
 	}
+	if opts.Metrics != nil {
+		opts.IB.Metrics = opts.Metrics
+		opts.Chan.Metrics = opts.Metrics
+	}
 	eng := sim.NewEngine()
 	w := &World{
 		eng:    eng,
@@ -91,6 +111,7 @@ func NewWorld(n int, opts Options) *World {
 	}
 	chdev.Wire(devs)
 	w.devs = devs
+	w.registerMetrics()
 	return w
 }
 
@@ -105,6 +126,8 @@ func (w *World) Size() int { return len(w.ranks) }
 // *sim.DeadlockError when ranks blocked forever, or ErrTimeLimit when the
 // configured limit was hit before the job finished.
 func (w *World) Run(main func(c *Comm)) error {
+	sampler := w.startSampler()
+	running := len(w.ranks)
 	for _, r := range w.ranks {
 		r := r
 		w.eng.Go(fmt.Sprintf("rank%d", r.idx), func(p *sim.Proc) {
@@ -116,7 +139,16 @@ func (w *World) Run(main func(c *Comm)) error {
 			r.dev.WaitProgress(p, r.dev.Quiescent)
 			if w.opts.Settle {
 				w.settling++
+				start := p.Now()
 				w.settle(p, r)
+				w.settleHist.ObserveTime(p.Now() - start)
+			}
+			// The last rank out stops the sampler: its armed tick is
+			// cancelled before it could fire past the final real event,
+			// so instrumentation never stretches the makespan.
+			running--
+			if running == 0 {
+				sampler.Stop()
 			}
 		})
 	}
@@ -126,8 +158,11 @@ func (w *World) Run(main func(c *Comm)) error {
 	}
 	// The job is over when Run returns, whatever the outcome; closing
 	// the engine releases any goroutine still parked (a deadlocked rank,
-	// a daemon driver).
+	// a daemon driver). Stop is idempotent: the deferred call only
+	// matters on error paths (deadlock, time limit), where it grabs a
+	// final sample of the aborted state.
 	defer w.eng.Close()
+	defer sampler.Stop()
 	if err := w.eng.Run(limit); err != nil {
 		return err
 	}

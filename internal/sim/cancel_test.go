@@ -1,0 +1,80 @@
+package sim
+
+import "testing"
+
+func TestAtCancelFires(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	e.AtCancel(10, func() { fired = append(fired, e.Now()) })
+	if err := e.Run(MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 1 || fired[0] != 10 {
+		t.Fatalf("fired = %v, want [10ns]", fired)
+	}
+	if e.EventsFired() != 1 {
+		t.Fatalf("EventsFired = %d, want 1", e.EventsFired())
+	}
+}
+
+func TestCancelledEventDoesNotAdvanceClock(t *testing.T) {
+	e := NewEngine()
+	e.At(5, func() {})
+	s := e.AtCancel(100, func() { t.Fatal("cancelled event ran") })
+	s.Cancel()
+	if err := e.Run(MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("now = %v, want 5ns (cancelled event must not advance the clock)", e.Now())
+	}
+	if e.EventsFired() != 1 {
+		t.Fatalf("EventsFired = %d, want 1", e.EventsFired())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0 (cancelled event drained)", e.Pending())
+	}
+}
+
+func TestCancelledEventDrainedPastLimit(t *testing.T) {
+	e := NewEngine()
+	e.At(5, func() {})
+	s := e.AtCancel(1000, func() {})
+	s.Cancel()
+	if err := e.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	// The cancelled event was scheduled beyond the limit; Run must still
+	// discard it so callers checking Pending() see no phantom work.
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", e.Pending())
+	}
+}
+
+func TestCancelAfterFiringIsHarmless(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	s := e.AtCancel(1, func() { n++ })
+	if err := e.Run(MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	s.Cancel() // late cancel of an already-fired event: no effect
+	var zero Scheduled
+	zero.Cancel() // zero handle: no-op
+	if n != 1 {
+		t.Fatalf("callback ran %d times, want 1", n)
+	}
+}
+
+func TestStepsSkipsCancelled(t *testing.T) {
+	e := NewEngine()
+	s := e.AtCancel(1, func() {})
+	e.At(2, func() {})
+	s.Cancel()
+	if ran := e.Steps(10); ran != 1 {
+		t.Fatalf("Steps ran %d events, want 1 (cancelled event is not a step)", ran)
+	}
+	if e.Now() != 2 {
+		t.Fatalf("now = %v, want 2ns", e.Now())
+	}
+}

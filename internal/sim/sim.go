@@ -141,6 +141,39 @@ func (e *Engine) After(d Time, fn func()) {
 	e.At(e.now+d, fn)
 }
 
+// Scheduled is a handle to an event scheduled with AtCancel. The zero
+// value is a no-op handle.
+type Scheduled struct {
+	ev *event
+}
+
+// Cancel marks the event dead. A cancelled event is discarded when it
+// reaches the head of the queue without advancing the virtual clock or
+// the fired-event count — unlike Timer, whose stale firings deliberately
+// keep the classic advance-the-clock behaviour. This makes AtCancel safe
+// for auxiliary periodic work (metrics sampling) that must not stretch a
+// run's makespan when the real workload finishes first.
+func (s Scheduled) Cancel() {
+	if s.ev != nil {
+		s.ev.fn = nil
+	}
+}
+
+// AtCancel schedules fn at absolute virtual time t and returns a handle
+// that can cancel it. Scheduling in the past is clamped to the present.
+func (e *Engine) AtCancel(t Time, fn func()) Scheduled {
+	if fn == nil {
+		panic("sim: AtCancel with nil callback")
+	}
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.events, ev)
+	return Scheduled{ev: ev}
+}
+
 // DeadlockError is returned by Run when the event queue drains while
 // processes are still parked: nothing can ever wake them again.
 type DeadlockError struct {
@@ -166,6 +199,13 @@ func (e *DeadlockError) Error() string {
 func (e *Engine) Run(limit Time) error {
 	for len(e.events) > 0 {
 		next := e.events[0]
+		if next.fn == nil {
+			// Cancelled: discard without touching the clock. Drained even
+			// past the limit so a cancelled future event never counts as
+			// pending work.
+			heap.Pop(&e.events)
+			continue
+		}
 		if next.at > limit {
 			return nil
 		}
@@ -199,6 +239,9 @@ func (e *Engine) Steps(n int) int {
 	ran := 0
 	for ran < n && len(e.events) > 0 {
 		next := heap.Pop(&e.events).(*event)
+		if next.fn == nil {
+			continue // cancelled: does not count as a step
+		}
 		e.now = next.at
 		e.fired++
 		next.fn()
