@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test debug race cover bench fmt metrics-smoke
+.PHONY: all build vet lint test debug race cover bench fmt metrics-smoke scaling-smoke
 
 all: build vet lint test
 
@@ -45,6 +45,12 @@ metrics-smoke:
 	$(GO) run ./cmd/fcbench -test latency -size 64 -iters 50 -scheme static -metrics-out /tmp/ibflow-metrics.json
 	$(GO) run ./cmd/fcstats /tmp/ibflow-metrics.json > /dev/null
 	$(GO) run ./cmd/fcstats -keys /tmp/ibflow-metrics.json | diff - cmd/fcstats/testdata/latency_metrics_keys.golden
+
+# scaling-smoke mirrors the CI step: the connection-scaling benchmark in
+# quick mode must complete and render (sub-linearity itself is asserted
+# by internal/bench's TestConnScalingSharedSubLinear).
+scaling-smoke:
+	$(GO) run ./cmd/fcbench -test scaling -quick
 
 fmt:
 	gofmt -w .

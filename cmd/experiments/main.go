@@ -120,6 +120,7 @@ func main() {
 		{[]string{"middleware", "extensions"}, func() bench.Table { return bench.ExtensionMiddleware(o) }},
 		{[]string{"scaling"}, func() bench.Table { return bench.ScalingMeasured(o) }},
 		{[]string{"scaling"}, func() bench.Table { return bench.ScalingTable(o) }},
+		{[]string{"connscaling", "scaling"}, func() bench.Table { return bench.ConnScalingTable(bench.ConnScaling(o)) }},
 	}
 
 	mode := "full (class A)"

@@ -7,13 +7,16 @@
 //	fcbench -test bandwidth -scheme dynamic -prepost 10 -size 4 -blocking=false
 //	fcbench -test latency -size 64 -metrics-out lat.json
 //	fcbench -test micro -json > BENCH_micro.json
+//	fcbench -test scaling -json > BENCH_scaling.json
 //
 // With -metrics-out the tool runs a single instrumented point (one
 // world, one metrics registry) and dumps the deterministic metric
 // series in the chosen -metrics-format; "perfetto" output opens in
 // ui.perfetto.dev. -test micro sweeps all three schemes through the
 // latency and bandwidth tests; with -json it emits the machine-readable
-// document stored as BENCH_micro.json at the repo root.
+// document stored as BENCH_micro.json at the repo root. -test scaling
+// runs the connection-scaling benchmark (all four schemes, Table-2
+// style); its -json form is BENCH_scaling.json.
 package main
 
 import (
@@ -37,8 +40,10 @@ func schemeFor(name string, prepost, dynmax int) (core.Params, error) {
 		return core.Static(prepost), nil
 	case "dynamic":
 		return core.Dynamic(prepost, dynmax), nil
+	case "shared":
+		return core.Shared(prepost, dynmax), nil
 	}
-	return core.Params{}, fmt.Errorf("unknown scheme %q (hardware|static|dynamic)", name)
+	return core.Params{}, fmt.Errorf("unknown scheme %q (hardware|static|dynamic|shared)", name)
 }
 
 // fail prints a flag-combination error plus usage and exits nonzero.
@@ -103,8 +108,8 @@ func writeMetrics(reg *metrics.Registry, ring *trace.Buffer, path, format string
 }
 
 func main() {
-	test := flag.String("test", "latency", "benchmark: latency, bandwidth, or micro (all schemes)")
-	scheme := flag.String("scheme", "static", "flow control scheme: hardware, static, dynamic")
+	test := flag.String("test", "latency", "benchmark: latency, bandwidth, micro (all schemes), or scaling (connection scaling, all schemes)")
+	scheme := flag.String("scheme", "static", "flow control scheme: hardware, static, dynamic, shared")
 	prepost := flag.Int("prepost", 100, "pre-posted buffers per connection")
 	dynmax := flag.Int("dynmax", 300, "dynamic scheme growth cap")
 	size := flag.Int("size", 4, "message size in bytes (bandwidth; latency sweeps unless set)")
@@ -116,6 +121,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text")
 	metricsOut := flag.String("metrics-out", "", "write the run's metric dump to this file (single point only)")
 	metricsFormat := flag.String("metrics-format", "json", "metric dump format: json, csv, or perfetto")
+	quick := flag.Bool("quick", false, "smaller sweep (scaling only): fewer rank counts and messages")
 	flag.Parse()
 
 	set := map[string]bool{}
@@ -147,8 +153,23 @@ func main() {
 		if set["metrics-out"] {
 			fail("-metrics-out is not supported with -test micro (many worlds, one registry)")
 		}
+	case "scaling":
+		if set["scheme"] {
+			fail("-test scaling sweeps all schemes; drop -scheme")
+		}
+		if set["metrics-out"] {
+			fail("-metrics-out is not supported with -test scaling (many worlds, one registry)")
+		}
+		for _, f := range []string{"prepost", "dynmax", "size", "window", "reps", "iters", "blocking", "rdma"} {
+			if set[f] {
+				fail("-%s does not apply to -test scaling (fixed sweep; see internal/bench.ConnScaling)", f)
+			}
+		}
 	default:
-		fail("unknown -test %q (latency|bandwidth|micro)", *test)
+		fail("unknown -test %q (latency|bandwidth|micro|scaling)", *test)
+	}
+	if set["quick"] && *test != "scaling" {
+		fail("-quick applies to -test scaling only")
 	}
 	if set["metrics-format"] && *metricsOut == "" {
 		fail("-metrics-format requires -metrics-out")
@@ -161,6 +182,16 @@ func main() {
 
 	if *test == "micro" {
 		runMicro(*prepost, *dynmax, *size, *iters, *reps, *blocking, *rdma, *jsonOut)
+		return
+	}
+	if *test == "scaling" {
+		doc := bench.ConnScaling(bench.Opts{Quick: *quick})
+		if *jsonOut {
+			emitJSON(doc)
+		} else {
+			t := bench.ConnScalingTable(doc)
+			fmt.Print(t.String())
+		}
 		return
 	}
 

@@ -5,9 +5,16 @@
 //	fcstats old.json new.json    # diff/regression table
 //	fcstats -keys dump.json      # sorted canonical keys, one per line
 //	fcstats -csv old.json new.json
+//	fcstats -allow-new-keys old.json new.json
 //
 // Histograms are compared by observation count (their Value field);
 // gauges by final level; counters by final count.
+//
+// Diff mode doubles as a regression gate: it exits nonzero when the two
+// dumps' key sets diverge. -allow-new-keys tolerates metrics present
+// only in the new dump (an additive instrumentation change — new
+// counters or gauges — diffs cleanly), while a metric that disappeared
+// still fails.
 package main
 
 import (
@@ -55,6 +62,31 @@ func summaryTable(d metrics.Dump) bench.Table {
 		t.AddRow(m.Key(), m.Kind, fmt.Sprint(m.Value), fmt.Sprint(len(m.Series)))
 	}
 	return t
+}
+
+// keyDivergence returns the canonical keys present in exactly one of
+// the two dumps, sorted.
+func keyDivergence(oldD, newD metrics.Dump) (onlyOld, onlyNew []string) {
+	oldKeys := map[string]bool{}
+	for i := range oldD.Metrics {
+		oldKeys[oldD.Metrics[i].Key()] = true
+	}
+	newKeys := map[string]bool{}
+	for i := range newD.Metrics {
+		k := newD.Metrics[i].Key()
+		newKeys[k] = true
+		if !oldKeys[k] {
+			onlyNew = append(onlyNew, k)
+		}
+	}
+	for k := range oldKeys {
+		if !newKeys[k] {
+			onlyOld = append(onlyOld, k)
+		}
+	}
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+	return onlyOld, onlyNew
 }
 
 // diffTable renders the regression view of two dumps, matched by
@@ -112,14 +144,21 @@ func diffTable(oldD, newD metrics.Dump) bench.Table {
 func main() {
 	keys := flag.Bool("keys", false, "print sorted canonical metric keys, one per line")
 	csv := flag.Bool("csv", false, "emit the table as CSV")
+	allowNew := flag.Bool("allow-new-keys", false,
+		"diff mode: tolerate metrics present only in the new dump (additive changes)")
 	flag.Usage = func() {
 		fmt.Fprintln(flag.CommandLine.Output(),
-			"usage: fcstats [-keys] [-csv] <dump.json> [new.json]")
+			"usage: fcstats [-keys] [-csv] [-allow-new-keys] <dump.json> [new.json]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 1 || len(args) > 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *allowNew && len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "fcstats: -allow-new-keys applies to diff mode (two dumps)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -137,19 +176,42 @@ func main() {
 	}
 
 	var t bench.Table
-	if len(args) == 1 {
-		t = summaryTable(d)
-	} else {
+	var onlyOld, onlyNew []string
+	diffMode := len(args) == 2
+	if diffMode {
 		d2, err := loadDump(args[1])
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fcstats:", err)
 			os.Exit(1)
 		}
 		t = diffTable(d, d2)
+		onlyOld, onlyNew = keyDivergence(d, d2)
+	} else {
+		t = summaryTable(d)
 	}
 	if *csv {
 		fmt.Print(t.CSV())
 	} else {
 		fmt.Print(t.String())
+	}
+	if !diffMode {
+		return
+	}
+	fail := false
+	if len(onlyOld) > 0 {
+		fmt.Fprintf(os.Stderr, "fcstats: %d metric(s) disappeared: %v\n", len(onlyOld), onlyOld)
+		fail = true
+	}
+	if len(onlyNew) > 0 {
+		if *allowNew {
+			fmt.Fprintf(os.Stderr, "fcstats: %d new metric(s) allowed: %v\n", len(onlyNew), onlyNew)
+		} else {
+			fmt.Fprintf(os.Stderr, "fcstats: %d new metric(s): %v (rerun with -allow-new-keys to accept additive changes)\n",
+				len(onlyNew), onlyNew)
+			fail = true
+		}
+	}
+	if fail {
+		os.Exit(1)
 	}
 }

@@ -23,9 +23,9 @@ func main() {
 	app := flag.String("app", "IS", "kernel: IS, FT, LU, CG, MG, BT, SP")
 	classStr := flag.String("class", "W", "problem class: S, W, A")
 	np := flag.Int("np", 0, "process count (0 = paper default: 8, or 16 for BT/SP)")
-	scheme := flag.String("scheme", "static", "flow control scheme: hardware, static, dynamic")
-	prepost := flag.Int("prepost", 100, "pre-posted buffers per connection")
-	dynmax := flag.Int("dynmax", 300, "dynamic scheme growth cap")
+	scheme := flag.String("scheme", "static", "flow control scheme: hardware, static, dynamic, shared")
+	prepost := flag.Int("prepost", 100, "pre-posted buffers per connection (or shared pool start)")
+	dynmax := flag.Int("dynmax", 300, "dynamic/shared scheme growth cap")
 	traceN := flag.Int("trace", 0, "print the last N protocol trace events")
 	flag.Parse()
 
@@ -42,6 +42,8 @@ func main() {
 		fc = core.Static(*prepost)
 	case "dynamic":
 		fc = core.Dynamic(*prepost, *dynmax)
+	case "shared":
+		fc = core.Shared(*prepost, *dynmax)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *scheme)
 		os.Exit(2)

@@ -5,9 +5,10 @@
 // It bundles a deterministic InfiniBand Reliable Connection fabric model,
 // an MPICH-style MPI implementation (eager + zero-copy rendezvous over
 // send/receive and RDMA write), the paper's three flow control schemes
-// (hardware-based, user-level static, user-level dynamic), the NAS
-// Parallel Benchmark communication kernels, and a harness that regenerates
-// every figure and table of the paper's evaluation.
+// (hardware-based, user-level static, user-level dynamic) plus an
+// SRQ-backed shared-pool fourth, the NAS Parallel Benchmark communication
+// kernels, and a harness that regenerates every figure and table of the
+// paper's evaluation.
 //
 // Quick start:
 //
@@ -99,6 +100,12 @@ func Static(prepost int) Scheme { return core.Static(prepost) }
 // Dynamic returns the user-level dynamic scheme: start at prepost buffers
 // per connection and grow on starvation feedback up to max.
 func Dynamic(prepost, max int) Scheme { return core.Dynamic(prepost, max) }
+
+// Shared returns the shared-pool scheme: one SRQ-backed pool of prepost
+// receive buffers per rank serves every connection, growing on SRQ
+// low-watermark limit events up to max. Buffer memory is decoupled from
+// the connection count — the scalable fourth scheme.
+func Shared(prepost, max int) Scheme { return core.Shared(prepost, max) }
 
 // Cluster is a simulated InfiniBand cluster running one MPI job.
 type Cluster struct {

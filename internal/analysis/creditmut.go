@@ -7,13 +7,16 @@ import (
 )
 
 // creditFields are the credit/pre-post accounting fields of the flow
-// control state (core.VC and its mirrors). Every unit of credit motion
-// must flow through the owning type's methods — the audited piggyback/ECM
-// paths — so that the conservation invariants checked by CheckInvariants
-// and the ibdebug assertions stay trustworthy.
+// control state (core.VC, core.Pool and their mirrors). Every unit of
+// credit motion must flow through the owning type's methods — the
+// audited piggyback/ECM paths, or Take/Processed/OnLimitEvent for the
+// shared pool — so that the conservation invariants checked by
+// CheckInvariants and the ibdebug assertions stay trustworthy. inUse is
+// the pool's in-flight descriptor count: mutating it outside the Pool
+// breaks the shared-shape conservation law the audit relies on.
 var creditFields = map[string]bool{
 	"credits": true, "owed": true, "posted": true,
-	"backlog": true, "shrinkDebt": true,
+	"backlog": true, "shrinkDebt": true, "inUse": true,
 }
 
 // CreditMut flags direct writes (assignment, ++/--, compound ops, or

@@ -58,3 +58,31 @@ func (d *device) closureInheritsReceiver() func() {
 func readsOK(v *vc) int {
 	return v.credits + v.owed + v.posted
 }
+
+// pool mirrors core.Pool: the shared-scheme receive accounting whose
+// posted/inUse pair carries the pooled conservation law.
+type pool struct {
+	posted int
+	inUse  int
+}
+
+func (pl *pool) take() {
+	pl.inUse++
+}
+
+func (pl *pool) processed() {
+	pl.inUse--
+}
+
+func (pl *pool) grow(n int) {
+	pl.posted += n
+}
+
+func (d *device) poolOutsideOwner(pl *pool) {
+	pl.inUse--    // want `write to credit field pool\.inUse outside pool's methods`
+	pl.posted = 0 // want `write to credit field pool\.posted outside pool's methods`
+}
+
+func poolReadsOK(pl *pool) int {
+	return pl.posted - pl.inUse
+}

@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"fmt"
+
+	"ibflow/internal/core"
+	"ibflow/internal/mpi"
+)
+
+// ScalingSeries is one scheme's sweep across the connection-scaling
+// benchmark: index i of every slice corresponds to Ranks[i] of the
+// enclosing ScalingDoc.
+type ScalingSeries struct {
+	Scheme string `json:"scheme"`
+	// BufBytesHWM is the per-rank receive-buffer memory high-water mark,
+	// maximized over ranks (the paper's Table-2 quantity, measured).
+	BufBytesHWM []int `json:"buf_bytes_hwm"`
+	// RNRNaks counts receiver-not-ready NAKs across the job (hardware
+	// and shared schemes lean on the HCA backstop; user-level schemes
+	// must stay at zero).
+	RNRNaks []uint64 `json:"rnr_naks"`
+	// Backlogged counts sends parked for lack of credits or degraded
+	// connections.
+	Backlogged []uint64 `json:"backlogged"`
+	// LimitEvents counts SRQ low-watermark events (shared scheme only).
+	LimitEvents []uint64 `json:"limit_events"`
+	// TimeMS is the job makespan in milliseconds.
+	TimeMS []float64 `json:"time_ms"`
+}
+
+// ScalingDoc is the machine-readable connection-scaling document stored
+// as BENCH_scaling.json at the repo root (fcbench -test scaling -json).
+type ScalingDoc struct {
+	Benchmark   string          `json:"benchmark"`
+	Ranks       []int           `json:"ranks"`
+	MsgsPerPeer int             `json:"msgs_per_peer"`
+	MsgSizeB    int             `json:"msg_size_b"`
+	Prepost     int             `json:"prepost"`
+	DynMax      int             `json:"dynmax"`
+	PoolPrepost int             `json:"pool_prepost"`
+	PoolMax     int             `json:"pool_max"`
+	Series      []ScalingSeries `json:"series"`
+}
+
+// connScalingSchemes returns the four schemes the scaling benchmark
+// compares. The per-connection schemes pre-post `prepost` buffers per
+// peer; the shared scheme provisions one pool per rank, sized
+// independently of the peer count.
+func connScalingSchemes(prepost, dynMax, poolPrepost, poolMax int) []core.Params {
+	return []core.Params{
+		core.Hardware(prepost),
+		core.Static(prepost),
+		core.Dynamic(prepost, dynMax),
+		core.Shared(poolPrepost, poolMax),
+	}
+}
+
+// ConnScaling measures how receive-buffer memory and flow-control
+// pressure grow with the number of connected peers under each scheme:
+// every rank runs an all-to-all small-message storm against every other
+// rank. Per-connection schemes provision buffers per peer, so their
+// memory high-water mark grows linearly with the rank count; the shared
+// scheme backs all connections with one SRQ pool, so its footprint is
+// bounded by the pool maximum regardless of fan-in — at the price of
+// RNR NAKs when the storm outruns watermark replenishment.
+func ConnScaling(o Opts) ScalingDoc {
+	doc := ScalingDoc{
+		Benchmark:   "connscaling",
+		Ranks:       []int{2, 4, 8, 16, 24},
+		MsgsPerPeer: 12,
+		MsgSizeB:    256,
+		Prepost:     8,
+		DynMax:      64,
+		PoolPrepost: 16,
+		PoolMax:     96,
+	}
+	if o.Quick {
+		doc.Ranks = []int{2, 4, 8}
+		doc.MsgsPerPeer = 6
+	}
+	schemes := connScalingSchemes(doc.Prepost, doc.DynMax, doc.PoolPrepost, doc.PoolMax)
+	for _, fc := range schemes {
+		s := ScalingSeries{Scheme: fc.Kind.String()}
+		for _, n := range doc.Ranks {
+			opts := mpi.DefaultOptions(fc)
+			opts.TimeLimit = timeLimit
+			o.tune(&opts)
+			w := mpi.NewWorld(n, opts)
+			if err := w.Run(allToAllStorm(doc.MsgsPerPeer, doc.MsgSizeB)); err != nil {
+				panic(fmt.Sprintf("bench: connscaling %s at %d ranks: %v", s.Scheme, n, err))
+			}
+			// The Table-2 quantity is per-process memory: take the
+			// worst rank, not the job-wide sum, so the row reads as
+			// "bytes a node must pin" at that cluster size.
+			hwm := 0
+			for i := 0; i < n; i++ {
+				if b := w.RankStats(i).BufBytesHWM; b > hwm {
+					hwm = b
+				}
+			}
+			st := w.Stats()
+			s.BufBytesHWM = append(s.BufBytesHWM, hwm)
+			s.RNRNaks = append(s.RNRNaks, st.RNRNaks)
+			s.Backlogged = append(s.Backlogged, st.Backlogged)
+			s.LimitEvents = append(s.LimitEvents, st.LimitEvents)
+			s.TimeMS = append(s.TimeMS, w.Time().Seconds()*1e3)
+		}
+		doc.Series = append(doc.Series, s)
+	}
+	return doc
+}
+
+// allToAllStorm returns an MPI main in which every rank exchanges msgs
+// messages of size bytes with every other rank, receives pre-posted so
+// all traffic stays eager and lands on the receive-buffer machinery
+// under test.
+func allToAllStorm(msgs, size int) func(c *mpi.Comm) {
+	return func(c *mpi.Comm) {
+		me, n := c.Rank(), c.Size()
+		var reqs []*mpi.Request
+		for p := 0; p < n; p++ {
+			if p == me {
+				continue
+			}
+			for m := 0; m < msgs; m++ {
+				reqs = append(reqs, c.Irecv(p, m, make([]byte, size)))
+			}
+		}
+		for p := 0; p < n; p++ {
+			if p == me {
+				continue
+			}
+			for m := 0; m < msgs; m++ {
+				reqs = append(reqs, c.Isend(p, m, make([]byte, size)))
+			}
+		}
+		c.Waitall(reqs...)
+	}
+}
+
+// ConnScalingTable renders the scaling document's memory column as the
+// paper's Table-2 analogue: per-process receive-buffer memory (KB,
+// max over ranks) versus cluster size, one column per scheme.
+func ConnScalingTable(doc ScalingDoc) Table {
+	t := Table{
+		Title: fmt.Sprintf(
+			"Connection scaling: per-process buffer memory HWM (KB), all-to-all storm (%d x %dB per peer)",
+			doc.MsgsPerPeer, doc.MsgSizeB),
+		Columns: []string{"ranks"},
+		Note: fmt.Sprintf(
+			"per-connection schemes pre-post %d/conn (dynamic cap %d); shared pool starts at %d, cap %d — memory bounded regardless of fan-in",
+			doc.Prepost, doc.DynMax, doc.PoolPrepost, doc.PoolMax),
+	}
+	for _, s := range doc.Series {
+		t.Columns = append(t.Columns, s.Scheme)
+	}
+	t.Columns = append(t.Columns, "shared RNR", "shared limit ev")
+	var shared *ScalingSeries
+	for i := range doc.Series {
+		if doc.Series[i].Scheme == "shared" {
+			shared = &doc.Series[i]
+		}
+	}
+	for i, n := range doc.Ranks {
+		row := []string{fmt.Sprint(n)}
+		for _, s := range doc.Series {
+			row = append(row, fmt.Sprintf("%.1f", float64(s.BufBytesHWM[i])/1024))
+		}
+		if shared != nil {
+			row = append(row, fmt.Sprint(shared.RNRNaks[i]), fmt.Sprint(shared.LimitEvents[i]))
+		} else {
+			row = append(row, "-", "-")
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

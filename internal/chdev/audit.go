@@ -14,7 +14,10 @@ import "fmt"
 //     by B's QP (Delivered counts first acceptances only);
 //   - no stranded work: empty backlogs, no queued WQEs, no rendezvous in
 //     flight, no degraded connection;
-//   - RDMA eager channel: A's free-slot view matches its credit view.
+//   - RDMA eager channel: A's free-slot view matches its credit view;
+//   - shared-pool scheme: the provisioner's own law — no pooled buffer
+//     in use and the SRQ's free count equal to the pool's accounting
+//     (the pooled analogue of the credit law, see poolProvisioner.audit).
 //
 // It returns a descriptive error naming the first violated invariant, or
 // nil if every law holds.
@@ -30,6 +33,9 @@ func Audit(devs []*Device) error {
 		}
 		if n := d.PendingCompletions(); n > 0 {
 			return fmt.Errorf("chdev audit: rank %d has %d unpolled completions", d.rank, n)
+		}
+		if err := d.prov.audit(); err != nil {
+			return err
 		}
 		for _, c := range d.conns {
 			if c == nil {

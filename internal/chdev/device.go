@@ -138,6 +138,10 @@ type Stats struct {
 	RegHits       uint64
 	RegMisses     uint64
 	BufBytesInUse int // pre-posted receive buffer memory, bytes
+	BufBytesHWM   int // high-water mark of receive buffer memory, bytes
+
+	// Shared-pool counters (core.KindShared).
+	LimitEvents uint64 // SRQ low-watermark events handled
 
 	// Graceful-degradation counters (fault handling).
 	RNRExhausted   uint64 // transport retry budgets exhausted
@@ -163,6 +167,12 @@ type Device struct {
 	qpConn map[*ib.QP]*conn
 	peers  []*Device
 
+	// prov owns receive-buffer provisioning: per-connection queues, or
+	// (for core.KindShared) the SRQ-backed shared pool below.
+	prov  recvProvisioner
+	srq   *ib.SRQ
+	rpool *core.Pool
+
 	wridSeq  uint64
 	rndvSeq  uint64
 	sendCtxs map[uint64]sendCtx
@@ -185,7 +195,10 @@ func New(eng *sim.Engine, hca *ib.HCA, cfg Config, params core.Params, rank, siz
 	if cfg.BufSize <= HeaderSize {
 		panic(fmt.Sprintf("chdev: buffer size %d below header size %d", cfg.BufSize, HeaderSize))
 	}
-	return &Device{
+	if params.SharedPool() && cfg.RDMAEager {
+		panic("chdev: RDMA eager channel is incompatible with the shared-pool scheme (persistent slots are per-connection by design)")
+	}
+	d := &Device{
 		eng:      eng,
 		hca:      hca,
 		cq:       hca.NewCQ(),
@@ -203,6 +216,48 @@ func New(eng *sim.Engine, hca *ib.HCA, cfg Config, params core.Params, rank, siz
 		rndvHist: cfg.Metrics.Histogram("chdev_rndv_ns", metrics.TimeBuckets,
 			metrics.RankLabel(rank)),
 	}
+	if d.params.SharedPool() {
+		d.srq = hca.NewSRQ()
+		d.rpool = core.NewPool(&d.params)
+		d.prov = &poolProvisioner{d: d, srq: d.srq, pool: d.rpool}
+		d.srq.SetLimit(d.rpool.Watermark(), d.onPoolLimit)
+		for i := 0; i < d.rpool.Posted(); i++ {
+			d.postSRQBuf(d.pool.Get())
+		}
+		d.rpool.RegisterMetrics(d.cfg.Metrics, rank)
+		d.cfg.Metrics.GaugeFunc("chdev_pool_free",
+			func() int64 { return int64(d.srq.PostedRecvs()) }, metrics.RankLabel(rank))
+	} else {
+		d.prov = &connProvisioner{d: d}
+	}
+	d.cfg.Metrics.GaugeFunc("chdev_buf_bytes_hwm",
+		func() int64 { return int64(d.prov.postedHWMBytes()) }, metrics.RankLabel(rank))
+	return d
+}
+
+// onPoolLimit handles the SRQ's low-watermark limit event: the free
+// descriptor count dipped below the watermark, so replenish the shared
+// pool by the scheme's increment. Replenishment is watermark-driven —
+// one event per dip, paced by the growth cooldown — rather than
+// per-message, which is what keeps the pool's size tracking aggregate
+// pressure instead of the connection count.
+func (d *Device) onPoolLimit() {
+	d.tr(trace.PoolLimit, d.rank, int64(d.srq.PostedRecvs()))
+	if grow := d.rpool.OnLimitEvent(d.eng.Now()); grow > 0 {
+		for i := 0; i < grow; i++ {
+			d.postSRQBuf(d.pool.Get())
+		}
+		d.tr(trace.PoolGrew, d.rank, int64(d.rpool.Posted()))
+	}
+}
+
+// postSRQBuf posts a fresh buffer into the shared receive queue. The
+// receive context carries no connection: the consuming QP identifies
+// the connection at arrival time.
+func (d *Device) postSRQBuf(buf []byte) {
+	d.wridSeq++
+	d.recvCtxs[d.wridSeq] = recvSlot{buf: buf}
+	d.srq.PostRecv(d.wridSeq, buf)
 }
 
 // Wire connects a full set of devices: every pair eagerly unless OnDemand
@@ -227,8 +282,8 @@ func Wire(devs []*Device) {
 // their addresses (part of connection setup); a small fixed descriptor
 // pool still backs control traffic.
 func establish(a, b *Device) {
-	qa := a.hca.NewQP(a.cq, a.cq)
-	qb := b.hca.NewQP(b.cq, b.cq)
+	qa := a.prov.newQP()
+	qb := b.prov.newQP()
 	ib.Connect(qa, qb)
 	ca := &conn{peer: b.rank, qp: qa, vc: core.NewVC(&a.params),
 		sendRndv: make(map[uint64]*rndvOut), recvRndv: make(map[uint64]*RndvIn)}
@@ -252,8 +307,8 @@ func establish(a, b *Device) {
 		b.announceSlots(cb, mrA, ca.vc.Posted())
 		a.announceSlots(ca, mrB, cb.vc.Posted())
 	} else {
-		a.prepost(ca, ca.vc.Posted())
-		b.prepost(cb, cb.vc.Posted())
+		a.prov.provisionConn(ca)
+		b.prov.provisionConn(cb)
 	}
 }
 
@@ -946,7 +1001,7 @@ func (d *Device) handleWC(p *sim.Proc, wc ib.WC) {
 			panic("chdev: unknown recv completion")
 		}
 		delete(d.recvCtxs, wc.WRID)
-		d.handlePacket(p, slot.conn, slot.buf, false)
+		d.handlePacket(p, d.prov.arrival(wc, slot), slot.buf, false)
 	case ib.OpRecvImm:
 		// RDMA eager arrival detected (models memory polling).
 		c, ok := d.qpConn[wc.QP]
@@ -1077,12 +1132,7 @@ func (d *Device) handlePacket(p *sim.Proc, c *conn, buf []byte, viaRDMA bool) {
 		c.vc.BufferProcessed(h.Flags&FlagCredit != 0, p.Now())
 		return
 	}
-	if c.vc.BufferProcessed(h.Flags&FlagCredit != 0, p.Now()) {
-		d.postRecvBuf(c, buf)
-	} else {
-		d.tr(trace.Shrank, c.peer, int64(c.vc.Posted()))
-		d.pool.Put(buf)
-	}
+	d.prov.processed(p, c, buf, h.Flags&FlagCredit != 0)
 }
 
 // sendRingExt announces grow new slots backed by mr to the peer.
@@ -1118,7 +1168,6 @@ func (d *Device) Stats() Stats {
 		if vs.MaxPosted > s.MaxPosted {
 			s.MaxPosted = vs.MaxPosted
 		}
-		s.SumPosted += c.vc.Posted()
 		s.Reissues += vs.Reissues
 		s.ECMsDropped += vs.ECMsDropped
 		s.ECMsDuplicated += vs.ECMsDuplicated
@@ -1128,7 +1177,17 @@ func (d *Device) Stats() Stats {
 		s.WastedBytes += qs.WastedBytes
 		s.RNRExhausted += qs.RNRExhausted
 	}
+	if d.rpool != nil {
+		// Shared shape: the pool's accounting replaces the per-VC
+		// receiver-side numbers, which are vestigial under this scheme.
+		ps := d.rpool.Stats()
+		s.MaxPosted = ps.MaxPosted
+		s.LimitEvents = ps.LimitEvents
+		s.GrowthEvents += ps.GrowthEvents
+	}
+	s.SumPosted = d.prov.posted()
 	s.BufBytesInUse = s.SumPosted * d.cfg.BufSize
+	s.BufBytesHWM = d.prov.postedHWMBytes()
 	return s
 }
 

@@ -1,0 +1,157 @@
+package chdev
+
+import (
+	"fmt"
+
+	"ibflow/internal/core"
+	"ibflow/internal/ib"
+	"ibflow/internal/sim"
+	"ibflow/internal/trace"
+)
+
+// recvProvisioner is the device-side half of the receive-provisioning
+// seam: everything the device does with posted receive buffers —
+// creating endpoints, pre-posting at wire-up, accounting an arrival,
+// reposting after processing, and auditing conservation at quiescence —
+// goes through this interface instead of touching QPs directly. Two
+// shapes implement it: per-connection queues (hardware/static/dynamic)
+// and one SRQ-backed pool shared by every connection (core.KindShared).
+type recvProvisioner interface {
+	// newQP creates a transport endpoint wired to this provisioning
+	// shape (private receive queue or shared SRQ).
+	newQP() *ib.QP
+	// provisionConn pre-posts receive resources for a newly established
+	// connection; a no-op for the shared shape, whose pool is
+	// provisioned once per device.
+	provisionConn(c *conn)
+	// arrival resolves the connection an arrived packet belongs to and
+	// accounts for the consumed receive descriptor.
+	arrival(wc ib.WC, slot recvSlot) *conn
+	// processed finishes with a consumed buffer: run the receiver-side
+	// accounting, then repost it or retire it to the host pool.
+	processed(p *sim.Proc, c *conn, buf []byte, consumedCredit bool)
+	// posted reports receive descriptors currently provisioned
+	// (Stats.SumPosted, the live buffer-memory proxy).
+	posted() int
+	// postedHWMBytes is the high-water mark of receive-buffer memory,
+	// the number the connection-scaling benchmark plots against peers.
+	postedHWMBytes() int
+	// audit checks this shape's conservation law at quiescence.
+	audit() error
+}
+
+// connProvisioner is the classic shape: each connection owns a private
+// receive queue pre-posted to the VC's target, and processed buffers
+// repost onto the same connection (or retire, when the dynamic scheme's
+// shrink is paying down debt).
+type connProvisioner struct {
+	d *Device
+}
+
+func (cp *connProvisioner) newQP() *ib.QP {
+	return cp.d.hca.NewQP(cp.d.cq, cp.d.cq)
+}
+
+func (cp *connProvisioner) provisionConn(c *conn) {
+	cp.d.prepost(c, c.vc.Posted())
+}
+
+func (cp *connProvisioner) arrival(wc ib.WC, slot recvSlot) *conn {
+	return slot.conn
+}
+
+func (cp *connProvisioner) processed(p *sim.Proc, c *conn, buf []byte, consumedCredit bool) {
+	d := cp.d
+	if c.vc.BufferProcessed(consumedCredit, p.Now()) {
+		d.postRecvBuf(c, buf)
+	} else {
+		d.tr(trace.Shrank, c.peer, int64(c.vc.Posted()))
+		d.pool.Put(buf)
+	}
+}
+
+func (cp *connProvisioner) posted() int {
+	n := 0
+	for _, c := range cp.d.conns {
+		if c != nil {
+			n += c.vc.Posted()
+		}
+	}
+	return n
+}
+
+func (cp *connProvisioner) postedHWMBytes() int {
+	n := 0
+	for _, c := range cp.d.conns {
+		if c != nil {
+			n += c.vc.Stats().MaxPosted
+		}
+	}
+	return n * cp.d.cfg.BufSize
+}
+
+// audit returns nil: the per-channel credit conservation law spans two
+// devices (A.credits + B.owed == B.posted) and is checked pairwise in
+// Audit, where both endpoints are in hand.
+func (cp *connProvisioner) audit() error { return nil }
+
+// poolProvisioner is the shared shape: one SRQ holds every receive
+// descriptor, every QP consumes from it, and a core.Pool carries the
+// accounting. Replenishment is watermark-driven — the SRQ limit event
+// grows the pool — instead of per-connection credit bookkeeping.
+type poolProvisioner struct {
+	d    *Device
+	srq  *ib.SRQ
+	pool *core.Pool
+}
+
+func (pp *poolProvisioner) newQP() *ib.QP {
+	return pp.d.hca.NewQPWithSRQ(pp.d.cq, pp.d.cq, pp.srq)
+}
+
+// provisionConn is a no-op: the pool was provisioned at device creation
+// and its size tracks aggregate pressure, not the connection count —
+// that is the whole point of the shared scheme.
+func (pp *poolProvisioner) provisionConn(c *conn) {}
+
+func (pp *poolProvisioner) arrival(wc ib.WC, slot recvSlot) *conn {
+	pp.pool.Take()
+	c, ok := pp.d.qpConn[wc.QP]
+	if !ok {
+		panic("chdev: shared-pool arrival on unknown QP")
+	}
+	return c
+}
+
+func (pp *poolProvisioner) processed(p *sim.Proc, c *conn, buf []byte, consumedCredit bool) {
+	if pp.pool.Processed() {
+		pp.d.postSRQBuf(buf)
+	} else {
+		pp.d.pool.Put(buf)
+	}
+}
+
+func (pp *poolProvisioner) posted() int { return pp.pool.Posted() }
+
+func (pp *poolProvisioner) postedHWMBytes() int {
+	return pp.pool.Stats().MaxPosted * pp.d.cfg.BufSize
+}
+
+// audit checks the shared shape's conservation law: at quiescence every
+// descriptor the pool accounts for is free in the SRQ — nothing in
+// flight (InUse == 0) and the SRQ's free count equals the pool target.
+// This is the pooled analogue of the credit law A.credits + B.owed ==
+// B.posted: "posted" lives in one place and "owed/credits" collapse to
+// the in-use count, which must be zero when the job is settled.
+func (pp *poolProvisioner) audit() error {
+	pp.pool.CheckInvariants()
+	if n := pp.pool.InUse(); n != 0 {
+		return fmt.Errorf("chdev audit: rank %d: %d shared-pool buffers still in use at quiescence",
+			pp.d.rank, n)
+	}
+	if got, want := pp.srq.PostedRecvs(), pp.pool.Posted(); got != want {
+		return fmt.Errorf("chdev audit: rank %d: shared-pool descriptor leak: SRQ holds %d free, accounting says %d",
+			pp.d.rank, got, want)
+	}
+	return nil
+}

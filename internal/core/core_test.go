@@ -8,7 +8,7 @@ import (
 )
 
 func TestConstructorsValidate(t *testing.T) {
-	for _, p := range []Params{Hardware(10), Static(10), Dynamic(1, 100)} {
+	for _, p := range []Params{Hardware(10), Static(10), Dynamic(1, 100), Shared(16, 96)} {
 		p := p
 		if err := p.Validate(); err != nil {
 			t.Errorf("%v: %v", p.Kind, err)
@@ -35,7 +35,7 @@ func TestValidateRejectsBadParams(t *testing.T) {
 
 func TestKindStrings(t *testing.T) {
 	if KindHardware.String() != "hardware" || KindStatic.String() != "static" ||
-		KindDynamic.String() != "dynamic" {
+		KindDynamic.String() != "dynamic" || KindShared.String() != "shared" {
 		t.Error("kind strings wrong")
 	}
 	if GrowLinear.String() != "linear" || GrowExponential.String() != "exponential" {

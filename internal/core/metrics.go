@@ -30,3 +30,18 @@ func (vc *VC) RegisterMetrics(r *metrics.Registry, rank, peer int) {
 	r.CounterFunc("fc_shrink_events", func() uint64 { return vc.stats.ShrinkEvents }, ls...)
 	r.CounterFunc("fc_reissues", func() uint64 { return vc.stats.Reissues }, ls...)
 }
+
+// RegisterMetrics folds the shared pool's accounting into r: one series
+// per rank (the pool is rank-wide, not per-connection). The free-buffer
+// gauge lives with the channel device, which owns the SRQ itself.
+func (pl *Pool) RegisterMetrics(r *metrics.Registry, rank int) {
+	if r == nil {
+		return
+	}
+	ls := []metrics.Label{metrics.RankLabel(rank)}
+	r.GaugeFunc("fc_pool_posted", func() int64 { return int64(pl.Posted()) }, ls...)
+	r.GaugeFunc("fc_pool_in_use", func() int64 { return int64(pl.InUse()) }, ls...)
+	r.CounterFunc("fc_pool_taken", func() uint64 { return pl.stats.Taken }, ls...)
+	r.CounterFunc("fc_pool_limit_events", func() uint64 { return pl.stats.LimitEvents }, ls...)
+	r.CounterFunc("fc_pool_growth_events", func() uint64 { return pl.stats.GrowthEvents }, ls...)
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"testing"
+
+	"ibflow/internal/sim"
+)
+
+func TestSharedConstructorValidates(t *testing.T) {
+	p := Shared(16, 96)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind != KindShared || p.Increment != 4 || p.PoolWatermark != 4 {
+		t.Errorf("Shared(16, 96) = %+v", p)
+	}
+	if p.UserLevel() {
+		t.Error("shared scheme must not be user-level (senders stay optimistic)")
+	}
+	if !p.SharedPool() {
+		t.Error("SharedPool() false for KindShared")
+	}
+	small := Shared(1, 8)
+	if small.Increment != 1 {
+		t.Errorf("Shared(1, 8).Increment = %d, want floor of 1", small.Increment)
+	}
+}
+
+func TestValidateRejectsBadSharedParams(t *testing.T) {
+	cases := []Params{
+		{Kind: KindShared, Prepost: 4, PoolWatermark: 5},       // watermark above prepost
+		{Kind: KindShared, Prepost: 4, PoolWatermark: -1},      // negative watermark
+		{Kind: KindShared, Prepost: 8, Increment: 2, Max: 4},   // growth cap below start
+		{Kind: KindShared, Prepost: 4, ShrinkIdle: sim.Second}, // pool never shrinks
+		{Kind: KindShared, Prepost: 0},                         // no buffers at all
+	}
+	for i, p := range cases {
+		p := p
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, p)
+		}
+	}
+}
+
+func TestValidateFillsPoolWatermarkDefault(t *testing.T) {
+	p := Params{Kind: KindShared, Prepost: 16, Increment: 4, Max: 64}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.PoolWatermark != 4 {
+		t.Errorf("defaulted watermark = %d, want prepost/4 = 4", p.PoolWatermark)
+	}
+	tiny := Params{Kind: KindShared, Prepost: 2}
+	if err := tiny.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tiny.PoolWatermark != 1 {
+		t.Errorf("tiny watermark = %d, want floor of 1", tiny.PoolWatermark)
+	}
+}
+
+func newTestPool(t *testing.T, prepost, max int) *Pool {
+	t.Helper()
+	p := Shared(prepost, max)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return NewPool(&p)
+}
+
+func TestPoolTakeProcessedRoundTrip(t *testing.T) {
+	pl := newTestPool(t, 4, 16)
+	if pl.Posted() != 4 || pl.InUse() != 0 {
+		t.Fatalf("fresh pool: posted %d, in-use %d", pl.Posted(), pl.InUse())
+	}
+	pl.Take()
+	pl.Take()
+	if pl.InUse() != 2 {
+		t.Fatalf("in-use after 2 takes = %d", pl.InUse())
+	}
+	if !pl.Processed() {
+		t.Error("Processed must request a repost (the pool never shrinks)")
+	}
+	if !pl.Processed() {
+		t.Error("Processed must request a repost (the pool never shrinks)")
+	}
+	if pl.InUse() != 0 {
+		t.Fatalf("in-use after round trip = %d", pl.InUse())
+	}
+	st := pl.Stats()
+	if st.Taken != 2 || st.Reposted != 2 {
+		t.Errorf("stats = %+v, want Taken 2, Reposted 2", st)
+	}
+	pl.CheckInvariants()
+}
+
+func TestPoolProcessedWithoutTakePanics(t *testing.T) {
+	pl := newTestPool(t, 4, 16)
+	defer func() {
+		if recover() == nil {
+			t.Error("Processed with nothing in use did not panic")
+		}
+	}()
+	pl.Processed()
+}
+
+func TestPoolGrowthClampedAndPaced(t *testing.T) {
+	p := Shared(8, 13) // increment 2, cooldown 10us
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	pl := NewPool(&p)
+	if grow := pl.OnLimitEvent(0); grow != 2 || pl.Posted() != 10 {
+		t.Fatalf("first event: grow %d, posted %d", grow, pl.Posted())
+	}
+	// Inside the cooldown window: the event is counted but grows nothing.
+	if grow := pl.OnLimitEvent(5 * sim.Microsecond); grow != 0 {
+		t.Fatalf("event within cooldown grew %d", grow)
+	}
+	if grow := pl.OnLimitEvent(20 * sim.Microsecond); grow != 2 || pl.Posted() != 12 {
+		t.Fatalf("second growth: grow %d, posted %d", grow, pl.Posted())
+	}
+	// Final step is clamped to Max.
+	if grow := pl.OnLimitEvent(40 * sim.Microsecond); grow != 1 || pl.Posted() != 13 {
+		t.Fatalf("clamped growth: grow %d, posted %d", grow, pl.Posted())
+	}
+	// At Max: events keep counting, the pool stops growing.
+	if grow := pl.OnLimitEvent(60 * sim.Microsecond); grow != 0 || pl.Posted() != 13 {
+		t.Fatalf("event at max grew %d, posted %d", grow, pl.Posted())
+	}
+	st := pl.Stats()
+	if st.LimitEvents != 5 || st.GrowthEvents != 3 || st.MaxPosted != 13 {
+		t.Errorf("stats = %+v, want LimitEvents 5, GrowthEvents 3, MaxPosted 13", st)
+	}
+}
+
+func TestPoolZeroIncrementNeverGrows(t *testing.T) {
+	p := Shared(4, 16)
+	p.Increment = 0
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	pl := NewPool(&p)
+	for i := 0; i < 5; i++ {
+		if grow := pl.OnLimitEvent(sim.Time(i) * sim.Millisecond); grow != 0 {
+			t.Fatalf("fixed-size pool grew %d", grow)
+		}
+	}
+	if pl.Posted() != 4 {
+		t.Errorf("posted = %d, want 4", pl.Posted())
+	}
+}
+
+func TestNewPoolRejectsNonSharedScheme(t *testing.T) {
+	p := Static(4)
+	defer func() {
+		if recover() == nil {
+			t.Error("NewPool on a static scheme did not panic")
+		}
+	}()
+	NewPool(&p)
+}
+
+func TestPoolCheckInvariantsCatchesCorruption(t *testing.T) {
+	pl := newTestPool(t, 4, 16)
+	pl.inUse = 5 //fclint:allow creditmut deliberate corruption to prove CheckInvariants catches it
+	defer func() {
+		if recover() == nil {
+			t.Error("CheckInvariants accepted in-use > posted")
+		}
+	}()
+	pl.CheckInvariants()
+}

@@ -13,6 +13,14 @@
 //     went through the backlog") arrive, adapting buffer usage to the
 //     application's communication pattern.
 //
+// A fourth scheme extends the paper along its own scalability concern:
+//
+//   - Shared: receive buffers come from one SRQ-backed pool serving all
+//     connections (KindShared). Senders post optimistically like the
+//     hardware scheme; the receiver replenishes the pool when the SRQ's
+//     low-watermark limit event fires, so receive memory tracks the
+//     aggregate arrival rate instead of the connection count.
+//
 // The package is pure bookkeeping: it decides, counts and enforces
 // invariants. The channel device (internal/chdev) owns the actual buffers,
 // packets and progress engine and consults a VC (virtual channel) for every
@@ -25,7 +33,8 @@ import (
 	"ibflow/internal/sim"
 )
 
-// Kind selects one of the paper's three flow control schemes.
+// Kind selects a flow control scheme: the paper's three, or the
+// SRQ-backed shared-pool extension.
 type Kind int
 
 const (
@@ -37,6 +46,12 @@ const (
 	// KindDynamic is user-level credit-based flow control that grows the
 	// pre-post count from feedback.
 	KindDynamic
+	// KindShared provisions receive buffers from one SRQ-backed pool
+	// shared across all connections instead of per-channel credits:
+	// senders post optimistically (as in the hardware scheme) and the
+	// receiver replenishes the pool when a low-watermark limit event
+	// fires, decoupling receive memory from the connection count.
+	KindShared
 )
 
 func (k Kind) String() string {
@@ -47,6 +62,8 @@ func (k Kind) String() string {
 		return "static"
 	case KindDynamic:
 		return "dynamic"
+	case KindShared:
+		return "shared"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -129,6 +146,12 @@ type Params struct {
 	// reposting processed buffers. Zero disables shrinking.
 	ShrinkIdle  sim.Time
 	ShrinkFloor int
+
+	// PoolWatermark is the shared scheme's low-water threshold: when the
+	// free descriptor count of the shared receive pool dips below it, the
+	// SRQ limit event fires and the pool grows by Increment (up to Max,
+	// paced by GrowthCooldown). Defaults to Prepost/4, at least 1.
+	PoolWatermark int
 }
 
 // Hardware returns parameters for the hardware-based scheme.
@@ -162,6 +185,25 @@ func Dynamic(prepost, max int) Params {
 	}
 }
 
+// Shared returns parameters for the shared-pool scheme: a pool of
+// prepost buffers serving every connection from one SRQ, replenished by
+// Prepost/4-sized increments (at least 1) whenever the free count dips
+// below the Prepost/4 watermark, up to max buffers total.
+func Shared(prepost, max int) Params {
+	inc := prepost / 4
+	if inc < 1 {
+		inc = 1
+	}
+	return Params{
+		Kind:           KindShared,
+		Prepost:        prepost,
+		Growth:         GrowLinear,
+		Increment:      inc,
+		Max:            max,
+		GrowthCooldown: 10 * sim.Microsecond,
+	}
+}
+
 // Validate checks the parameter combination and fills defaulted fields.
 func (p *Params) Validate() error {
 	if p.Prepost < 1 {
@@ -169,6 +211,23 @@ func (p *Params) Validate() error {
 	}
 	switch p.Kind {
 	case KindHardware:
+		return nil
+	case KindShared:
+		if p.PoolWatermark == 0 {
+			p.PoolWatermark = p.Prepost / 4
+			if p.PoolWatermark < 1 {
+				p.PoolWatermark = 1
+			}
+		}
+		if p.PoolWatermark < 0 || p.PoolWatermark > p.Prepost {
+			return fmt.Errorf("core: pool watermark %d outside [1, prepost %d]", p.PoolWatermark, p.Prepost)
+		}
+		if p.Increment > 0 && p.Max < p.Prepost {
+			return fmt.Errorf("core: shared pool max %d < initial prepost %d", p.Max, p.Prepost)
+		}
+		if p.ShrinkIdle > 0 {
+			return fmt.Errorf("core: shared pool does not support shrinking")
+		}
 		return nil
 	case KindStatic, KindDynamic:
 		if p.ECMThreshold < 1 {
@@ -191,5 +250,12 @@ func (p *Params) Validate() error {
 	return nil
 }
 
-// UserLevel reports whether the scheme tracks credits at the MPI level.
-func (p *Params) UserLevel() bool { return p.Kind != KindHardware }
+// UserLevel reports whether the scheme tracks per-channel credits at the
+// MPI level. The shared scheme is deliberately not user-level: like the
+// hardware scheme its senders post optimistically and rely on the RNR
+// backstop; what it adds is receiver-side pooling, not sender credits.
+func (p *Params) UserLevel() bool { return p.Kind == KindStatic || p.Kind == KindDynamic }
+
+// SharedPool reports whether receive buffers come from a shared SRQ pool
+// instead of per-connection queues.
+func (p *Params) SharedPool() bool { return p.Kind == KindShared }

@@ -84,6 +84,7 @@ type HCA struct {
 	ingress link
 	qps     []*QP
 	udqps   []*UDQP
+	srqs    []*SRQ
 	nextMR  int
 	mrs     map[int]*MR
 	stats   HCAStats
@@ -104,13 +105,36 @@ func (h *HCA) NewCQ() *CQ {
 }
 
 // NewQP creates a queue pair on this adapter using the given completion
-// queues (they may be the same queue, as the paper's MPI does).
+// queues (they may be the same queue, as the paper's MPI does). The QP
+// owns a private receive queue; use NewQPWithSRQ to share one instead.
 func (h *HCA) NewQP(sendCQ, recvCQ *CQ) *QP {
 	qp := &QP{
 		hca:    h,
 		num:    len(h.qps),
 		sendCQ: sendCQ,
 		recvCQ: recvCQ,
+		recv:   &recvQueue{},
+	}
+	h.qps = append(h.qps, qp)
+	return qp
+}
+
+// NewQPWithSRQ creates a queue pair whose receive descriptors come from
+// the shared receive queue srq instead of a private queue. The SRQ must
+// live on the same adapter.
+func (h *HCA) NewQPWithSRQ(sendCQ, recvCQ *CQ, srq *SRQ) *QP {
+	if srq == nil {
+		panic("ib: NewQPWithSRQ with nil SRQ")
+	}
+	if srq.hca != h {
+		panic("ib: SRQ and QP on different HCAs")
+	}
+	qp := &QP{
+		hca:    h,
+		num:    len(h.qps),
+		sendCQ: sendCQ,
+		recvCQ: recvCQ,
+		recv:   srq,
 	}
 	h.qps = append(h.qps, qp)
 	return qp

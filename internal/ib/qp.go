@@ -95,9 +95,10 @@ type QP struct {
 	failed   bool   // frozen after RNR budget exhaustion (see ResumeStalled)
 	rnrTimer *sim.Timer
 
-	// receiver state
-	recvQ    []recvWQE
-	recvHead int
+	// receiver state. recv owns the posted receive descriptors: a
+	// private recvQueue for a classic RC connection, or a shared SRQ
+	// serving many QPs (see recvProvisioner).
+	recv     recvProvisioner
 	expected uint64 // next acceptable incoming seq
 
 	stats QPStats
@@ -115,16 +116,31 @@ func (qp *QP) Peer() *QP { return qp.peer }
 // Stats returns a copy of the QP's counters.
 func (qp *QP) Stats() QPStats { return qp.stats }
 
-// PostedRecvs reports how many receive descriptors are currently posted.
-func (qp *QP) PostedRecvs() int { return len(qp.recvQ) - qp.recvHead }
+// PostedRecvs reports how many receive descriptors are currently
+// available to arrivals on this QP. For an SRQ-attached QP this is the
+// shared pool's free count, which every attached QP reports alike.
+func (qp *QP) PostedRecvs() int { return qp.recv.posted() }
+
+// SRQ returns the shared receive queue this QP consumes from, or nil for
+// a QP with a private receive queue.
+func (qp *QP) SRQ() *SRQ {
+	s, _ := qp.recv.(*SRQ)
+	return s
+}
 
 // QueuedSends reports send WQEs not yet retired (in flight or waiting).
 func (qp *QP) QueuedSends() int { return len(qp.queue) }
 
 // PostRecv posts a receive descriptor. Incoming sends consume descriptors
 // in FIFO order; a send arriving when none is posted triggers an RNR NAK.
+// A QP attached to a shared receive queue has no private queue to post
+// into: descriptors go to the SRQ instead.
 func (qp *QP) PostRecv(wrid uint64, buf []byte) {
-	qp.recvQ = append(qp.recvQ, recvWQE{wrid: wrid, buf: buf})
+	rq, ok := qp.recv.(*recvQueue)
+	if !ok {
+		panic("ib: PostRecv on an SRQ-attached QP; post to the SRQ instead")
+	}
+	rq.post(recvWQE{wrid: wrid, buf: buf})
 }
 
 // PostSend posts a channel-semantics send of payload.
@@ -248,12 +264,17 @@ func (qp *QP) deliver(w *sendWQE, sender *QP) {
 
 	switch w.kind {
 	case opSend:
-		notReady := qp.recvHead >= len(qp.recvQ)
-		if !notReady && cfg.Faults != nil && cfg.Faults.ForceRNR(eng.Now(), qp.hca.node) {
-			// Injected HCA backpressure: NAK despite a posted buffer.
-			notReady = true
+		// Consume the next receive descriptor from whatever provisions
+		// this QP — private queue or shared pool. An injected ForceRNR
+		// is consulted only when a descriptor is actually available, so
+		// fault schedules are identical across provisioner shapes.
+		var r recvWQE
+		ready := false
+		if qp.recv.posted() > 0 &&
+			!(cfg.Faults != nil && cfg.Faults.ForceRNR(eng.Now(), qp.hca.node)) {
+			r, ready = qp.recv.take()
 		}
-		if notReady {
+		if !ready {
 			// Receiver not ready: NAK back to the sender.
 			qp.hca.stats.RNRNaks++
 			sender.stats.RNRNaks++
@@ -264,12 +285,6 @@ func (qp *QP) deliver(w *sendWQE, sender *QP) {
 			seq := w.seq
 			eng.At(eng.Now()+cfg.SwitchLatency, func() { sender.onRNRNak(seq) })
 			return
-		}
-		r := qp.recvQ[qp.recvHead]
-		qp.recvHead++
-		if qp.recvHead == len(qp.recvQ) {
-			qp.recvQ = qp.recvQ[:0]
-			qp.recvHead = 0
 		}
 		if len(w.payload) > len(r.buf) {
 			panic(fmt.Sprintf("ib: message of %d bytes into %d-byte receive buffer",

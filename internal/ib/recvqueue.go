@@ -1,0 +1,44 @@
+package ib
+
+// recvProvisioner is the seam between a QP's delivery path and whatever
+// owns its receive descriptors: the per-QP FIFO of a classic Reliable
+// Connection, or a shared receive queue (SRQ) serving many QPs. The
+// delivery path only ever asks two questions — "is anything posted?" and
+// "give me the next descriptor" — so a send arriving when take has
+// nothing to give triggers the RNR NAK path identically whether the
+// provisioner is a private queue or a shared pool. "Pool empty" and
+// "queue empty" produce the same receiver-not-ready semantics by
+// construction.
+type recvProvisioner interface {
+	// take consumes the next receive descriptor in FIFO order.
+	take() (recvWQE, bool)
+	// posted reports descriptors currently available to arrivals.
+	posted() int
+}
+
+// recvQueue is the classic per-QP receive queue: descriptors are consumed
+// in the order they were posted and the backing slice is compacted each
+// time it drains.
+type recvQueue struct {
+	q    []recvWQE
+	head int
+}
+
+func (r *recvQueue) post(w recvWQE) {
+	r.q = append(r.q, w)
+}
+
+func (r *recvQueue) posted() int { return len(r.q) - r.head }
+
+func (r *recvQueue) take() (recvWQE, bool) {
+	if r.head >= len(r.q) {
+		return recvWQE{}, false
+	}
+	w := r.q[r.head]
+	r.head++
+	if r.head == len(r.q) {
+		r.q = r.q[:0]
+		r.head = 0
+	}
+	return w, true
+}

@@ -1,0 +1,164 @@
+package ib
+
+import (
+	"bytes"
+	"testing"
+
+	"ibflow/internal/sim"
+)
+
+// udPair builds a 2-node fabric with a UD queue pair on each node.
+func udPair(cfg Config) (*sim.Engine, *UDQP, *UDQP, *CQ, *CQ) {
+	eng := sim.NewEngine()
+	f := NewFabric(eng, cfg, 2)
+	cq0 := f.HCA(0).NewCQ()
+	cq1 := f.HCA(1).NewCQ()
+	tx := f.HCA(0).NewUDQP(cq0, cq0)
+	rx := f.HCA(1).NewUDQP(cq1, cq1)
+	return eng, tx, rx, cq0, cq1
+}
+
+func TestUDDeliversDatagramsFIFO(t *testing.T) {
+	eng, tx, rx, cq0, cq1 := udPair(DefaultConfig())
+	bufs := make([][]byte, 3)
+	for i := range bufs {
+		bufs[i] = make([]byte, 16)
+		rx.PostRecv(uint64(100+i), bufs[i])
+	}
+	if rx.PostedRecvs() != 3 {
+		t.Fatalf("PostedRecvs = %d, want 3", rx.PostedRecvs())
+	}
+	msgs := [][]byte{[]byte("one"), []byte("two"), []byte("three")}
+	for i, m := range msgs {
+		tx.SendTo(uint64(i), 1, rx.Num(), m)
+	}
+	if err := eng.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range msgs {
+		wc, ok := cq1.Poll()
+		if !ok || wc.Opcode != OpRecvComplete || wc.WRID != uint64(100+i) ||
+			wc.SrcNode != 0 || wc.UD != rx {
+			t.Fatalf("recv wc %d = %+v ok=%v", i, wc, ok)
+		}
+		if !bytes.Equal(bufs[i][:wc.Len], m) {
+			t.Errorf("buf %d = %q, want %q", i, bufs[i][:wc.Len], m)
+		}
+	}
+	for i := range msgs {
+		wc, ok := cq0.Poll()
+		if !ok || wc.Opcode != OpSendComplete || wc.WRID != uint64(i) || wc.UD != tx {
+			t.Errorf("send wc %d = %+v ok=%v", i, wc, ok)
+		}
+	}
+	if st := tx.Stats(); st.Sent != 3 {
+		t.Errorf("tx stats = %+v, want Sent 3", st)
+	}
+	if st := rx.Stats(); st.Delivered != 3 || st.Dropped != 0 {
+		t.Errorf("rx stats = %+v, want Delivered 3, Dropped 0", st)
+	}
+	if rx.PostedRecvs() != 0 {
+		t.Errorf("PostedRecvs = %d after consuming all, want 0", rx.PostedRecvs())
+	}
+}
+
+// UD has no RNR machinery: an arrival finding the descriptor pool empty
+// is silently dropped and the sender still completes locally.
+func TestUDDropsWithoutDescriptor(t *testing.T) {
+	eng, tx, rx, cq0, cq1 := udPair(DefaultConfig())
+	tx.SendTo(1, 1, rx.Num(), []byte("void"))
+	rx.PostRecv(9, make([]byte, 16))
+	tx.SendTo(2, 1, rx.Num(), []byte("kept"))
+	if err := eng.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	if st := rx.Stats(); st.Delivered != 1 || st.Dropped != 1 {
+		t.Errorf("rx stats = %+v, want Delivered 1, Dropped 1", st)
+	}
+	// Both sends completed locally: fire-and-forget semantics.
+	done := 0
+	for {
+		if _, ok := cq0.Poll(); !ok {
+			break
+		}
+		done++
+	}
+	if done != 2 {
+		t.Errorf("send completions = %d, want 2 (drops are invisible to the sender)", done)
+	}
+	// Only the kept datagram surfaced at the receiver.
+	if wc, ok := cq1.Poll(); !ok || wc.WRID != 9 {
+		t.Errorf("recv wc = %+v ok=%v", wc, ok)
+	}
+	if _, ok := cq1.Poll(); ok {
+		t.Error("dropped datagram produced a completion")
+	}
+}
+
+// One descriptor pool serves datagrams from every peer — the scalability
+// property the paper's future work points at.
+func TestUDOnePoolServesManyPeers(t *testing.T) {
+	eng := sim.NewEngine()
+	f := NewFabric(eng, DefaultConfig(), 4)
+	cqr := f.HCA(3).NewCQ()
+	rx := f.HCA(3).NewUDQP(cqr, cqr)
+	for i := 0; i < 3; i++ {
+		rx.PostRecv(uint64(i), make([]byte, 16))
+	}
+	for n := 0; n < 3; n++ {
+		cq := f.HCA(n).NewCQ()
+		tx := f.HCA(n).NewUDQP(cq, cq)
+		tx.SendTo(1, 3, rx.Num(), []byte{byte(n)})
+	}
+	if err := eng.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	srcs := map[int]bool{}
+	for {
+		wc, ok := cqr.Poll()
+		if !ok {
+			break
+		}
+		srcs[wc.SrcNode] = true
+	}
+	if len(srcs) != 3 {
+		t.Errorf("distinct sources = %v, want 3", srcs)
+	}
+	if st := rx.Stats(); st.Delivered != 3 || st.Dropped != 0 {
+		t.Errorf("rx stats = %+v", st)
+	}
+}
+
+func TestUDValidationPanics(t *testing.T) {
+	eng, tx, rx, _, _ := udPair(DefaultConfig())
+	_ = eng
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("oversized datagram", func() {
+		tx.SendTo(1, 1, rx.Num(), make([]byte, MaxUDPayload+1))
+	})
+	mustPanic("unknown node", func() { tx.SendTo(1, 7, 0, []byte("x")) })
+	mustPanic("unknown qpn", func() { tx.SendTo(1, 1, 5, []byte("x")) })
+	mustPanic("negative node", func() { tx.SendTo(1, -1, 0, []byte("x")) })
+	mustPanic("negative qpn", func() { tx.SendTo(1, 1, -1, []byte("x")) })
+}
+
+// A datagram larger than its matched descriptor is a programming error
+// at the receiver (real UD truncates or errors; the model is strict).
+func TestUDUndersizedDescriptorPanics(t *testing.T) {
+	eng, tx, rx, _, _ := udPair(DefaultConfig())
+	rx.PostRecv(1, make([]byte, 2))
+	tx.SendTo(1, 1, rx.Num(), []byte("toolong"))
+	defer func() {
+		if recover() == nil {
+			t.Error("undersized descriptor did not panic")
+		}
+	}()
+	_ = eng.Run(sim.MaxTime)
+}

@@ -41,12 +41,13 @@ func runInstrumented(t *testing.T, opts Options, n int) *World {
 
 // TestMetricsDumpDeterminism is the subsystem's core contract: the same
 // seed and configuration must yield byte-identical metric dumps in every
-// export format, across all three flow control schemes.
+// export format, across all four flow control schemes.
 func TestMetricsDumpDeterminism(t *testing.T) {
 	schemes := []core.Params{
 		core.Hardware(2),
 		core.Static(2),
 		core.Dynamic(1, 64),
+		core.Shared(4, 64),
 	}
 	for _, fc := range schemes {
 		fc := fc
@@ -90,20 +91,27 @@ func TestMetricsDumpDeterminism(t *testing.T) {
 
 // TestMetricsDoNotChangeMakespan pins the observer-effect contract:
 // attaching a registry (sampler events and all) must not move the
-// simulated completion time by a single nanosecond.
+// simulated completion time by a single nanosecond. The shared-pool
+// scheme rides along: its SRQ gauges and pool counters are closure
+// readers like everything else, so sampling them must be free too.
 func TestMetricsDoNotChangeMakespan(t *testing.T) {
-	mk := func(instrument bool) sim.Time {
-		opts := DefaultOptions(core.Dynamic(1, 64))
-		if instrument {
-			opts.Metrics = metrics.New()
-		}
-		return runInstrumented(t, opts, 3).Time()
-	}
-	plain := mk(false)
-	instrumented := mk(true)
-	if plain != instrumented {
-		t.Errorf("instrumentation changed the makespan: %v (plain) != %v (instrumented)",
-			plain, instrumented)
+	for _, fc := range []core.Params{core.Dynamic(1, 64), core.Shared(4, 64)} {
+		fc := fc
+		t.Run(fc.Kind.String(), func(t *testing.T) {
+			mk := func(instrument bool) sim.Time {
+				opts := DefaultOptions(fc)
+				if instrument {
+					opts.Metrics = metrics.New()
+				}
+				return runInstrumented(t, opts, 3).Time()
+			}
+			plain := mk(false)
+			instrumented := mk(true)
+			if plain != instrumented {
+				t.Errorf("instrumentation changed the makespan: %v (plain) != %v (instrumented)",
+					plain, instrumented)
+			}
+		})
 	}
 }
 

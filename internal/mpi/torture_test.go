@@ -110,6 +110,7 @@ func TestTortureMatrix(t *testing.T) {
 		core.Hardware(2),
 		core.Static(2),
 		core.Dynamic(1, 64),
+		core.Shared(4, 64),
 	}
 	variants := []cfg{
 		{"sendrecv", func(o *Options) {}},
@@ -122,6 +123,12 @@ func TestTortureMatrix(t *testing.T) {
 	}
 	for _, fc := range schemes {
 		for _, v := range variants {
+			if fc.SharedPool() && v.name == "rdma" {
+				// The RDMA eager channel's persistent slots are
+				// per-connection by design; the device rejects the
+				// combination.
+				continue
+			}
 			fc, v := fc, v
 			t.Run(fc.Kind.String()+"-"+v.name, func(t *testing.T) {
 				opts := DefaultOptions(fc)
@@ -288,6 +295,7 @@ func TestTortureFaultSweep(t *testing.T) {
 		core.Hardware(2),
 		core.Static(2),
 		core.Dynamic(1, 64),
+		core.Shared(4, 64),
 	}
 	for _, fc := range schemes {
 		fc := fc
@@ -331,6 +339,7 @@ func TestTortureFaultDeterminism(t *testing.T) {
 		core.Hardware(2),
 		core.Static(2),
 		core.Dynamic(1, 64),
+		core.Shared(4, 64),
 	}
 	for _, fc := range schemes {
 		for _, seed := range []uint64{3, 17, 42} {

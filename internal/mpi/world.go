@@ -238,6 +238,10 @@ func (w *World) Stats() chdev.Stats {
 		s.RegHits += rs.RegHits
 		s.RegMisses += rs.RegMisses
 		s.BufBytesInUse += rs.BufBytesInUse
+		if rs.BufBytesHWM > s.BufBytesHWM {
+			s.BufBytesHWM = rs.BufBytesHWM
+		}
+		s.LimitEvents += rs.LimitEvents
 		s.RNRExhausted += rs.RNRExhausted
 		s.Reissues += rs.Reissues
 		s.ECMsDropped += rs.ECMsDropped

@@ -39,6 +39,8 @@ const (
 	ECMDuplicated
 	RetryExhausted
 	Reissued
+	PoolLimit
+	PoolGrew
 )
 
 var kindNames = map[Kind]string{
@@ -63,6 +65,8 @@ var kindNames = map[Kind]string{
 	ECMDuplicated:  "ecm-duplicated",
 	RetryExhausted: "retry-exhausted",
 	Reissued:       "reissued",
+	PoolLimit:      "pool-limit",
+	PoolGrew:       "pool-grew",
 }
 
 func (k Kind) String() string {
