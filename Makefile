@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: all build vet lint test debug race cover bench fmt metrics-smoke scaling-smoke
+# The enforced statement-coverage floor for ./internal/... (percent).
+# Raise it when coverage improves; never lower it to make a change pass.
+COVER_FLOOR ?= 75.0
+
+.PHONY: all build vet lint test debug race cover bench bench-simcore fmt metrics-smoke scaling-smoke
 
 all: build vet lint test
 
@@ -25,19 +29,26 @@ debug:
 race:
 	$(GO) test -race ./...
 
-# cover fails if total statement coverage of internal/... drops below the
-# checked-in floor (coverage.baseline). Raise the floor when coverage
-# improves; never lower it to make a change pass.
+# cover fails if total statement coverage of internal/... drops below
+# COVER_FLOOR (defined above).
 cover:
 	$(GO) test -coverprofile=coverage.out ./internal/...
 	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
-	floor=$$(cat coverage.baseline); \
-	echo "coverage: $$total% (floor: $$floor%)"; \
-	awk -v t="$$total" -v f="$$floor" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
-		{ echo "coverage $$total% fell below baseline $$floor%"; exit 1; }
+	echo "coverage: $$total% (floor: $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
+		{ echo "coverage $$total% fell below floor $(COVER_FLOOR)%"; exit 1; }
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# bench-simcore mirrors the CI step: every event-core benchmark must
+# still run (one-iteration smoke), and the steady-state allocation gate
+# must hold — the handler fast path allocates nothing, the closure path
+# only the user's closure. Full numbers live in BENCH_simcore.json (see
+# README for regeneration).
+bench-simcore:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/sim
+	IBFLOW_ALLOC_GATE=1 $(GO) test -count=1 -run TestSteadyStateAllocGate -v ./internal/sim
 
 # metrics-smoke mirrors the CI step: an instrumented run must produce a
 # parseable dump whose key set matches the checked-in golden inventory.

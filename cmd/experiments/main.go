@@ -59,19 +59,36 @@ func main() {
 	csv := flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
 	jsonOut := flag.Bool("json", false, "emit tables as one JSON document instead of aligned text")
 	metricsOut := flag.String("metrics-out", "", "dump each world's metrics to <prefix>-NNN.json")
+	parallel := flag.Int("parallel", 0, "worker goroutines for sweeps (0 = one per CPU, 1 = serial); results are identical for every value")
 	flag.Parse()
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 
 	if *csv && *jsonOut {
 		fmt.Fprintln(os.Stderr, "experiments: -csv and -json are mutually exclusive")
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *parallel < 0 {
+		fmt.Fprintln(os.Stderr, "experiments: -parallel must be >= 0")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if set["parallel"] && *parallel != 1 && *metricsOut != "" {
+		fmt.Fprintln(os.Stderr, "experiments: -metrics-out numbers dumps in world-construction order and needs the serial sweep; drop -parallel or pass -parallel 1")
+		flag.Usage()
+		os.Exit(2)
+	}
 
-	o := bench.Opts{Quick: *quick}
+	o := bench.Opts{Quick: *quick, Parallel: *parallel}
 	var sink *metricsSink
 	if *metricsOut != "" {
 		sink = &metricsSink{prefix: strings.TrimSuffix(*metricsOut, ".json")}
 		o.Tune = sink.attach
+		// The sink appends registries as worlds are built: that order is
+		// only meaningful (and the append only safe) when worlds are built
+		// one at a time.
+		o.Parallel = 1
 	}
 	want := map[string]bool{}
 	for _, k := range strings.Split(*only, ",") {

@@ -29,6 +29,7 @@ import (
 	"ibflow/internal/core"
 	"ibflow/internal/metrics"
 	"ibflow/internal/mpi"
+	"ibflow/internal/runner"
 	"ibflow/internal/trace"
 )
 
@@ -122,6 +123,7 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write the run's metric dump to this file (single point only)")
 	metricsFormat := flag.String("metrics-format", "json", "metric dump format: json, csv, or perfetto")
 	quick := flag.Bool("quick", false, "smaller sweep (scaling only): fewer rank counts and messages")
+	parallel := flag.Int("parallel", 0, "worker goroutines for sweeps (0 = one per CPU, 1 = serial); results are identical for every value")
 	flag.Parse()
 
 	set := map[string]bool{}
@@ -171,6 +173,21 @@ func main() {
 	if set["quick"] && *test != "scaling" {
 		fail("-quick applies to -test scaling only")
 	}
+	if *parallel < 0 {
+		fail("-parallel must be >= 0")
+	}
+	if set["parallel"] && *metricsOut != "" {
+		fail("-metrics-out instruments a single serial point; drop -parallel")
+	}
+	workers := *parallel
+	if workers == 0 {
+		workers = runner.Default()
+	}
+	if *metricsOut != "" {
+		// A single instrumented point shares one registry and trace ring:
+		// keep it on the calling goroutine.
+		workers = 1
+	}
 	if set["metrics-format"] && *metricsOut == "" {
 		fail("-metrics-format requires -metrics-out")
 	}
@@ -181,11 +198,11 @@ func main() {
 	}
 
 	if *test == "micro" {
-		runMicro(*prepost, *dynmax, *size, *iters, *reps, *blocking, *rdma, *jsonOut)
+		runMicro(*prepost, *dynmax, *size, *iters, *reps, workers, *blocking, *rdma, *jsonOut)
 		return
 	}
 	if *test == "scaling" {
-		doc := bench.ConnScaling(bench.Opts{Quick: *quick})
+		doc := bench.ConnScaling(bench.Opts{Quick: *quick, Parallel: workers})
 		if *jsonOut {
 			emitJSON(doc)
 		} else {
@@ -225,10 +242,9 @@ func main() {
 		if set["size"] {
 			sizes = []int{*size}
 		}
-		points := make([]latPoint, 0, len(sizes))
-		for _, s := range sizes {
-			points = append(points, latPoint{s, bench.LatencyOpts(fc, s, *iters, tune)})
-		}
+		points := runner.Map(len(sizes), workers, func(i int) latPoint {
+			return latPoint{sizes[i], bench.LatencyOpts(fc, sizes[i], *iters, tune)}
+		})
 		if *jsonOut {
 			emitJSON(struct {
 				Test    string     `json:"test"`
@@ -250,10 +266,9 @@ func main() {
 		if *window > 0 {
 			windows = []int{*window}
 		}
-		points := make([]bwPoint, 0, len(windows))
-		for _, w := range windows {
-			points = append(points, bwPoint{w, bench.BandwidthOpts(fc, *size, w, *reps, *blocking, tune)})
-		}
+		points := runner.Map(len(windows), workers, func(i int) bwPoint {
+			return bwPoint{windows[i], bench.BandwidthOpts(fc, *size, windows[i], *reps, *blocking, tune)}
+		})
 		if *jsonOut {
 			emitJSON(struct {
 				Test     string    `json:"test"`
@@ -282,26 +297,26 @@ func main() {
 
 // runMicro sweeps all three schemes through the latency and bandwidth
 // micro-benchmarks; its -json form is the BENCH_micro.json document.
-func runMicro(prepost, dynmax, size, iters, reps int, blocking, rdma, jsonOut bool) {
+func runMicro(prepost, dynmax, size, iters, reps, workers int, blocking, rdma, jsonOut bool) {
 	tune := func(o *mpi.Options) { o.Chan.RDMAEager = rdma }
 	names := []string{"hardware", "static", "dynamic"}
 	schemes := bench.Schemes(prepost, dynmax)
 
+	// Each (scheme, point) cell is an independent world: sweep the grids
+	// through the worker pool and reassemble series in cell-index order.
+	latVals := runner.Map(len(schemes)*len(latSizes), workers, func(k int) float64 {
+		return bench.LatencyOpts(schemes[k/len(latSizes)], latSizes[k%len(latSizes)], iters, tune)
+	})
 	lat := make([]series, len(schemes))
-	for i, fc := range schemes {
-		vals := make([]float64, len(latSizes))
-		for j, s := range latSizes {
-			vals[j] = bench.LatencyOpts(fc, s, iters, tune)
-		}
-		lat[i] = series{names[i], vals}
+	for i := range schemes {
+		lat[i] = series{names[i], latVals[i*len(latSizes) : (i+1)*len(latSizes)]}
 	}
+	bwVals := runner.Map(len(schemes)*len(bwWindows), workers, func(k int) float64 {
+		return bench.BandwidthOpts(schemes[k/len(bwWindows)], size, bwWindows[k%len(bwWindows)], reps, blocking, tune)
+	})
 	bw := make([]series, len(schemes))
-	for i, fc := range schemes {
-		vals := make([]float64, len(bwWindows))
-		for j, w := range bwWindows {
-			vals[j] = bench.BandwidthOpts(fc, size, w, reps, blocking, tune)
-		}
-		bw[i] = series{names[i], vals}
+	for i := range schemes {
+		bw[i] = series{names[i], bwVals[i*len(bwWindows) : (i+1)*len(bwWindows)]}
 	}
 
 	if jsonOut {

@@ -31,6 +31,10 @@ var AuditedPackages = []string{
 	"ibflow/internal/rdc",
 	"ibflow/internal/pfs",
 	"ibflow/internal/dsm",
+	// The worker-pool runner is audited under an inverted simgoroutine
+	// rule: raw concurrency is sanctioned there, importing internal/sim
+	// is the violation (see SimGoroutine).
+	"ibflow/internal/runner",
 }
 
 // Audited reports whether the package at path falls under the determinism

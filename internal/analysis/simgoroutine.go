@@ -3,6 +3,8 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
+	"strconv"
+	"strings"
 )
 
 // syncPrimitives are the sync types whose presence in simulation code
@@ -17,14 +19,59 @@ var syncPrimitives = map[string]bool{
 // operations in simulation packages. Simulated concurrency must go through
 // (*sim.Engine).Go / GoDaemon and sim.Cond, which the engine serializes;
 // anything else executes outside virtual time and races with the engine.
+//
+// One package is different: ibflow/internal/runner, the world-sweep
+// worker pool, where real goroutines are the point. There the analyzer
+// inverts: raw concurrency is sanctioned, and instead it enforces the
+// premise that makes the pool safe — the package must stay
+// engine-agnostic, so importing ibflow/internal/sim from it is the
+// finding. A worker that could name a *sim.Engine could share one
+// between goroutines; a package that cannot import the type cannot leak
+// the handle.
 var SimGoroutine = &Analyzer{
 	Name: "simgoroutine",
 	Doc: "forbid raw go statements, sync.Mutex/WaitGroup and bare channels in simulation code; " +
-		"spawn with (*sim.Engine).Go and synchronize with sim.Cond so the engine serializes everything",
+		"spawn with (*sim.Engine).Go and synchronize with sim.Cond so the engine serializes everything " +
+		"(in the sanctioned worker-pool package internal/runner the rule inverts: " +
+		"raw concurrency is legal but importing internal/sim is not)",
 	Run: runSimGoroutine,
 }
 
+// simEnginePath is the package whose types must never be visible to the
+// sanctioned worker pool.
+const simEnginePath = "ibflow/internal/sim"
+
+// sanctionedPoolPackage reports whether the package at path is the
+// worker-pool runner (or its test packages). Fixture packages under
+// analysistest load with their bare package name, hence the second form.
+func sanctionedPoolPackage(path string) bool {
+	path = strings.TrimSuffix(path, "_test")
+	return path == "ibflow/internal/runner" || path == "runner"
+}
+
+// runPoolContract checks the inverted rule for the sanctioned worker-pool
+// package: no import of the simulation engine, directly or renamed.
+func runPoolContract(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == simEnginePath || strings.HasPrefix(path, simEnginePath+"/") {
+				pass.Reportf(imp.Pos(),
+					"the worker-pool package must stay engine-agnostic: importing %s could leak a *sim.Engine across goroutines; "+
+						"pass opaque per-cell closures instead", path)
+			}
+		}
+	}
+	return nil
+}
+
 func runSimGoroutine(pass *Pass) error {
+	if sanctionedPoolPackage(pass.Pkg.Path()) {
+		return runPoolContract(pass)
+	}
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {

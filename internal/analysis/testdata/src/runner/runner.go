@@ -1,0 +1,63 @@
+// Package runner mirrors ibflow/internal/runner for the analysistest
+// harness: inside the sanctioned worker-pool package the simgoroutine
+// analyzer must stay silent about raw goroutines, sync primitives and
+// channels — the constructs it bans everywhere else. There are therefore
+// no `// want` expectations in this file; any diagnostic fails the test.
+// (The inverted rule — importing ibflow/internal/sim is the finding — is
+// covered separately in analysis_test.go, because this fixture may only
+// import the standard library.)
+package runner
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// mapIndexed is the worker-pool shape the real package uses: atomic work
+// counter, WaitGroup barrier, results placed by index.
+func mapIndexed(n, workers int, fn func(int) int) []int {
+	out := make([]int, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// channelFanIn exercises the remaining banned-elsewhere constructs: bare
+// channel types, sends, receives, range-over-channel, select and close.
+func channelFanIn(vals []int) int {
+	ch := make(chan int, len(vals))
+	done := make(chan struct{})
+	go func() {
+		for _, v := range vals {
+			ch <- v
+		}
+		close(ch)
+		done <- struct{}{}
+	}()
+	sum := 0
+	for v := range ch {
+		sum += v
+	}
+	select {
+	case <-done:
+	default:
+	}
+	var mu sync.Mutex
+	mu.Lock()
+	mu.Unlock()
+	return sum
+}

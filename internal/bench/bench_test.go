@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 	"testing"
@@ -10,6 +11,28 @@ import (
 )
 
 var quick = Opts{Quick: true}
+
+// TestScalingSerialParallelIdentical pins the parallel runner's contract
+// at the bench layer: the connection-scaling document (the exact payload
+// of BENCH_scaling.json) must serialize byte-identically whatever the
+// worker count.
+func TestScalingSerialParallelIdentical(t *testing.T) {
+	docJSON := func(workers int) string {
+		doc := ConnScaling(Opts{Quick: true, Parallel: workers})
+		b, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	serial := docJSON(1)
+	for _, workers := range []int{2, 4} {
+		if got := docJSON(workers); got != serial {
+			t.Errorf("workers=%d: scaling doc diverges from serial sweep:\n%s\nvs\n%s",
+				workers, got, serial)
+		}
+	}
+}
 
 func TestSchemesTrio(t *testing.T) {
 	s := Schemes(10, 100)

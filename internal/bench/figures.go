@@ -6,6 +6,7 @@ import (
 	"ibflow/internal/core"
 	"ibflow/internal/mpi"
 	"ibflow/internal/nas"
+	"ibflow/internal/runner"
 )
 
 // Opts scales the experiment suite: Quick uses class W and fewer sweep
@@ -14,12 +15,29 @@ import (
 type Opts struct {
 	Quick bool
 
+	// Parallel fans a sweep's independent worlds out across OS threads
+	// (see internal/runner): 0 selects one worker per CPU, 1 recovers
+	// the classic serial loop. Worlds are share-nothing, so results are
+	// byte-identical for every value — only wall-clock time changes.
+	// When Parallel != 1, Tune must be safe to call from concurrent
+	// goroutines (cmd/experiments pins Parallel to 1 when its Tune
+	// accumulates state).
+	Parallel int
+
 	// Tune, when non-nil, is applied to every simulated world's options
 	// just before construction — the hook cmd/experiments uses to attach
 	// a fresh metrics registry (and tracer) per world. Experiments with
 	// their own option tweaks compose: the site's tweak runs first, Tune
 	// last.
 	Tune func(*mpi.Options)
+}
+
+// workers resolves Parallel to an explicit worker count.
+func (o Opts) workers() int {
+	if o.Parallel == 0 {
+		return runner.Default()
+	}
+	return o.Parallel
 }
 
 // tune applies the Opts-level hook, if any.
@@ -88,10 +106,15 @@ func Figure2(o Opts) Table {
 		Columns: append([]string{"size(B)"}, schemeNames...),
 		Note:    "ping-pong, pre-post 100; paper: all three schemes comparable (~7.5us small)",
 	}
-	for _, size := range o.latSizes() {
+	sizes := o.latSizes()
+	schemes := Schemes(100, dynMax)
+	vals := runner.Map(len(sizes)*len(schemes), o.workers(), func(k int) float64 {
+		return latencyTuned(schemes[k%len(schemes)], sizes[k/len(schemes)], o.latIters(), o.Tune)
+	})
+	for i, size := range sizes {
 		row := []string{fmt.Sprint(size)}
-		for _, fc := range Schemes(100, dynMax) {
-			row = append(row, f2(latencyTuned(fc, size, o.latIters(), o.Tune)))
+		for j := range schemes {
+			row = append(row, f2(vals[i*len(schemes)+j]))
 		}
 		t.AddRow(row...)
 	}
@@ -105,10 +128,15 @@ func bwFigure(o Opts, title, note string, size, prepost int, blocking bool) Tabl
 		Columns: append([]string{"window"}, schemeNames...),
 		Note:    note,
 	}
-	for _, win := range o.windows() {
+	wins := o.windows()
+	schemes := Schemes(prepost, dynMax)
+	vals := runner.Map(len(wins)*len(schemes), o.workers(), func(k int) float64 {
+		return bandwidthTuned(schemes[k%len(schemes)], size, wins[k/len(schemes)], o.bwReps(), blocking, o.Tune)
+	})
+	for i, win := range wins {
 		row := []string{fmt.Sprint(win)}
-		for _, fc := range Schemes(prepost, dynMax) {
-			row = append(row, f1(bandwidthTuned(fc, size, win, o.bwReps(), blocking, o.Tune)))
+		for j := range schemes {
+			row = append(row, f1(vals[i*len(schemes)+j]))
 		}
 		t.AddRow(row...)
 	}
@@ -161,17 +189,24 @@ func Figure9(o Opts) (Table, []NASResult) {
 		Columns: append([]string{"app"}, schemeNames...),
 		Note:    "paper: schemes within 2-3% except LU, where hardware wins ~5-6% (ECM overhead)",
 	}
+	schemes := Schemes(100, dynMax)
+	ns := len(schemes)
+	results := runner.Map(len(nasApps)*ns, o.workers(), func(k int) NASResult {
+		app := nasApps[k/ns]
+		res, err := RunNASOpts(app, o.class(), ProcsFor(app), schemes[k%ns], o.Tune)
+		if err != nil {
+			panic(err)
+		}
+		if !res.Verified {
+			panic(fmt.Sprintf("bench: %s failed verification: %v", app, res.VerifyErrs))
+		}
+		return res
+	})
 	var all []NASResult
-	for _, app := range nasApps {
+	for i, app := range nasApps {
 		row := []string{app}
-		for _, fc := range Schemes(100, dynMax) {
-			res, err := RunNASOpts(app, o.class(), ProcsFor(app), fc, o.Tune)
-			if err != nil {
-				panic(err)
-			}
-			if !res.Verified {
-				panic(fmt.Sprintf("bench: %s failed verification: %v", app, res.VerifyErrs))
-			}
+		for j := range schemes {
+			res := results[i*ns+j]
 			all = append(all, res)
 			row = append(row, fmt.Sprintf("%.4f", res.Time.Seconds()))
 		}
@@ -188,27 +223,36 @@ func Figure10(o Opts) (Table, []NASResult) {
 		Columns: append([]string{"app"}, schemeNames...),
 		Note:    "paper: hardware collapses on LU/MG (RNR storms); static loses up to 13% (LU); dynamic ~0%",
 	}
-	var all []NASResult
-	for _, app := range nasApps {
-		row := []string{app}
-		base := make([]float64, 3)
-		for i, fc := range Schemes(100, dynMax) {
-			res, err := RunNASOpts(app, o.class(), ProcsFor(app), fc, o.Tune)
-			if err != nil {
-				panic(err)
-			}
-			base[i] = res.Time.Seconds()
+	// Cells: per app, three baseline runs (pre-post 100) then three
+	// degraded runs (pre-post 1), flattened app-major so reassembly below
+	// reproduces the classic serial order exactly.
+	baseSchemes := Schemes(100, dynMax)
+	degSchemes := Schemes(1, dynMax)
+	ns := len(baseSchemes)
+	results := runner.Map(len(nasApps)*2*ns, o.workers(), func(k int) NASResult {
+		app := nasApps[k/(2*ns)]
+		phase, scheme := (k%(2*ns))/ns, k%ns
+		fc := baseSchemes[scheme]
+		if phase == 1 {
+			fc = degSchemes[scheme]
 		}
-		for i, fc := range Schemes(1, dynMax) {
-			res, err := RunNASOpts(app, o.class(), ProcsFor(app), fc, o.Tune)
-			if err != nil {
-				panic(err)
-			}
-			if !res.Verified {
-				panic(fmt.Sprintf("bench: %s failed verification at pre-post 1: %v", app, res.VerifyErrs))
-			}
+		res, err := RunNASOpts(app, o.class(), ProcsFor(app), fc, o.Tune)
+		if err != nil {
+			panic(err)
+		}
+		if phase == 1 && !res.Verified {
+			panic(fmt.Sprintf("bench: %s failed verification at pre-post 1: %v", app, res.VerifyErrs))
+		}
+		return res
+	})
+	var all []NASResult
+	for a, app := range nasApps {
+		row := []string{app}
+		for i := 0; i < ns; i++ {
+			base := results[a*2*ns+i].Time.Seconds()
+			res := results[a*2*ns+ns+i]
 			all = append(all, res)
-			row = append(row, pct((res.Time.Seconds()-base[i])/base[i]*100))
+			row = append(row, pct((res.Time.Seconds()-base)/base*100))
 		}
 		t.AddRow(row...)
 	}

@@ -5,6 +5,7 @@ import (
 
 	"ibflow/internal/core"
 	"ibflow/internal/mpi"
+	"ibflow/internal/runner"
 )
 
 // ScalingSeries is one scheme's sweep across the connection-scaling
@@ -79,31 +80,50 @@ func ConnScaling(o Opts) ScalingDoc {
 		doc.MsgsPerPeer = 6
 	}
 	schemes := connScalingSchemes(doc.Prepost, doc.DynMax, doc.PoolPrepost, doc.PoolMax)
-	for _, fc := range schemes {
+	// Each (scheme, rank-count) cell is a share-nothing world: fan the
+	// grid out across the worker pool and reassemble series in cell order.
+	type cell struct {
+		hwm                          int
+		rnrNaks, backlogged, limitEv uint64
+		timeMS                       float64
+	}
+	nr := len(doc.Ranks)
+	cells := runner.Map(len(schemes)*nr, o.workers(), func(k int) cell {
+		fc, n := schemes[k/nr], doc.Ranks[k%nr]
+		opts := mpi.DefaultOptions(fc)
+		opts.TimeLimit = timeLimit
+		o.tune(&opts)
+		w := mpi.NewWorld(n, opts)
+		if err := w.Run(allToAllStorm(doc.MsgsPerPeer, doc.MsgSizeB)); err != nil {
+			panic(fmt.Sprintf("bench: connscaling %s at %d ranks: %v", fc.Kind, n, err))
+		}
+		// The Table-2 quantity is per-process memory: take the
+		// worst rank, not the job-wide sum, so the row reads as
+		// "bytes a node must pin" at that cluster size.
+		hwm := 0
+		for i := 0; i < n; i++ {
+			if b := w.RankStats(i).BufBytesHWM; b > hwm {
+				hwm = b
+			}
+		}
+		st := w.Stats()
+		return cell{
+			hwm:        hwm,
+			rnrNaks:    st.RNRNaks,
+			backlogged: st.Backlogged,
+			limitEv:    st.LimitEvents,
+			timeMS:     w.Time().Seconds() * 1e3,
+		}
+	})
+	for i, fc := range schemes {
 		s := ScalingSeries{Scheme: fc.Kind.String()}
-		for _, n := range doc.Ranks {
-			opts := mpi.DefaultOptions(fc)
-			opts.TimeLimit = timeLimit
-			o.tune(&opts)
-			w := mpi.NewWorld(n, opts)
-			if err := w.Run(allToAllStorm(doc.MsgsPerPeer, doc.MsgSizeB)); err != nil {
-				panic(fmt.Sprintf("bench: connscaling %s at %d ranks: %v", s.Scheme, n, err))
-			}
-			// The Table-2 quantity is per-process memory: take the
-			// worst rank, not the job-wide sum, so the row reads as
-			// "bytes a node must pin" at that cluster size.
-			hwm := 0
-			for i := 0; i < n; i++ {
-				if b := w.RankStats(i).BufBytesHWM; b > hwm {
-					hwm = b
-				}
-			}
-			st := w.Stats()
-			s.BufBytesHWM = append(s.BufBytesHWM, hwm)
-			s.RNRNaks = append(s.RNRNaks, st.RNRNaks)
-			s.Backlogged = append(s.Backlogged, st.Backlogged)
-			s.LimitEvents = append(s.LimitEvents, st.LimitEvents)
-			s.TimeMS = append(s.TimeMS, w.Time().Seconds()*1e3)
+		for j := range doc.Ranks {
+			c := cells[i*nr+j]
+			s.BufBytesHWM = append(s.BufBytesHWM, c.hwm)
+			s.RNRNaks = append(s.RNRNaks, c.rnrNaks)
+			s.Backlogged = append(s.Backlogged, c.backlogged)
+			s.LimitEvents = append(s.LimitEvents, c.limitEv)
+			s.TimeMS = append(s.TimeMS, c.timeMS)
 		}
 		doc.Series = append(doc.Series, s)
 	}

@@ -115,6 +115,8 @@ func (h *HCA) NewQP(sendCQ, recvCQ *CQ) *QP {
 		recvCQ: recvCQ,
 		recv:   &recvQueue{},
 	}
+	qp.nakEv.qp = qp
+	qp.ackEv.qp = qp
 	h.qps = append(h.qps, qp)
 	return qp
 }
@@ -136,6 +138,8 @@ func (h *HCA) NewQPWithSRQ(sendCQ, recvCQ *CQ, srq *SRQ) *QP {
 		recvCQ: recvCQ,
 		recv:   srq,
 	}
+	qp.nakEv.qp = qp
+	qp.ackEv.qp = qp
 	h.qps = append(h.qps, qp)
 	return qp
 }

@@ -27,10 +27,51 @@ type sendWQE struct {
 	readDst  []byte    // RDMA read destination
 	imm      uint64    // notify value for opWriteImm
 	seq      uint64
-	attempts int  // RNR retry attempts
-	sent     bool // has been transmitted at least once
-	acked    bool // delivery acknowledged, awaiting in-order retirement
+	attempts int       // RNR retry attempts
+	sent     bool      // has been transmitted at least once
+	acked    bool      // delivery acknowledged, awaiting in-order retirement
+	wire     wireEvent // bound delivery callback, reused across retransmits
 }
+
+// wireEvent is the delivery callback for one WQE, embedded in the WQE so
+// transmits (and go-back-N retransmits) schedule through sim.AtCall
+// without allocating a closure per attempt. The event argument selects
+// the stage: 0 = message fully arrived at the destination port (reserve
+// the ingress link, charge receive overhead), 1 = hand to the receiving
+// QP. The struct holds no per-attempt state, so overlapping in-flight
+// attempts of the same WQE — a rewind racing its original delivery — are
+// safe.
+type wireEvent struct {
+	w  *sendWQE
+	qp *QP // sending side
+}
+
+func (we *wireEvent) OnEvent(stage uint64) {
+	sender := we.qp
+	peer := sender.peer
+	f := sender.hca.fabric
+	if stage == 0 {
+		cfg := f.Config()
+		tx := cfg.TxTime(we.w.wireLen())
+		arrive := peer.hca.ingress.reserve(f.eng.Now(), tx) + tx
+		f.eng.AtCall(arrive+cfg.RecvOverhead, we, 1)
+		return
+	}
+	peer.deliver(we.w, sender)
+}
+
+// nakEvent delivers a deferred RNR NAK (arg = rewound sequence) to its
+// owning QP; one lives in each QP so NAK scheduling is allocation-free.
+type nakEvent struct{ qp *QP }
+
+func (ne *nakEvent) OnEvent(seq uint64) { ne.qp.onRNRNak(seq) }
+
+// ackEvent delivers a deferred cumulative ack (arg = acknowledged
+// sequence) to its owning QP; one lives in each QP so the per-message ack
+// round-trip schedules without a closure.
+type ackEvent struct{ qp *QP }
+
+func (ae *ackEvent) OnEvent(seq uint64) { ae.qp.retireSeq(seq) }
 
 func (w *sendWQE) wireLen() int {
 	switch w.kind {
@@ -100,6 +141,11 @@ type QP struct {
 	// serving many QPs (see recvProvisioner).
 	recv     recvProvisioner
 	expected uint64 // next acceptable incoming seq
+
+	// Bound schedule targets (see nakEvent/ackEvent): initialized by the
+	// constructors so the hot NAK/ack paths never allocate.
+	nakEv nakEvent
+	ackEv ackEvent
 
 	stats QPStats
 }
@@ -182,6 +228,7 @@ func (qp *QP) post(w *sendWQE) {
 	}
 	w.seq = qp.sendSeq
 	qp.sendSeq++
+	w.wire = wireEvent{w: w, qp: qp}
 	qp.queue = append(qp.queue, w)
 	if len(qp.queue) > qp.stats.MaxQueueLen {
 		qp.stats.MaxQueueLen = len(qp.queue)
@@ -244,10 +291,7 @@ func (qp *QP) transmit(w *sendWQE) {
 	}
 
 	start := qp.hca.egress.reserve(eng.Now()+cfg.SendOverhead, tx)
-	peer := qp.peer
-	qp.hca.fabric.deliverPath(qp.hca, peer.hca, start, tx, n, func() {
-		peer.deliver(w, qp)
-	})
+	qp.hca.fabric.deliverTo(qp.hca, qp.peer.hca, start, tx, n, &w.wire)
 }
 
 // deliver processes message w arriving at the receiving QP.
@@ -282,8 +326,7 @@ func (qp *QP) deliver(w *sendWQE, sender *QP) {
 				cfg.Tracer.Add(trace.Event{T: eng.Now(), Rank: qp.hca.node,
 					Peer: sender.hca.node, Kind: trace.RNRNak, Arg: int64(w.seq)})
 			}
-			seq := w.seq
-			eng.At(eng.Now()+cfg.SwitchLatency, func() { sender.onRNRNak(seq) })
+			eng.AfterCall(cfg.SwitchLatency, &sender.nakEv, w.seq)
 			return
 		}
 		if len(w.payload) > len(r.buf) {
@@ -336,7 +379,20 @@ func (qp *QP) ack(sender *QP, w *sendWQE) {
 	if cfg.Faults != nil {
 		lat += cfg.Faults.AckDelay(eng.Now())
 	}
-	eng.At(eng.Now()+lat, func() { sender.retire(w) })
+	eng.AfterCall(lat, &sender.ackEv, w.seq)
+}
+
+// retireSeq marks the WQE carrying seq acknowledged, if it is still
+// queued, and pops the acked prefix. An ack delayed (by fault injection)
+// past the cumulative retirement of its WQE finds nothing to mark —
+// exactly the no-op the direct-pointer form produced.
+func (qp *QP) retireSeq(seq uint64) {
+	if seq >= qp.baseSeq {
+		if idx := int(seq - qp.baseSeq); idx < len(qp.queue) {
+			qp.queue[idx].acked = true
+		}
+	}
+	qp.retireAcked()
 }
 
 // retire marks w acknowledged and pops the acked prefix of the queue,
@@ -345,6 +401,12 @@ func (qp *QP) ack(sender *QP, w *sendWQE) {
 // simply retires both when the earlier one lands.
 func (qp *QP) retire(w *sendWQE) {
 	w.acked = true
+	qp.retireAcked()
+}
+
+// retireAcked pops the acked prefix of the send queue, posting
+// completions in FIFO order, then refills the in-flight window.
+func (qp *QP) retireAcked() {
 	for len(qp.queue) > 0 && qp.queue[0].acked {
 		head := qp.queue[0]
 		qp.queue = qp.queue[1:]

@@ -49,16 +49,20 @@ func (f *Fabric) trunkTx(n int) sim.Time {
 	return cfg.TxTime(n) / sim.Time(upLinks)
 }
 
-// deliverPath routes one message of wire time tx from src to dst,
-// invoking fn once the message has fully arrived and passed the receive
-// overhead. start is when the first bit leaves the source port.
+// deliverTo routes one message of wire time tx from src to dst, firing
+// h.OnEvent(0) once the message reaches the destination port — "stage 0"
+// by convention: the handler reserves the ingress link and charges the
+// receive overhead itself (see wireEvent in qp.go). start is when the
+// first bit leaves the source port.
 //
 // Crossbar and intra-leaf paths cross one switch; inter-leaf fat-tree
 // paths additionally reserve the source leaf's uplink trunk and the
 // destination leaf's downlink trunk (cut-through: trunk reservations
 // model contention, the serialization latency is charged once at the
-// destination port).
-func (f *Fabric) deliverPath(src, dst *HCA, start, tx sim.Time, n int, fn func()) {
+// destination port). The trunk hops are cold enough to keep as closures;
+// the single-switch fast path schedules exactly one allocation-free
+// event.
+func (f *Fabric) deliverTo(src, dst *HCA, start, tx sim.Time, n int, h sim.Handler) {
 	eng := f.eng
 	cfg := &f.cfg
 
@@ -68,18 +72,13 @@ func (f *Fabric) deliverPath(src, dst *HCA, start, tx sim.Time, n int, fn func()
 		start += cfg.Faults.MessageDelay(start, src.node, dst.node, n+cfg.HeaderBytes)
 	}
 
-	finish := func() {
-		arrive := dst.ingress.reserve(eng.Now(), tx) + tx
-		eng.At(arrive+cfg.RecvOverhead, fn)
-	}
-
 	if src == dst {
 		// Adapter loopback: no switch crossed.
-		eng.At(start, finish)
+		eng.AtCall(start, h, 0)
 		return
 	}
 	if cfg.Topology != TopoFatTree || f.leafOf(src.node) == f.leafOf(dst.node) {
-		eng.At(start+cfg.SwitchLatency, finish)
+		eng.AtCall(start+cfg.SwitchLatency, h, 0)
 		return
 	}
 
@@ -90,7 +89,34 @@ func (f *Fabric) deliverPath(src, dst *HCA, start, tx sim.Time, n int, fn func()
 		upStart := srcLeaf.up.reserve(eng.Now(), ttx)
 		eng.At(upStart+cfg.SwitchLatency, func() {
 			dnStart := dstLeaf.down.reserve(eng.Now(), ttx)
-			eng.At(dnStart+cfg.SwitchLatency, finish)
+			eng.AtCall(dnStart+cfg.SwitchLatency, h, 0)
 		})
 	})
+}
+
+// pathEnd adapts a plain closure to the deliverTo handler convention: it
+// reserves the destination ingress link, charges the receive overhead,
+// and then runs fn. Used by the UD path, which is not hot enough for a
+// bound-struct rewrite.
+type pathEnd struct {
+	f   *Fabric
+	dst *HCA
+	tx  sim.Time
+	fn  func()
+}
+
+func (pe *pathEnd) OnEvent(stage uint64) {
+	if stage == 0 {
+		cfg := &pe.f.cfg
+		arrive := pe.dst.ingress.reserve(pe.f.eng.Now(), pe.tx) + pe.tx
+		pe.f.eng.AtCall(arrive+cfg.RecvOverhead, pe, 1)
+		return
+	}
+	pe.fn()
+}
+
+// deliverPath is the closure form of deliverTo: fn runs once the message
+// has fully arrived and passed the receive overhead.
+func (f *Fabric) deliverPath(src, dst *HCA, start, tx sim.Time, n int, fn func()) {
+	f.deliverTo(src, dst, start, tx, n, &pathEnd{f: f, dst: dst, tx: tx, fn: fn})
 }

@@ -9,6 +9,7 @@ import (
 	"ibflow/internal/core"
 	"ibflow/internal/fault"
 	"ibflow/internal/metrics"
+	"ibflow/internal/runner"
 	"ibflow/internal/sim"
 	"ibflow/internal/trace"
 )
@@ -227,12 +228,13 @@ type faultRunResult struct {
 	metricsJSON []byte
 }
 
-// runFaultTorture executes one seeded faulty run and asserts the per-run
+// faultTorture executes one seeded faulty run and checks the per-run
 // invariants: no deadlock, every payload intact and FIFO-matched, and the
 // end-of-run audit (zero credit leak, message conservation, nothing
 // stranded). It returns the run's observable state for rerun comparison.
-func runFaultTorture(t *testing.T, fc core.Params, seed uint64) faultRunResult {
-	t.Helper()
+// It builds a private world and touches nothing shared, so distinct
+// (fc, seed) cells may run on parallel workers (see runner.Map).
+func faultTorture(fc core.Params, seed uint64) (faultRunResult, error) {
 	const n, count = 4, 40
 	tracer := trace.NewBuffer(1 << 14)
 	opts := faultTortureOpts(fc, seed, tracer)
@@ -267,14 +269,14 @@ func runFaultTorture(t *testing.T, fc core.Params, seed uint64) faultRunResult {
 		}
 	})
 	if err != nil {
-		t.Fatalf("%v seed %#x: %v", fc.Kind, seed, err)
+		return faultRunResult{}, fmt.Errorf("%v seed %#x: %w", fc.Kind, seed, err)
 	}
 	if err := w.Audit(); err != nil {
-		t.Fatalf("%v seed %#x: %v", fc.Kind, seed, err)
+		return faultRunResult{}, fmt.Errorf("%v seed %#x: %w", fc.Kind, seed, err)
 	}
 	var mbuf bytes.Buffer
 	if err := w.Metrics().WriteJSON(&mbuf); err != nil {
-		t.Fatalf("%v seed %#x: metrics dump: %v", fc.Kind, seed, err)
+		return faultRunResult{}, fmt.Errorf("%v seed %#x: metrics dump: %w", fc.Kind, seed, err)
 	}
 	return faultRunResult{
 		makespan:    w.Time(),
@@ -282,7 +284,24 @@ func runFaultTorture(t *testing.T, fc core.Params, seed uint64) faultRunResult {
 		fstats:      opts.Faults.Stats(),
 		events:      tracer.Events(),
 		metricsJSON: mbuf.Bytes(),
+	}, nil
+}
+
+// runFaultTorture is the single-run test-helper form of faultTorture.
+func runFaultTorture(t *testing.T, fc core.Params, seed uint64) faultRunResult {
+	t.Helper()
+	res, err := faultTorture(fc, seed)
+	if err != nil {
+		t.Fatal(err)
 	}
+	return res
+}
+
+// faultCell pairs one sweep cell's result with its error for collection
+// across the worker pool (worker goroutines must not call t.Fatal).
+type faultCell struct {
+	res faultRunResult
+	err error
 }
 
 // TestTortureFaultSweep sweeps 64 seeds per flow control scheme through
@@ -300,10 +319,19 @@ func TestTortureFaultSweep(t *testing.T) {
 	for _, fc := range schemes {
 		fc := fc
 		t.Run(fc.Kind.String(), func(t *testing.T) {
+			// The 64 seed cells are share-nothing worlds: fan them out
+			// across the worker pool, then aggregate in seed order.
+			cells := runner.Map(seeds, runner.Default(), func(i int) faultCell {
+				res, err := faultTorture(fc, uint64(i))
+				return faultCell{res: res, err: err}
+			})
 			var agg chdev.Stats
 			var fagg fault.Stats
-			for seed := uint64(0); seed < seeds; seed++ {
-				res := runFaultTorture(t, fc, seed)
+			for _, cell := range cells {
+				if cell.err != nil {
+					t.Fatal(cell.err)
+				}
+				res := cell.res
 				agg.RNRExhausted += res.stats.RNRExhausted
 				agg.Reissues += res.stats.Reissues
 				agg.ECMsDropped += res.stats.ECMsDropped
@@ -369,6 +397,77 @@ func TestTortureFaultDeterminism(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestTortureSerialParallelIdentical is the parallel runner's determinism
+// contract end to end: sweeping the faulty torture workload with worker
+// pools of several sizes must reproduce the serial sweep byte for byte —
+// same makespans, same device and fault stats, same trace event
+// sequences, same metrics JSON — for every flow control scheme. Worlds
+// are share-nothing, so worker count may only change wall-clock time,
+// never a result.
+func TestTortureSerialParallelIdentical(t *testing.T) {
+	const seeds = 8
+	schemes := []core.Params{
+		core.Hardware(2),
+		core.Static(2),
+		core.Dynamic(1, 64),
+		core.Shared(4, 64),
+	}
+	for _, fc := range schemes {
+		fc := fc
+		t.Run(fc.Kind.String(), func(t *testing.T) {
+			sweep := func(workers int) []faultCell {
+				return runner.Map(seeds, workers, func(i int) faultCell {
+					res, err := faultTorture(fc, uint64(i))
+					return faultCell{res: res, err: err}
+				})
+			}
+			serial := sweep(1)
+			for _, cell := range serial {
+				if cell.err != nil {
+					t.Fatal(cell.err)
+				}
+			}
+			for _, workers := range []int{2, 4} {
+				par := sweep(workers)
+				for i := range serial {
+					a, b := serial[i], par[i]
+					if b.err != nil {
+						t.Fatalf("workers=%d seed %d: %v", workers, i, b.err)
+					}
+					if a.res.makespan != b.res.makespan {
+						t.Errorf("workers=%d seed %d: makespan %v != %v",
+							workers, i, b.res.makespan, a.res.makespan)
+					}
+					if a.res.stats != b.res.stats {
+						t.Errorf("workers=%d seed %d: device stats diverge:\n%+v\n%+v",
+							workers, i, b.res.stats, a.res.stats)
+					}
+					if a.res.fstats != b.res.fstats {
+						t.Errorf("workers=%d seed %d: fault stats diverge:\n%+v\n%+v",
+							workers, i, b.res.fstats, a.res.fstats)
+					}
+					if !bytes.Equal(a.res.metricsJSON, b.res.metricsJSON) {
+						t.Errorf("workers=%d seed %d: metrics JSON diverges from serial sweep",
+							workers, i)
+					}
+					if len(a.res.events) != len(b.res.events) {
+						t.Errorf("workers=%d seed %d: %d trace events vs %d",
+							workers, i, len(b.res.events), len(a.res.events))
+						continue
+					}
+					for j := range a.res.events {
+						if a.res.events[j] != b.res.events[j] {
+							t.Errorf("workers=%d seed %d: trace diverges at %d: %v != %v",
+								workers, i, j, b.res.events[j], a.res.events[j])
+							break
+						}
+					}
+				}
+			}
+		})
 	}
 }
 

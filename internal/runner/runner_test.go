@@ -1,0 +1,69 @@
+package runner
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestMapIndexOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		got := Map(100, workers, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmptyAndSmall(t *testing.T) {
+	if got := Map(0, 4, func(i int) int { return i }); got != nil {
+		t.Fatalf("Map(0) = %v, want nil", got)
+	}
+	if got := Map(1, 8, func(i int) string { return "x" }); len(got) != 1 || got[0] != "x" {
+		t.Fatalf("Map(1) = %v", got)
+	}
+}
+
+func TestMapSerialParallelIdentical(t *testing.T) {
+	// The core determinism contract: the result slice is a pure function
+	// of the indices, independent of worker count.
+	f := func(i int) string { return fmt.Sprintf("cell-%d:%d", i, i*7) }
+	want := Map(257, 1, f)
+	for _, workers := range []int{2, 3, 8} {
+		got := Map(257, workers, f)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: out[%d] = %q, want %q", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMapPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic did not propagate", workers)
+				}
+				if s, ok := r.(string); !ok || s != "boom" {
+					t.Fatalf("workers=%d: recovered %v, want \"boom\"", workers, r)
+				}
+			}()
+			Map(50, workers, func(i int) int {
+				if i == 17 {
+					panic("boom")
+				}
+				return i
+			})
+		}()
+	}
+}
+
+func TestDefaultPositive(t *testing.T) {
+	if Default() < 1 {
+		t.Fatalf("Default() = %d", Default())
+	}
+}

@@ -1,10 +1,16 @@
 package sim
 
-import "testing"
+import (
+	"os"
+	"testing"
+)
 
 // Performance of the simulator itself (host ns per simulated event):
 // the experiment suite fires tens of millions of events, so the engine's
-// own overhead bounds how large a cluster we can study.
+// own overhead bounds how large a cluster we can study. All benchmarks
+// report allocations — the freelist and handler events exist precisely to
+// drive steady-state allocs/op to zero. BENCH_simcore.json at the repo
+// root records the committed numbers (see README for regeneration).
 
 func BenchmarkEventDispatch(b *testing.B) {
 	e := NewEngine()
@@ -17,6 +23,7 @@ func BenchmarkEventDispatch(b *testing.B) {
 		}
 	}
 	e.After(1, fn)
+	b.ReportAllocs()
 	b.ResetTimer()
 	if err := e.Run(MaxTime); err != nil {
 		b.Fatal(err)
@@ -24,7 +31,7 @@ func BenchmarkEventDispatch(b *testing.B) {
 }
 
 func BenchmarkHeapChurn(b *testing.B) {
-	// Many co-pending timers stress the event heap.
+	// Many co-pending timers stress the event queue.
 	e := NewEngine()
 	const pending = 1024
 	fired := 0
@@ -39,9 +46,145 @@ func BenchmarkHeapChurn(b *testing.B) {
 		at := Time(i)
 		e.At(at, func() { arm(at) })
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	if err := e.Run(MaxTime); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// churner reschedules itself via AtCall: the closure-free analogue of
+// BenchmarkHeapChurn, measuring the handler fast path.
+type churner struct {
+	e      *Engine
+	n      int
+	limit  int
+	stride Time
+}
+
+func (c *churner) OnEvent(uint64) {
+	c.n++
+	if c.n < c.limit {
+		c.e.AfterCall(c.stride, c, 0)
+	}
+}
+
+func BenchmarkHandlerChurn(b *testing.B) {
+	// The same 1024-co-pending workload as BenchmarkHeapChurn, scheduled
+	// through AtCall with long-lived handlers: zero allocs/op is the target.
+	e := NewEngine()
+	const pending = 1024
+	total := &churner{e: e, limit: b.N, stride: pending}
+	for i := 0; i < pending && i < b.N; i++ {
+		e.AtCall(Time(i), total, 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := e.Run(MaxTime); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkTimerReset(b *testing.B) {
+	// Timer re-arm churn: the QP retransmit-timer pattern (Reset on every
+	// ack) is one of the hottest schedule sites in internal/ib.
+	e := NewEngine()
+	n := 0
+	var tm *Timer
+	tm = NewTimer(e, func() {
+		n++
+		if n < b.N {
+			tm.Reset(1)
+		}
+	})
+	tm.Reset(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := e.Run(MaxTime); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkCancelChurn(b *testing.B) {
+	// AtCancel + Cancel churn: the metrics sampler pattern. Each iteration
+	// schedules a cancellable event, cancels it, and fires a live one so
+	// the queue also drains the tombstones.
+	e := NewEngine()
+	n := 0
+	var fn func()
+	fn = func() {
+		n++
+		if n < b.N {
+			s := e.AtCancel(e.Now()+2, func() {})
+			s.Cancel()
+			e.After(1, fn)
+		}
+	}
+	e.After(1, fn)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := e.Run(MaxTime); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// TestSteadyStateAllocGate is the allocation-regression gate behind
+// `make bench-simcore`: after warm-up, the handler fast path must not
+// allocate at all, and BenchmarkHeapChurn's closure loop may allocate
+// only the user's closure itself (one object per event). Armed via
+// IBFLOW_ALLOC_GATE so plain `go test ./...` stays allocation-agnostic.
+func TestSteadyStateAllocGate(t *testing.T) {
+	if os.Getenv("IBFLOW_ALLOC_GATE") == "" {
+		t.Skip("set IBFLOW_ALLOC_GATE=1 (make bench-simcore) to arm the gate")
+	}
+	const pending, events = 1024, 8192
+	e := NewEngine()
+
+	// Handler path (BenchmarkHandlerChurn's loop): zero allocs per event.
+	c := &churner{e: e, stride: pending}
+	handler := func() {
+		c.n, c.limit = 0, events
+		for i := 0; i < pending; i++ {
+			e.AtCall(e.Now()+Time(i), c, 0)
+		}
+		if err := e.Run(MaxTime); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm the freelist and every slot of the ladder's bucket ring: slots
+	// allocate backing storage on first touch, so measuring before the ring
+	// has wrapped once would charge that one-time growth to the steady state.
+	for e.Now() < span {
+		handler()
+	}
+	if got := testing.AllocsPerRun(3, handler) / events; got > 0.01 {
+		t.Errorf("handler churn: %.3f allocs/event, want 0", got)
+	}
+
+	// Closure path (BenchmarkHeapChurn's loop): at most the closure itself.
+	fired, limit := 0, 0
+	var arm func(at Time)
+	arm = func(at Time) {
+		fired++
+		if fired < limit {
+			e.At(at+pending, func() { arm(at + pending) })
+		}
+	}
+	closure := func() {
+		fired, limit = 0, events
+		for i := 0; i < pending; i++ {
+			at := e.Now() + Time(i)
+			e.At(at, func() { arm(at) })
+		}
+		if err := e.Run(MaxTime); err != nil {
+			t.Fatal(err)
+		}
+	}
+	closure()
+	// Each run allocates one closure per fired event plus the `pending`
+	// initial arms, so the honest per-event bound is (events+pending)/events.
+	if got := testing.AllocsPerRun(3, closure) / events; got > (events+pending)/float64(events)+0.05 {
+		t.Errorf("closure churn: %.3f allocs/event, want <= 1 closure per scheduled event", got)
 	}
 }
 
@@ -64,6 +207,7 @@ func BenchmarkProcContextSwitch(b *testing.B) {
 			c1.Wait(p)
 		}
 	})
+	b.ReportAllocs()
 	b.ResetTimer()
 	if err := e.Run(MaxTime); err != nil {
 		b.Fatal(err)

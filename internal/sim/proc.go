@@ -58,9 +58,13 @@ func (e *Engine) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
 		}
 		p.parked <- struct{}{}
 	}()
-	e.At(e.now, func() { e.dispatch(p) })
+	e.AtCall(e.now, p, 0)
 	return p
 }
+
+// OnEvent implements Handler: a scheduled wakeup hands the CPU to this
+// process. The argument is unused — a Proc event always means "run".
+func (p *Proc) OnEvent(uint64) { p.eng.dispatch(p) }
 
 // dispatch hands the CPU to p and waits for it to park or finish.
 // Must be called from the engine goroutine (inside an event).
@@ -102,7 +106,7 @@ func (p *Proc) Sleep(d Time) {
 	if d < 0 {
 		d = 0
 	}
-	p.eng.After(d, func() { p.eng.dispatch(p) })
+	p.eng.AfterCall(d, p, 0)
 	p.park()
 }
 
@@ -139,8 +143,7 @@ func (c *Cond) Broadcast() {
 	ws := c.waiters
 	c.waiters = nil
 	for _, w := range ws {
-		w := w
-		c.eng.At(c.eng.now, func() { c.eng.dispatch(w) })
+		c.eng.AtCall(c.eng.now, w, 0)
 	}
 }
 
@@ -151,7 +154,7 @@ func (c *Cond) Signal() {
 	}
 	w := c.waiters[0]
 	c.waiters = c.waiters[1:]
-	c.eng.At(c.eng.now, func() { c.eng.dispatch(w) })
+	c.eng.AtCall(c.eng.now, w, 0)
 }
 
 // WaitUntil parks p on c until pred() is true, re-checking after every

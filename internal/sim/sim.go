@@ -1,18 +1,18 @@
 // Package sim implements a deterministic discrete-event simulation core.
 //
-// The engine maintains a virtual clock and an event heap. Simulated
-// processes (see Proc) run as goroutines, but the engine serializes them:
-// at most one process executes at a time, and it runs to its next blocking
-// point before the engine continues. Event ties are broken by insertion
-// order, so a simulation is fully deterministic: the same inputs always
-// produce the same virtual-time trace.
+// The engine maintains a virtual clock and a hierarchical bucketed event
+// queue (see queue.go). Simulated processes (see Proc) run as goroutines,
+// but the engine serializes them: at most one process executes at a time,
+// and it runs to its next blocking point before the engine continues.
+// Event ties are broken by insertion order, so a simulation is fully
+// deterministic: the same inputs always produce the same virtual-time
+// trace.
 //
 // This core underlies the InfiniBand fabric model (internal/ib) and the MPI
 // ranks (internal/mpi) of this repository.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -52,33 +52,32 @@ func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 // Micros converts t to floating-point microseconds.
 func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
 
-// event is a scheduled callback.
+// Handler receives events scheduled with AtCall/AfterCall. Long-lived
+// simulation objects (a queue pair, a timer, a process) implement it so
+// the hot schedule sites bind (receiver, argument) into the event itself
+// instead of allocating a fresh closure per event.
+type Handler interface {
+	// OnEvent runs at the event's virtual time with the argument bound
+	// at schedule time.
+	OnEvent(arg uint64)
+}
+
+// event is a scheduled callback: either a plain closure (fn) or a bound
+// handler call (h, harg). Exactly one of fn and h is set for a live
+// event; a cancelled event has both nil. Events are engine-owned and
+// recycled through a freelist; gen invalidates stale Scheduled handles
+// to recycled events.
 type event struct {
-	at  Time
-	seq uint64 // insertion order; breaks ties deterministically
-	fn  func()
+	at   Time
+	seq  uint64 // insertion order; breaks ties deterministically
+	gen  uint64 // bumped on recycle; guards Scheduled handles
+	fn   func()
+	h    Handler
+	harg uint64
 }
 
-// eventHeap orders events by (time, sequence).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
-}
+// dead reports whether the event was cancelled.
+func (ev *event) dead() bool { return ev.fn == nil && ev.h == nil }
 
 // Engine is a discrete-event simulation engine. The zero value is not
 // usable; create one with NewEngine.
@@ -88,13 +87,14 @@ func (h *eventHeap) Pop() interface{} {
 // engine itself enforces mutual exclusion between processes, so simulation
 // state shared between processes needs no locking.
 type Engine struct {
-	now    Time
-	events eventHeap
-	seq    uint64
-	procs  []*Proc // all spawned processes, for deadlock reporting
-	nlive  int     // processes that have not finished
-	cur    *Proc   // currently executing process, if any
-	fired  uint64  // total events executed, for stats/limits
+	now   Time
+	q     eventQueue
+	seq   uint64
+	free  []*event // recycled event structs; see alloc/recycle
+	procs []*Proc  // all spawned processes, for deadlock reporting
+	nlive int      // processes that have not finished
+	cur   *Proc    // currently executing process, if any
+	fired uint64   // total events executed, for stats/limits
 	//fclint:allow simgoroutine engine-internal shutdown broadcast that releases parked process goroutines
 	dead   chan struct{}
 	closed bool
@@ -123,14 +123,42 @@ func (e *Engine) Now() Time { return e.now }
 // EventsFired reports how many events the engine has executed.
 func (e *Engine) EventsFired() uint64 { return e.fired }
 
-// At schedules fn to run at absolute virtual time t. Scheduling in the past
-// is clamped to the present.
-func (e *Engine) At(t Time, fn func()) {
+// alloc takes an event struct off the freelist (or heap-allocates the
+// first time) and stamps it with the next insertion sequence.
+func (e *Engine) alloc(t Time) *event {
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{}
+	}
 	if t < e.now {
-		t = e.now
+		t = e.now // scheduling in the past is clamped to the present
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+	ev.at, ev.seq = t, e.seq
+	return ev
+}
+
+// recycle returns a popped event to the freelist. Bumping gen first makes
+// any outstanding Scheduled handle to it inert, so recycling is safe even
+// before the callback runs (the caller snapshots fn/h/harg).
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.h = nil
+	ev.harg = 0
+	e.free = append(e.free, ev)
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past is clamped to the present.
+func (e *Engine) At(t Time, fn func()) {
+	ev := e.alloc(t)
+	ev.fn = fn
+	e.q.push(ev)
 }
 
 // After schedules fn to run d nanoseconds from now.
@@ -141,10 +169,33 @@ func (e *Engine) After(d Time, fn func()) {
 	e.At(e.now+d, fn)
 }
 
+// AtCall schedules h.OnEvent(arg) at absolute virtual time t. It is the
+// allocation-free twin of At: the handler is a long-lived object and the
+// argument rides in the event itself, so steady-state scheduling reuses
+// freelisted event structs and allocates nothing.
+func (e *Engine) AtCall(t Time, h Handler, arg uint64) {
+	if h == nil {
+		panic("sim: AtCall with nil handler")
+	}
+	ev := e.alloc(t)
+	ev.h = h
+	ev.harg = arg
+	e.q.push(ev)
+}
+
+// AfterCall schedules h.OnEvent(arg) d nanoseconds from now.
+func (e *Engine) AfterCall(d Time, h Handler, arg uint64) {
+	if d < 0 {
+		d = 0
+	}
+	e.AtCall(e.now+d, h, arg)
+}
+
 // Scheduled is a handle to an event scheduled with AtCancel. The zero
 // value is a no-op handle.
 type Scheduled struct {
-	ev *event
+	ev  *event
+	gen uint64
 }
 
 // Cancel marks the event dead. A cancelled event is discarded when it
@@ -152,10 +203,14 @@ type Scheduled struct {
 // the fired-event count — unlike Timer, whose stale firings deliberately
 // keep the classic advance-the-clock behaviour. This makes AtCancel safe
 // for auxiliary periodic work (metrics sampling) that must not stretch a
-// run's makespan when the real workload finishes first.
+// run's makespan when the real workload finishes first. Cancelling an
+// event that already fired (and whose struct may since have been
+// recycled for an unrelated event) is detected by generation and is a
+// no-op.
 func (s Scheduled) Cancel() {
-	if s.ev != nil {
+	if s.ev != nil && s.ev.gen == s.gen {
 		s.ev.fn = nil
+		s.ev.h = nil
 	}
 }
 
@@ -165,13 +220,10 @@ func (e *Engine) AtCancel(t Time, fn func()) Scheduled {
 	if fn == nil {
 		panic("sim: AtCancel with nil callback")
 	}
-	if t < e.now {
-		t = e.now
-	}
-	e.seq++
-	ev := &event{at: t, seq: e.seq, fn: fn}
-	heap.Push(&e.events, ev)
-	return Scheduled{ev: ev}
+	ev := e.alloc(t)
+	ev.fn = fn
+	e.q.push(ev)
+	return Scheduled{ev: ev, gen: ev.gen}
 }
 
 // DeadlockError is returned by Run when the event queue drains while
@@ -197,22 +249,32 @@ func (e *DeadlockError) Error() string {
 // the queue drains while spawned processes are still parked. Run may be
 // called repeatedly; it resumes from the current virtual time.
 func (e *Engine) Run(limit Time) error {
-	for len(e.events) > 0 {
-		next := e.events[0]
-		if next.fn == nil {
+	for e.q.size > 0 {
+		next := e.q.peek()
+		if next.dead() {
 			// Cancelled: discard without touching the clock. Drained even
 			// past the limit so a cancelled future event never counts as
 			// pending work.
-			heap.Pop(&e.events)
+			e.q.pop()
+			e.recycle(next)
 			continue
 		}
 		if next.at > limit {
 			return nil
 		}
-		heap.Pop(&e.events)
+		e.q.pop()
 		e.now = next.at
 		e.fired++
-		next.fn()
+		// Snapshot the callback and recycle before firing: the callback
+		// may schedule new events, which may legitimately reuse this
+		// very struct.
+		fn, h, harg := next.fn, next.h, next.harg
+		e.recycle(next)
+		if h != nil {
+			h.OnEvent(harg)
+		} else {
+			fn()
+		}
 	}
 	if e.nlive > 0 {
 		var blocked, daemons []string
@@ -237,18 +299,25 @@ func (e *Engine) Run(limit Time) error {
 // It reports how many events actually ran.
 func (e *Engine) Steps(n int) int {
 	ran := 0
-	for ran < n && len(e.events) > 0 {
-		next := heap.Pop(&e.events).(*event)
-		if next.fn == nil {
+	for ran < n && e.q.size > 0 {
+		next := e.q.pop()
+		if next.dead() {
+			e.recycle(next)
 			continue // cancelled: does not count as a step
 		}
 		e.now = next.at
 		e.fired++
-		next.fn()
+		fn, h, harg := next.fn, next.h, next.harg
+		e.recycle(next)
+		if h != nil {
+			h.OnEvent(harg)
+		} else {
+			fn()
+		}
 		ran++
 	}
 	return ran
 }
 
 // Pending reports how many events are queued.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.q.size }

@@ -23,14 +23,17 @@ func (t *Timer) Reset(d Time) {
 	t.gen++
 	t.set = true
 	t.at = t.eng.now + d
-	gen := t.gen
-	t.eng.After(d, func() {
-		if t.gen != gen {
-			return // cancelled or re-armed
-		}
-		t.set = false
-		t.fn()
-	})
+	t.eng.AfterCall(d, t, t.gen)
+}
+
+// OnEvent implements Handler: the timer fires if the armed generation in
+// arg is still current (Stop/Reset bump it to invalidate stale firings).
+func (t *Timer) OnEvent(gen uint64) {
+	if t.gen != gen {
+		return // cancelled or re-armed
+	}
+	t.set = false
+	t.fn()
 }
 
 // Stop cancels a pending firing. It reports whether the timer was armed.
