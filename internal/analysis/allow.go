@@ -72,23 +72,47 @@ func CollectAllows(fset *token.FileSet, files []*ast.File, known map[string]bool
 // covers: same file, same analyzer, on the finding's line or the line
 // directly above it.
 func FilterAllowed(fset *token.FileSet, diags []Diagnostic, allows []Allow) []Diagnostic {
+	kept, _ := filterAllowed(fset, diags, allows)
+	return kept
+}
+
+// FilterAllowedStale is FilterAllowed plus stale-suppression detection:
+// it additionally returns the allows that suppressed nothing. For the
+// stale set to be meaningful, diags must contain every analyzer's
+// findings for the files the allows came from (a suppression is only
+// stale if nothing at all matched it).
+func FilterAllowedStale(fset *token.FileSet, diags []Diagnostic, allows []Allow) ([]Diagnostic, []Allow) {
+	kept, used := filterAllowed(fset, diags, allows)
+	var stale []Allow
+	for i, a := range allows {
+		if !used[i] {
+			stale = append(stale, a)
+		}
+	}
+	return kept, stale
+}
+
+func filterAllowed(fset *token.FileSet, diags []Diagnostic, allows []Allow) ([]Diagnostic, []bool) {
 	type key struct {
 		file     string
 		line     int
 		analyzer string
 	}
-	covered := map[key]bool{}
-	for _, a := range allows {
-		covered[key{a.File, a.Line, a.Analyzer}] = true
-		covered[key{a.File, a.Line + 1, a.Analyzer}] = true
+	covered := map[key]int{} // -> index into allows, first writer wins
+	for i := len(allows) - 1; i >= 0; i-- {
+		a := allows[i]
+		covered[key{a.File, a.Line, a.Analyzer}] = i
+		covered[key{a.File, a.Line + 1, a.Analyzer}] = i
 	}
+	used := make([]bool, len(allows))
 	var kept []Diagnostic
 	for _, d := range diags {
 		p := fset.Position(d.Pos)
-		if covered[key{p.Filename, p.Line, d.Analyzer}] {
+		if i, ok := covered[key{p.Filename, p.Line, d.Analyzer}]; ok {
+			used[i] = true
 			continue
 		}
 		kept = append(kept, d)
 	}
-	return kept
+	return kept, used
 }

@@ -36,6 +36,10 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Facts holds cross-package function summaries computed bottom-up
+	// over the module (see facts.go). It may be nil, in which case
+	// fact-consuming analyzers see only the current package.
+	Facts *FactSet
 
 	diags []Diagnostic
 }
@@ -58,12 +62,19 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Run executes analyzer a over the package pkg and returns its findings.
 func Run(a *Analyzer, pkg *LoadedPackage) ([]Diagnostic, error) {
+	return RunWithFacts(a, pkg, nil)
+}
+
+// RunWithFacts executes analyzer a over pkg with cross-package facts
+// available through pass.Facts (fs may be nil).
+func RunWithFacts(a *Analyzer, pkg *LoadedPackage, fs *FactSet) ([]Diagnostic, error) {
 	pass := &Pass{
 		Analyzer:  a,
 		Fset:      pkg.Fset,
 		Files:     pkg.Files,
 		Pkg:       pkg.Types,
 		TypesInfo: pkg.Info,
+		Facts:     fs,
 	}
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s: %w", a.Name, err)

@@ -144,13 +144,13 @@ func TestAllowFiltering(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	known := analysis.KnownNames()
-	for _, name := range []string{"simwallclock", "simgoroutine", "simmapiter", "creditmut"} {
+	for _, name := range []string{"simwallclock", "simgoroutine", "simmapiter", "creditmut", "simhotpath", "hotalloc"} {
 		if !known[name] {
 			t.Errorf("analyzer %s missing from registry", name)
 		}
 	}
-	if len(analysis.All) != 4 {
-		t.Errorf("len(All) = %d, want 4", len(analysis.All))
+	if len(analysis.All) != 6 {
+		t.Errorf("len(All) = %d, want 6", len(analysis.All))
 	}
 
 	for _, path := range []string{
@@ -176,6 +176,12 @@ func TestRegistry(t *testing.T) {
 
 	if !analysis.Exempt("simgoroutine", "/root/repo/internal/sim/proc.go") {
 		t.Error("proc.go should be exempt from simgoroutine")
+	}
+	if !analysis.Exempt("simhotpath", "/root/repo/internal/sim/proc.go") {
+		t.Error("proc.go should be exempt from simhotpath: Proc.OnEvent is the coroutine dispatch bridge")
+	}
+	if analysis.Exempt("hotalloc", "/root/repo/internal/sim/proc.go") {
+		t.Error("proc.go must not be exempt from hotalloc")
 	}
 	if analysis.Exempt("simwallclock", "/root/repo/internal/sim/proc.go") {
 		t.Error("proc.go must not be exempt from simwallclock")

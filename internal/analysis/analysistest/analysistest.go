@@ -33,25 +33,7 @@ import (
 // any parse or type error fails the test, keeping the fixtures honest.
 func Load(t *testing.T, dir string) *analysis.LoadedPackage {
 	t.Helper()
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		t.Fatalf("reading testdata dir: %v", err)
-	}
-	fset := token.NewFileSet()
-	var files []*ast.File
-	var names []string
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
-			continue
-		}
-		path := filepath.Join(dir, e.Name())
-		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
-		if err != nil {
-			t.Fatalf("parsing testdata: %v", err)
-		}
-		files = append(files, f)
-		names = append(names, path)
-	}
+	files, names, fset := parseDir(t, dir)
 	if len(files) == 0 {
 		t.Fatalf("no Go files in %s", dir)
 	}
@@ -60,14 +42,7 @@ func Load(t *testing.T, dir string) *analysis.LoadedPackage {
 		Importer: importer.ForCompiler(fset, "source", nil),
 		Error:    func(err error) { terrs = append(terrs, err) },
 	}
-	info := &types.Info{
-		Types:      map[ast.Expr]types.TypeAndValue{},
-		Defs:       map[*ast.Ident]types.Object{},
-		Uses:       map[*ast.Ident]types.Object{},
-		Selections: map[*ast.SelectorExpr]*types.Selection{},
-		Implicits:  map[ast.Node]types.Object{},
-		Scopes:     map[ast.Node]*types.Scope{},
-	}
+	info := newInfo()
 	tpkg, _ := conf.Check(files[0].Name.Name, fset, files, info)
 	for _, err := range terrs {
 		t.Errorf("testdata must type-check cleanly: %v", err)
@@ -88,6 +63,196 @@ func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 		t.Fatalf("%s: %v", a.Name, err)
 	}
 	Check(t, pkg, diags)
+}
+
+// Tree is a loaded multi-package fixture module.
+type Tree struct {
+	Root  *analysis.LoadedPackage
+	Pkgs  map[string]*analysis.LoadedPackage // by import path, root included
+	Facts *analysis.FactSet
+}
+
+// LoadTree loads a multi-package fixture module rooted at dir: the Go
+// files directly in dir form the root package, and every subdirectory
+// containing Go files is a sub-package importable as
+// "<rootPackageName>/<subdir>" (so a fixture can carry a miniature `sim`
+// package and audited dependency packages). Sub-packages are
+// type-checked in dependency order and summarized into a finalized
+// FactSet — the same bottom-up fact flow the real driver performs — and
+// the root package is returned ready for RunWithFacts.
+func LoadTree(t *testing.T, dir string) *Tree {
+	t.Helper()
+	rootFiles, rootNames, fset := parseDir(t, dir)
+	if len(rootFiles) == 0 {
+		t.Fatalf("no Go files in %s", dir)
+	}
+	rootName := rootFiles[0].Name.Name
+
+	type subPkg struct {
+		path  string
+		dir   string
+		files []*ast.File
+		names []string
+	}
+	var subs []*subPkg
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		sd := filepath.Join(dir, e.Name())
+		files, names, _ := parseDirInto(t, fset, sd)
+		if len(files) == 0 {
+			continue
+		}
+		subs = append(subs, &subPkg{
+			path: rootName + "/" + e.Name(), dir: sd, files: files, names: names,
+		})
+	}
+
+	cache := map[string]*types.Package{}
+	imp := &treeImporter{
+		cache: cache,
+		src:   importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+	fs := analysis.NewFactSet()
+	pkgs := map[string]*analysis.LoadedPackage{}
+	checkOne := func(path, pkgDir string, files []*ast.File, names []string) *analysis.LoadedPackage {
+		var terrs []error
+		conf := types.Config{Importer: imp, Error: func(err error) { terrs = append(terrs, err) }}
+		info := newInfo()
+		tpkg, _ := conf.Check(path, fset, files, info)
+		for _, err := range terrs {
+			t.Errorf("fixture package %s must type-check cleanly: %v", path, err)
+		}
+		cache[path] = tpkg
+		lp := &analysis.LoadedPackage{
+			Path: path, Dir: pkgDir, FileNames: names,
+			Fset: fset, Files: files, Types: tpkg, Info: info, TypeErrs: terrs,
+		}
+		pkgs[path] = lp
+		return lp
+	}
+
+	// Type-check sub-packages in dependency order: each pass admits the
+	// packages whose fixture-internal imports are all resolved.
+	for len(subs) > 0 {
+		progressed := false
+		var blocked []*subPkg
+		for _, sp := range subs {
+			if !importsReady(sp.files, rootName+"/", cache) {
+				blocked = append(blocked, sp)
+				continue
+			}
+			lp := checkOne(sp.path, sp.dir, sp.files, sp.names)
+			fs.AddPackage(lp, true)
+			progressed = true
+		}
+		if !progressed {
+			var names []string
+			for _, sp := range blocked {
+				names = append(names, sp.path)
+			}
+			t.Fatalf("fixture sub-packages have an import cycle or unresolved imports: %v", names)
+		}
+		subs = blocked
+	}
+
+	root := checkOne(rootName, dir, rootFiles, rootNames)
+	fs.AddPackage(root, true)
+	fs.Finalize()
+	return &Tree{Root: root, Pkgs: pkgs, Facts: fs}
+}
+
+// RunTree loads the fixture module in dir (see LoadTree), runs analyzer
+// a over its root package with cross-package facts, and checks the
+// diagnostics against the root package's `// want` comments.
+func RunTree(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	tr := LoadTree(t, dir)
+	diags, err := analysis.RunWithFacts(a, tr.Root, tr.Facts)
+	if err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+	Check(t, tr.Root, diags)
+}
+
+// treeImporter resolves fixture sub-packages from the cache and
+// everything else (the standard library) from source.
+type treeImporter struct {
+	cache map[string]*types.Package
+	src   types.ImporterFrom
+}
+
+func (ti *treeImporter) Import(path string) (*types.Package, error) {
+	if p, ok := ti.cache[path]; ok {
+		return p, nil
+	}
+	return ti.src.ImportFrom(path, "", 0)
+}
+
+// importsReady reports whether every fixture-internal import (prefix
+// rootPrefix) of files is already type-checked.
+func importsReady(files []*ast.File, rootPrefix string, cache map[string]*types.Package) bool {
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if strings.HasPrefix(path, rootPrefix) {
+				if _, ok := cache[path]; !ok {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// parseDir parses the Go files directly in dir into a fresh FileSet.
+func parseDir(t *testing.T, dir string) ([]*ast.File, []string, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	files, names, _ := parseDirInto(t, fset, dir)
+	return files, names, fset
+}
+
+func parseDirInto(t *testing.T, fset *token.FileSet, dir string) ([]*ast.File, []string, error) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading testdata dir: %v", err)
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing testdata: %v", err)
+		}
+		files = append(files, f)
+		names = append(names, path)
+	}
+	return files, names, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
 }
 
 // want is one expectation parsed from a `// want` comment.

@@ -1,0 +1,144 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"ibflow/internal/analysis"
+	"ibflow/internal/analysis/analysistest"
+)
+
+func TestSimHotpath(t *testing.T) {
+	analysistest.RunTree(t, analysis.SimHotpath, testdata("simhotpath"))
+}
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.RunTree(t, analysis.HotAlloc, testdata("hotalloc"))
+}
+
+// TestHotAllocCrossPackage analyzes the hotalloc fixture's dependency
+// package with whole-tree facts: its schedule site is hot only because a
+// handler in the root package calls into it — the direction the real
+// module exercises when timer callbacks in one package drive schedule
+// sites in the transport package they import.
+func TestHotAllocCrossPackage(t *testing.T) {
+	tr := analysistest.LoadTree(t, testdata("hotalloc"))
+	lib := tr.Pkgs["hotalloc/lib"]
+	if lib == nil {
+		t.Fatal("fixture sub-package hotalloc/lib not loaded")
+	}
+	diags, err := analysis.RunWithFacts(analysis.HotAlloc, lib, tr.Facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysistest.Check(t, lib, diags)
+
+	// Without cross-package facts the same site must pass: the proof
+	// that the finding is carried by fact propagation, not local syntax.
+	cold, err := analysis.RunWithFacts(analysis.HotAlloc, lib, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cold) != 0 {
+		t.Errorf("without facts lib should be clean, got %v", cold)
+	}
+}
+
+// TestFactPropagation checks the fact set directly: parks flow bottom-up
+// across packages, roots seed reachability, and provenance chains render
+// position-free.
+func TestFactPropagation(t *testing.T) {
+	tr := analysistest.LoadTree(t, testdata("simhotpath"))
+	fs := tr.Facts
+
+	helper := fs.Fact("simhotpath/dep.Helper")
+	if helper == nil {
+		t.Fatal("no fact for simhotpath/dep.Helper")
+	}
+	if !helper.Parks {
+		t.Error("dep.Helper should inherit Parks from dep.inner")
+	}
+	if helper.ParkVia != "simhotpath/dep.inner" {
+		t.Errorf("dep.Helper.ParkVia = %q, want simhotpath/dep.inner", helper.ParkVia)
+	}
+
+	sleep := fs.Fact("(*simhotpath/sim.Proc).Sleep")
+	if sleep == nil || !sleep.Parks {
+		t.Error("Proc.Sleep should park (derived from park's channel send, not hardcoded)")
+	}
+
+	onEvent := fs.Fact("(*simhotpath.crosser).OnEvent")
+	if onEvent == nil {
+		t.Fatal("no fact for crosser.OnEvent")
+	}
+	if onEvent.Root != analysis.RootHandler {
+		t.Errorf("crosser.OnEvent root = %v, want RootHandler", onEvent.Root)
+	}
+	if !onEvent.Parks {
+		t.Error("crosser.OnEvent should inherit Parks across the package boundary")
+	}
+	chain := analysis.ParkChain(onEvent, fs.Fact)
+	want := "calls dep.Helper, which calls dep.inner, which receives from a channel"
+	if chain != want {
+		t.Errorf("ParkChain = %q, want %q", chain, want)
+	}
+	if strings.ContainsAny(chain, ":\\") || strings.Contains(chain, ".go") {
+		t.Errorf("ParkChain %q must stay position-free (the baseline keys on messages)", chain)
+	}
+
+	// Reachability: dep.Helper is hot via the handler that calls it.
+	if root, hot := fs.HotVia("simhotpath/dep.Helper"); !hot {
+		t.Error("dep.Helper should be hot-reachable")
+	} else if root != "(*simhotpath.crosser).OnEvent" {
+		t.Errorf("dep.Helper hot via %q, want (*simhotpath.crosser).OnEvent", root)
+	}
+	// dep.Pure is called from a handler too, so it is hot — hot is about
+	// reachability, parking about behavior; only the combination reports.
+	if _, hot := fs.HotVia("simhotpath/dep.Pure"); !hot {
+		t.Error("dep.Pure is called from a handler and should be hot-reachable")
+	}
+	// dep.WaitAround is never called from event context.
+	if root, hot := fs.HotVia("simhotpath/dep.WaitAround"); hot {
+		t.Errorf("dep.WaitAround should not be hot-reachable (got root %q)", root)
+	}
+
+	// Goroutine bodies are not event context: spawner starts one but the
+	// literal's park stays out of spawner's facts.
+	spawner := fs.Fact("simhotpath.spawner")
+	if spawner == nil {
+		t.Fatal("no fact for simhotpath.spawner")
+	}
+	if !spawner.StartsGoroutine {
+		t.Error("spawner should carry StartsGoroutine")
+	}
+	if spawner.Parks {
+		t.Error("spawner must not inherit the goroutine body's park")
+	}
+
+	// The schedule facts.
+	sched := fs.Fact("simhotpath.schedule")
+	if sched == nil || !sched.SchedulesViaAt || !sched.AllocatesClosure {
+		t.Errorf("schedule should carry SchedulesViaAt and AllocatesClosure, got %+v", sched)
+	}
+	clean := fs.Fact("(*simhotpath.clean).OnEvent")
+	if clean == nil || !clean.SchedulesViaAt || clean.AllocatesClosure || clean.Parks {
+		t.Errorf("clean.OnEvent should schedule without allocating or parking, got %+v", clean)
+	}
+}
+
+// TestShortKey pins the diagnostic rendering of function keys.
+func TestShortKey(t *testing.T) {
+	cases := map[string]string{
+		"(*ibflow/internal/ib.QP).pump":      "(*ib.QP).pump",
+		"(ibflow/internal/sim.Time).Seconds": "(sim.Time).Seconds",
+		"ibflow/internal/sim.NewTimer":       "sim.NewTimer",
+		"simhotpath/dep.Helper":              "dep.Helper",
+		"main.run":                           "main.run",
+		"closure@/a/b/file.go:10:2":          "a closure",
+	}
+	for in, want := range cases {
+		if got := analysis.ShortKey(in); got != want {
+			t.Errorf("ShortKey(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+)
+
+// HotAlloc flags per-event allocations at schedule sites on the event
+// hot path — the pattern PR 5's bound-struct handlers (wireEvent,
+// ackEvent, ...) exist to avoid:
+//
+//   - a closure literal passed to Engine.At or Engine.After from a
+//     function reachable from event context allocates one closure per
+//     event; the fix is a bound struct handler scheduled with
+//     AtCall/AfterCall, whose event rides the engine's freelist;
+//   - a handler built at the AtCall/AfterCall call site (&T{...}, T{...}
+//     or new(T)) re-allocates what the bound-struct pattern hoists into
+//     the long-lived owner, so it is flagged anywhere in audited code.
+//
+// AtCancel and sim.NewTimer deliberately take closures and are not
+// flagged: AtCancel is the sanctioned cancellable path for auxiliary
+// work (metrics sampling) and NewTimer is one-time construction of a
+// long-lived timer. Test files are also exempt — the closure API's
+// benchmarks and tests are its sanctioned callers — but handlers and
+// scheduled closures in tests are still simhotpath roots.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "forbid per-event allocations at schedule sites on the event hot path: closures passed to " +
+		"Engine.At/After from handler-reachable code, and handler structs built at AtCall/AfterCall " +
+		"call sites — bind a struct handler into the long-lived owner instead",
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	pf := SummarizePackage(pass.Fset, pass.Files, pass.Pkg, pass.TypesInfo, pass.Facts.Fact)
+
+	// hotVia maps a package-local function key to the event-context root
+	// that reaches it: local roots (including ones test files add) are
+	// expanded over local call edges, and the cross-package fact set
+	// contributes roots that reach this package from the outside.
+	hotVia := map[string]string{}
+	keys := make([]string, 0, len(pf.Funcs))
+	for k := range pf.Funcs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		f := pf.Funcs[k]
+		if f.Root != RootNone {
+			hotVia[k] = k
+		} else if root, ok := pass.Facts.HotVia(k); ok {
+			hotVia[k] = root
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, k := range keys {
+			root, hot := hotVia[k]
+			if !hot {
+				continue
+			}
+			for _, callee := range pf.Funcs[k].Calls {
+				if _, ok := hotVia[callee]; !ok && pf.Funcs[callee] != nil {
+					hotVia[callee] = root
+					changed = true
+				}
+			}
+		}
+	}
+
+	for _, site := range pf.AtSites {
+		if strings.HasSuffix(site.File, "_test.go") {
+			continue
+		}
+		root, hot := hotVia[site.Owner]
+		if !hot {
+			continue
+		}
+		pass.Reportf(site.Pos,
+			"closure scheduled with Engine.%s in %s, which runs in event context (reachable from %s): "+
+				"this allocates one closure per event — bind a struct handler and schedule with %sCall",
+			site.Method, ShortKey(site.Owner), ShortKey(root), site.Method)
+	}
+	for _, site := range pf.FreshSites {
+		if strings.HasSuffix(site.File, "_test.go") {
+			continue
+		}
+		pass.Reportf(site.Pos,
+			"handler struct allocated at the Engine.%s call site in %s: this allocates per event — "+
+				"hoist the bound struct into its long-lived owner",
+			site.Method, ShortKey(site.Owner))
+	}
+	return nil
+}

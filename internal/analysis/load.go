@@ -92,12 +92,38 @@ func (c *chainImporter) Import(path string) (*types.Package, error) {
 	return c.src.ImportFrom(path, "", 0)
 }
 
+// Module is one full module load: every module-internal package
+// type-checked from source, in dependency order, plus the augmented
+// (test-inclusive) views of the packages the caller's patterns matched.
+type Module struct {
+	Dir  string // module root directory the load ran in
+	Fset *token.FileSet
+	// DepOrder holds the pure (library-files-only) view of every
+	// module-internal package, dependencies strictly before dependents —
+	// the order cross-package facts must be computed in (see facts.go).
+	DepOrder []*LoadedPackage
+	// Matched holds the augmented view of each matched package (library
+	// plus in-package test files; external test packages as separate
+	// "_test"-suffixed entries), sorted by import path.
+	Matched []*LoadedPackage
+}
+
 // Load type-checks the packages matching patterns (plus their
 // module-internal dependencies) rooted at the module in dir, and returns
 // one LoadedPackage per matched package, augmented with its in-package
 // test files. External test packages (package foo_test) are returned as
 // separate entries with an "_test" path suffix.
 func Load(dir string, patterns []string) ([]*LoadedPackage, error) {
+	mod, err := LoadModule(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	return mod.Matched, nil
+}
+
+// LoadModule is Load plus the dependency-ordered pure views the facts
+// layer consumes.
+func LoadModule(dir string, patterns []string) (*Module, error) {
 	pkgs, order, err := goList(dir, patterns)
 	if err != nil {
 		return nil, err
@@ -148,11 +174,15 @@ func Load(dir string, patterns []string) ([]*LoadedPackage, error) {
 	}
 
 	// Pass 1: type-check every module package (library files only), in
-	// dependency order, caching results for importers.
+	// dependency order, caching results for importers and keeping the
+	// checked view for bottom-up fact computation.
+	var depOrder []*LoadedPackage
 	for _, path := range order {
-		if err := ld.checkPure(path); err != nil {
+		lp, err := ld.checkPure(path)
+		if err != nil {
 			return nil, err
 		}
+		depOrder = append(depOrder, lp)
 	}
 
 	// Pass 2: build the augmented (test-inclusive) view of each matched
@@ -173,7 +203,11 @@ func Load(dir string, patterns []string) ([]*LoadedPackage, error) {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
-	return out, nil
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		absDir = dir
+	}
+	return &Module{Dir: absDir, Fset: fset, DepOrder: depOrder, Matched: out}, nil
 }
 
 // goListMatched returns the set of import paths the patterns match
@@ -259,19 +293,23 @@ func (ld *loader) check(path string, files []*ast.File) (*types.Package, *types.
 }
 
 // checkPure type-checks the library view of path and caches it so that
-// dependent packages can import it.
-func (ld *loader) checkPure(path string) error {
+// dependent packages can import it. The checked view is returned so the
+// facts layer can summarize every module package, matched or not.
+func (ld *loader) checkPure(path string) (*LoadedPackage, error) {
 	lp := ld.pkgs[path]
-	files, _, err := ld.parse(lp.Dir, lp.GoFiles)
+	files, fileNames, err := ld.parse(lp.Dir, lp.GoFiles)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	tpkg, _, terrs := ld.check(path, files)
+	tpkg, info, terrs := ld.check(path, files)
 	if tpkg == nil {
-		return fmt.Errorf("type-checking %s failed: %v", path, terrs)
+		return nil, fmt.Errorf("type-checking %s failed: %v", path, terrs)
 	}
 	ld.imp.cache[path] = tpkg
-	return nil
+	return &LoadedPackage{
+		Path: path, Dir: lp.Dir, FileNames: fileNames,
+		Fset: ld.fset, Files: files, Types: tpkg, Info: info, TypeErrs: terrs,
+	}, nil
 }
 
 // checkAugmented type-checks path with its in-package test files folded in

@@ -3,7 +3,7 @@ package analysis
 import "strings"
 
 // All is the fclint analyzer suite.
-var All = []*Analyzer{SimWallclock, SimGoroutine, SimMapIter, CreditMut}
+var All = []*Analyzer{SimWallclock, SimGoroutine, SimMapIter, CreditMut, SimHotpath, HotAlloc}
 
 // KnownNames maps analyzer names, for validating fclint:allow comments.
 func KnownNames() map[string]bool {
@@ -55,6 +55,10 @@ func Audited(path string) bool {
 // everywhere else.
 var ExemptFiles = map[string][]string{
 	SimGoroutine.Name: {"internal/sim/proc.go"},
+	// Proc.OnEvent is the one handler that parks by design: it is the
+	// coroutine dispatch bridge (the engine hands the CPU to a process
+	// and waits for it to yield). Everything else must not.
+	SimHotpath.Name: {"internal/sim/proc.go"},
 }
 
 // Exempt reports whether file is excluded from analyzer name's findings.

@@ -1,0 +1,70 @@
+package analysis
+
+import "sort"
+
+// SimHotpath flags functions that execute in event context yet park the
+// calling goroutine. Event context is the engine's Run loop: a parked
+// handler parks the whole simulation, and even a handler that merely
+// waits on a sim.Cond is wrong — handlers are not processes and have no
+// coroutine to yield. Three kinds of function are event-context roots:
+//
+//   - OnEvent(uint64) methods (sim.Handler implementations),
+//   - closures and method values scheduled with Engine.At / After /
+//     AtCancel or sim.NewTimer,
+//   - functions annotated `//fclint:hotpath <reason>` — the declared
+//     migration frontier of the goroutine-to-handler conversions.
+//
+// Parking is detected bottom-up through cross-package facts (see
+// facts.go): channel operations, select, sync lock acquisition and
+// time.Sleep are direct parks, and the fact propagates through static
+// calls — so the sim package's own Proc.Sleep and Cond.Wait count
+// because their implementations bottom out in channel handoffs. A park
+// two call hops away in another package is still flagged at the handler.
+var SimHotpath = &Analyzer{
+	Name: "simhotpath",
+	Doc: "forbid parking (channel ops, select, sync locks, Proc/Cond waits, time.Sleep) in functions " +
+		"reachable from sim.Handler.OnEvent implementations, event-scheduled closures, or " +
+		"//fclint:hotpath-annotated functions: handlers run inside the engine's event loop and " +
+		"must run to completion",
+	Run: runSimHotpath,
+}
+
+func runSimHotpath(pass *Pass) error {
+	pf := SummarizePackage(pass.Fset, pass.Files, pass.Pkg, pass.TypesInfo, pass.Facts.Fact)
+	for _, bad := range pf.BadHotpath {
+		pass.Reportf(bad.Pos, "%s", bad.Message)
+	}
+	lookup := func(key string) *FuncFact {
+		if f := pf.Funcs[key]; f != nil {
+			return f
+		}
+		return pass.Facts.Fact(key)
+	}
+	keys := make([]string, 0, len(pf.Funcs))
+	for k := range pf.Funcs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		f := pf.Funcs[k]
+		if f.Root == RootNone || !f.Parks {
+			continue
+		}
+		chain := ParkChain(f, lookup)
+		switch f.Root {
+		case RootHandler:
+			pass.Reportf(f.Pos,
+				"handler %s may park the event loop: %s; handlers run in event context and must run to completion",
+				ShortKey(k), chain)
+		case RootScheduled:
+			pass.Reportf(f.Pos,
+				"event-scheduled callback %s may park the event loop: %s; scheduled callbacks run in event context and must run to completion",
+				ShortKey(k), chain)
+		case RootHotpath:
+			pass.Reportf(f.Pos,
+				"hot-path function %s parks: %s; the //fclint:hotpath contract (%s) requires it to become a bound handler",
+				ShortKey(k), chain, f.RootReason)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+// Package hotalloc exercises the hotalloc analyzer: per-event
+// allocations at schedule sites on the event hot path.
+package hotalloc
+
+import (
+	"hotalloc/lib"
+	"hotalloc/sim"
+)
+
+// pumper's handler makes everything it calls hot — including lib.Pump in
+// the dependency package (see lib's own fixtures).
+type pumper struct{ e *sim.Engine }
+
+func (h *pumper) OnEvent(arg uint64) {
+	lib.Pump(h.e)
+	h.schedule()
+}
+
+// schedule is hot (reachable from pumper.OnEvent): its closure sites are
+// per-event allocations.
+func (h *pumper) schedule() {
+	h.e.At(1, func() { // want `closure scheduled with Engine\.At in \(\*hotalloc\.pumper\)\.schedule, which runs in event context \(reachable from \(\*hotalloc\.pumper\)\.OnEvent\)`
+		_ = 1
+	})
+	h.e.AfterCall(1, h, 2) // negative: the allocation-free twin
+}
+
+// nested demonstrates that a scheduled closure is itself hot: the inner
+// site's owner is the outer closure, an event-context root, so the inner
+// site is flagged even though nested itself is cold (and the outer site,
+// whose owner is nested, is not — it costs one closure per nested call,
+// not per event).
+func nested(e *sim.Engine) {
+	e.At(1, func() {
+		e.At(2, func() { // want `closure scheduled with Engine\.At in a closure, which runs in event context \(reachable from a closure\)`
+			_ = 1
+		})
+	})
+}
+
+// cold schedules a closure but is unreachable from event context: the
+// site costs one closure per call, not per event, and passes.
+func cold(e *sim.Engine) {
+	e.After(3, func() {
+		_ = 1
+	})
+}
+
+// handler is a trivial bound handler for the fresh-allocation cases.
+type handler struct{ n int }
+
+func (h *handler) OnEvent(arg uint64) { h.n++ }
+
+// fresh allocates its handler at the schedule site: flagged anywhere in
+// audited code, hot or not — the bound-struct pattern exists to hoist
+// exactly this allocation into the long-lived owner.
+func fresh(e *sim.Engine) {
+	e.AtCall(1, &handler{}, 0)      // want `handler struct allocated at the Engine\.AtCall call site in hotalloc\.fresh`
+	e.AfterCall(2, new(handler), 0) // want `handler struct allocated at the Engine\.AfterCall call site in hotalloc\.fresh`
+	h := &handler{}
+	e.AtCall(3, h, 0) // negative: long-lived handler, no site allocation
+}
+
+// sanctioned closure takers: AtCancel (cancellable auxiliary work) and
+// NewTimer (one-time long-lived construction) are not hotalloc sites,
+// even in hot code.
+type sampler struct{ e *sim.Engine }
+
+func (s *sampler) OnEvent(arg uint64) {
+	s.e.AtCancel(1, func() { _ = 1 })
+	_ = sim.NewTimer(s.e, func() { _ = 1 })
+}

@@ -1,0 +1,23 @@
+// Package lib is a dependency package whose schedule sites become hot
+// only through a caller in another package — the direction the real
+// module exercises when a timer callback in one package drives a
+// schedule site in the transport package it imports.
+package lib
+
+import "hotalloc/sim"
+
+// Pump schedules a closure. On its own this is cold; the root package's
+// handler calls it, which makes the site a cross-package finding when
+// lib is analyzed with module facts.
+func Pump(e *sim.Engine) {
+	e.At(1, func() { // want `closure scheduled with Engine\.At in lib\.Pump, which runs in event context \(reachable from \(\*hotalloc\.pumper\)\.OnEvent\)`
+		_ = 1
+	})
+}
+
+// Cold schedules a closure too, but nothing hot reaches it: no finding.
+func Cold(e *sim.Engine) {
+	e.After(1, func() {
+		_ = 1
+	})
+}

@@ -1,0 +1,22 @@
+// Package dep is an audited dependency package: the cross-package leg of
+// the simhotpath fixtures. Its facts are computed before the root
+// package's, so a handler calling Helper is flagged even though the park
+// is two call hops away in another package.
+package dep
+
+import "simhotpath/sim"
+
+// Helper is one hop from the park.
+func Helper() { inner() }
+
+// inner parks directly.
+func inner() {
+	ch := make(chan int)
+	<-ch
+}
+
+// Pure is park-free: the negative case for cross-package facts.
+func Pure() int { return 1 }
+
+// WaitAround parks through the simulated process API.
+func WaitAround(p *sim.Proc) { p.Sleep(1) }

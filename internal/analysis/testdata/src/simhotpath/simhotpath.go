@@ -1,0 +1,90 @@
+// Package simhotpath exercises the simhotpath analyzer: functions that
+// run in event context (handlers, event-scheduled callbacks, annotated
+// hot-path functions) must never park.
+package simhotpath
+
+import (
+	"simhotpath/dep"
+	"simhotpath/sim"
+)
+
+// parker parks directly in its handler body.
+type parker struct{ ch chan int }
+
+func (h *parker) OnEvent(arg uint64) { // want `handler \(\*simhotpath\.parker\)\.OnEvent may park the event loop: sends on a channel`
+	h.ch <- int(arg)
+}
+
+// crosser reaches a park two call hops away in another package: the park
+// fact flows dep.inner -> dep.Helper -> here, across the package
+// boundary.
+type crosser struct{}
+
+func (h *crosser) OnEvent(arg uint64) { // want `handler \(\*simhotpath\.crosser\)\.OnEvent may park the event loop: calls dep\.Helper, which calls dep\.inner, which receives from a channel`
+	dep.Helper()
+}
+
+// procWaiter waits on the simulated process API; the park derives from
+// the sim package's own channel handoffs, not a hardcoded method list.
+type procWaiter struct {
+	c *sim.Cond
+	p *sim.Proc
+}
+
+func (h *procWaiter) OnEvent(arg uint64) { // want `handler \(\*simhotpath\.procWaiter\)\.OnEvent may park the event loop: calls \(\*sim\.Cond\)\.Wait, which calls \(\*sim\.Proc\)\.park, which sends on a channel`
+	h.c.Wait(h.p)
+}
+
+// clean is the negative case: calling pure code and rescheduling through
+// the allocation-free handler path are both fine.
+type clean struct{ e *sim.Engine }
+
+func (h *clean) OnEvent(arg uint64) {
+	_ = dep.Pure()
+	h.e.AfterCall(1, h, arg)
+}
+
+// notAHandler has the wrong signature: not a root, parks legally.
+type notAHandler struct{ ch chan int }
+
+func (h *notAHandler) OnEvent(arg uint32) {
+	h.ch <- int(arg)
+}
+
+// schedule hands closures to the engine: each scheduled closure is an
+// event-context root of its own.
+func schedule(e *sim.Engine, ch chan int) {
+	e.At(1, func() { // want `event-scheduled callback a closure may park the event loop: receives from a channel`
+		<-ch
+	})
+	e.After(2, func() { // negative: park-free closure
+		_ = dep.Pure()
+	})
+}
+
+// frontier is annotated as contractually hot: its parks are findings
+// even though no handler reaches it statically.
+//
+//fclint:hotpath progress-engine loop slated for handler conversion
+func frontier(p *sim.Proc) { // want `hot-path function simhotpath\.frontier parks: calls \(\*sim\.Proc\)\.Sleep, which calls \(\*sim\.Proc\)\.park, which sends on a channel`
+	p.Sleep(5)
+}
+
+// quietFrontier is annotated but park-free: annotation alone is not a
+// finding.
+//
+//fclint:hotpath already migrated, annotation keeps the contract pinned
+func quietFrontier() int { return dep.Pure() }
+
+// badDirective's annotation is missing its mandatory reason.
+//
+//fclint:hotpath
+func badDirective() {} // want `fclint:hotpath needs a reason`
+
+// spawned goroutine bodies are not event context: their parks are the
+// spawned goroutine's business (and simgoroutine's, elsewhere).
+func spawner(ch chan int) { // no simhotpath finding here
+	go func() {
+		<-ch
+	}()
+}

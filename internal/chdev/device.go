@@ -102,6 +102,11 @@ type conn struct {
 	lastSend sim.Time   // last outgoing traffic on this connection
 	ecmTimer *sim.Timer // deferred ECM when the gate is still closed
 
+	// reissue is the bound re-open callback for RNR-exhaustion recovery
+	// (see Device.onRetryExhausted); embedding it keeps the recovery
+	// path closure-free.
+	reissue reissueEvent
+
 	// degraded marks a connection whose QP froze on RNR budget
 	// exhaustion: new eager traffic falls back to the backlog until the
 	// frozen stream is re-issued (Config.ReissueDelay later).
@@ -289,6 +294,8 @@ func establish(a, b *Device) {
 		sendRndv: make(map[uint64]*rndvOut), recvRndv: make(map[uint64]*RndvIn)}
 	cb := &conn{peer: a.rank, qp: qb, vc: core.NewVC(&b.params),
 		sendRndv: make(map[uint64]*rndvOut), recvRndv: make(map[uint64]*RndvIn)}
+	ca.reissue.c = ca
+	cb.reissue.c = cb
 	a.conns[b.rank] = ca
 	b.conns[a.rank] = cb
 	a.qpConn[qa] = ca
@@ -793,6 +800,8 @@ func (d *Device) sendECM(c *conn) bool {
 
 // ProgressOnce drains the completion queue, the backlogs and any due
 // explicit credit messages. It reports whether it accomplished anything.
+//
+//fclint:hotpath progress-engine drain slated for bound-handler conversion (ROADMAP: goroutine-to-handler migration)
 func (d *Device) ProgressOnce(p *sim.Proc) bool {
 	did := false
 	for {
@@ -894,6 +903,8 @@ func (d *Device) maybeSendECM(c *conn) bool {
 
 // WaitProgress runs the progress engine until done() holds, blocking on
 // the completion queue when there is nothing to do.
+//
+//fclint:hotpath progress-engine wait loop slated for bound-handler conversion (ROADMAP: goroutine-to-handler migration)
 func (d *Device) WaitProgress(p *sim.Proc, done func() bool) {
 	for !done() {
 		if d.ProgressOnce(p) {
@@ -1033,10 +1044,18 @@ func (d *Device) onRetryExhausted(wc ib.WC, ctx sendCtx) {
 	c.degraded = true
 	c.vc.NoteReissue()
 	d.tr(trace.Reissued, c.peer, int64(ctx.attempts))
-	d.eng.At(d.eng.Now()+d.cfg.ReissueDelay, func() {
-		c.degraded = false
-		c.qp.ResumeStalled()
-	})
+	d.eng.AfterCall(d.cfg.ReissueDelay, &c.reissue, 0)
+}
+
+// reissueEvent re-opens a degraded connection after ReissueDelay: one is
+// embedded in each conn so RNR-exhaustion recovery schedules without a
+// closure. The frozen QP kept everything queued, so re-opening is just
+// ResumeStalled with a fresh retry budget.
+type reissueEvent struct{ c *conn }
+
+func (re *reissueEvent) OnEvent(uint64) {
+	re.c.degraded = false
+	re.c.qp.ResumeStalled()
 }
 
 // handlePacket processes one arrived packet and re-posts (or retires) the

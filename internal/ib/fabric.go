@@ -13,6 +13,10 @@ type Fabric struct {
 	cfg    Config
 	hcas   []*HCA
 	leaves []*leafSwitch
+
+	// trunkFree recycles trunkEvent hops (see topology.go) so inter-leaf
+	// delivery stays allocation-free at steady state.
+	trunkFree *trunkEvent
 }
 
 // NewFabric creates a fabric with nodes HCAs.

@@ -31,6 +31,7 @@ type sendWQE struct {
 	sent     bool      // has been transmitted at least once
 	acked    bool      // delivery acknowledged, awaiting in-order retirement
 	wire     wireEvent // bound delivery callback, reused across retransmits
+	read     readEvent // bound read-response callback (opRead only)
 }
 
 // wireEvent is the delivery callback for one WQE, embedded in the WQE so
@@ -58,6 +59,34 @@ func (we *wireEvent) OnEvent(stage uint64) {
 		return
 	}
 	peer.deliver(we.w, sender)
+}
+
+// readEvent streams an RDMA read response back to the requester, embedded
+// in the WQE so the two response hops schedule through sim.AtCall without
+// a closure per hop. Stages mirror wireEvent: 0 = response fully arrived
+// at the requester's port (reserve the ingress link, charge receive
+// overhead), 1 = land the data and retire the WQE. A read is delivered at
+// most once (a retransmitted read arrives out of order and is dropped
+// before reaching the opRead arm), so the per-response data snapshot
+// cannot be overwritten by an overlapping attempt.
+type readEvent struct {
+	w      *sendWQE
+	sender *QP    // requesting side, receives the response
+	data   []byte // response payload snapshot, taken at the responder
+}
+
+func (re *readEvent) OnEvent(stage uint64) {
+	sender := re.sender
+	f := sender.hca.fabric
+	if stage == 0 {
+		cfg := f.Config()
+		tx := cfg.TxTime(len(re.w.readDst))
+		arrive := sender.hca.ingress.reserve(f.eng.Now(), tx) + tx
+		f.eng.AtCall(arrive+cfg.RecvOverhead, re, 1)
+		return
+	}
+	copy(re.w.readDst, re.data)
+	sender.retire(re.w)
 }
 
 // nakEvent delivers a deferred RNR NAK (arg = rewound sequence) to its
@@ -360,13 +389,8 @@ func (qp *QP) deliver(w *sendWQE, sender *QP) {
 		copy(data, w.remote.MR.buf[w.remote.Offset:w.remote.Offset+n])
 		tx := cfg.TxTime(n)
 		start := qp.hca.egress.reserve(eng.Now(), tx)
-		eng.At(start+cfg.SwitchLatency, func() {
-			arrive := sender.hca.ingress.reserve(eng.Now(), tx) + tx
-			eng.At(arrive+cfg.RecvOverhead, func() {
-				copy(w.readDst, data)
-				sender.retire(w)
-			})
-		})
+		w.read = readEvent{w: w, sender: sender, data: data}
+		eng.AtCall(start+cfg.SwitchLatency, &w.read, 0)
 	}
 }
 

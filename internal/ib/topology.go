@@ -59,9 +59,9 @@ func (f *Fabric) trunkTx(n int) sim.Time {
 // paths additionally reserve the source leaf's uplink trunk and the
 // destination leaf's downlink trunk (cut-through: trunk reservations
 // model contention, the serialization latency is charged once at the
-// destination port). The trunk hops are cold enough to keep as closures;
-// the single-switch fast path schedules exactly one allocation-free
-// event.
+// destination port). Every hop schedules through a bound handler — the
+// trunk hops through a recycled trunkEvent — so the whole path is
+// allocation-free at steady state.
 func (f *Fabric) deliverTo(src, dst *HCA, start, tx sim.Time, n int, h sim.Handler) {
 	eng := f.eng
 	cfg := &f.cfg
@@ -82,16 +82,59 @@ func (f *Fabric) deliverTo(src, dst *HCA, start, tx sim.Time, n int, h sim.Handl
 		return
 	}
 
-	srcLeaf := f.leaves[f.leafOf(src.node)]
-	dstLeaf := f.leaves[f.leafOf(dst.node)]
-	ttx := f.trunkTx(n)
-	eng.At(start+cfg.SwitchLatency, func() {
-		upStart := srcLeaf.up.reserve(eng.Now(), ttx)
-		eng.At(upStart+cfg.SwitchLatency, func() {
-			dnStart := dstLeaf.down.reserve(eng.Now(), ttx)
-			eng.AtCall(dnStart+cfg.SwitchLatency, h, 0)
-		})
-	})
+	te := f.acquireTrunk()
+	*te = trunkEvent{
+		f:       f,
+		srcLeaf: f.leaves[f.leafOf(src.node)],
+		dstLeaf: f.leaves[f.leafOf(dst.node)],
+		ttx:     f.trunkTx(n),
+		h:       h,
+	}
+	eng.AtCall(start+cfg.SwitchLatency, te, 0)
+}
+
+// trunkEvent walks one inter-leaf message across the fat-tree trunk as a
+// bound two-stage handler: stage 0 reserves the source leaf's uplink,
+// stage 1 reserves the destination leaf's downlink, hands off to the
+// destination-port handler, and returns itself to the fabric's freelist.
+// One trunkEvent is live per in-flight inter-leaf message, so recycling
+// after the final hop is safe.
+type trunkEvent struct {
+	f       *Fabric
+	srcLeaf *leafSwitch
+	dstLeaf *leafSwitch
+	ttx     sim.Time
+	h       sim.Handler
+	next    *trunkEvent // freelist link, valid only while released
+}
+
+func (te *trunkEvent) OnEvent(stage uint64) {
+	eng := te.f.eng
+	lat := te.f.cfg.SwitchLatency
+	if stage == 0 {
+		upStart := te.srcLeaf.up.reserve(eng.Now(), te.ttx)
+		eng.AtCall(upStart+lat, te, 1)
+		return
+	}
+	dnStart := te.dstLeaf.down.reserve(eng.Now(), te.ttx)
+	eng.AtCall(dnStart+lat, te.h, 0)
+	te.f.releaseTrunk(te)
+}
+
+// acquireTrunk pops a recycled trunkEvent or allocates a fresh one.
+func (f *Fabric) acquireTrunk() *trunkEvent {
+	if te := f.trunkFree; te != nil {
+		f.trunkFree = te.next
+		return te
+	}
+	return &trunkEvent{}
+}
+
+// releaseTrunk returns a finished trunkEvent to the freelist, clearing it
+// so the recycled hop cannot leak the previous message's handler.
+func (f *Fabric) releaseTrunk(te *trunkEvent) {
+	*te = trunkEvent{next: f.trunkFree}
+	f.trunkFree = te
 }
 
 // pathEnd adapts a plain closure to the deliverTo handler convention: it

@@ -203,6 +203,8 @@ func (e *Endpoint) onRTO(dst int, p *peerState) {
 }
 
 // drive is the endpoint's daemon: it processes completions forever.
+//
+//fclint:hotpath completion-drain daemon slated for bound-handler conversion (ROADMAP: goroutine-to-handler migration)
 func (e *Endpoint) drive(proc *sim.Proc) {
 	for {
 		wc := e.cq.WaitPoll(proc)
