@@ -16,10 +16,15 @@ vet:
 
 # fclint enforces the determinism, credit-accounting and hot-path
 # contracts (DESIGN.md, "Determinism contract & static enforcement").
-# fclint.baseline records the tolerated pre-existing findings (the
-# not-yet-migrated progress engines); anything NEW fails.
+# The goroutine-to-handler migration drained fclint.baseline to empty;
+# it must stay that way — any finding fails, and so does re-adding
+# baseline entries.
 lint:
 	$(GO) run ./cmd/fclint -baseline fclint.baseline ./...
+	@if grep -v '^#' fclint.baseline | grep -q .; then \
+		echo "fclint.baseline must stay empty (the goroutine-to-handler migration drained it):"; \
+		grep -v '^#' fclint.baseline; exit 1; \
+	fi
 
 # lint-json emits the full finding list (baselined included) as a
 # byte-stable JSON array, for CI artifacts and tooling.
@@ -74,10 +79,14 @@ metrics-smoke:
 	$(GO) run ./cmd/fcstats -keys /tmp/ibflow-metrics.json | diff - cmd/fcstats/testdata/latency_metrics_keys.golden
 
 # scaling-smoke mirrors the CI step: the connection-scaling benchmark in
-# quick mode must complete and render (sub-linearity itself is asserted
-# by internal/bench's TestConnScalingSharedSubLinear).
+# quick mode — now including a 128-rank fat-tree row — must complete and
+# render (sub-linearity itself is asserted by internal/bench's
+# TestConnScalingSharedSubLinear), and the 128-rank world-level
+# allocation gate must hold: steady-state traffic allocates only the
+# storm main's own payloads, nothing per message in the progress engine.
 scaling-smoke:
 	$(GO) run ./cmd/fcbench -test scaling -quick
+	IBFLOW_ALLOC_GATE=1 $(GO) test -count=1 -run TestScalingSteadyAllocGate -v ./internal/bench
 
 fmt:
 	gofmt -w .

@@ -208,6 +208,9 @@ func main() {
 		} else {
 			t := bench.ConnScalingTable(doc)
 			fmt.Print(t.String())
+			fmt.Println()
+			h := bench.ConnScalingHostTable(doc)
+			fmt.Print(h.String())
 		}
 		return
 	}

@@ -466,6 +466,13 @@ func (s *summarizer) call(f *FuncFact, call *ast.CallExpr, edge func(string)) {
 		s.scheduleCall(f, call, kind)
 		return
 	}
+	if simResumeBridge(fn) {
+		// (*sim.Gate).Release hands the CPU to a parked coroutine and
+		// returns the moment it yields — the same sanctioned dispatch
+		// bridge as Engine.Go: a control-flow handoff, not an
+		// event-context edge into the engine's channel machinery.
+		return
+	}
 	edge(fn.FullName())
 }
 
@@ -591,6 +598,30 @@ func parkReason(fn *types.Func) string {
 		}
 	}
 	return ""
+}
+
+// simResumeBridge reports whether fn is the sim package's synchronous
+// coroutine-resume bridge, (*Gate).Release. Its implementation unparks a
+// process via channels, but — exactly like Proc.OnEvent, the other half
+// of the dispatch bridge — the event loop never stalls on it: the call
+// runs the released process inline and returns when it yields. Treating
+// it as a park would flag every handler-based progress engine at the
+// point where it hands a finished request back to the asking process.
+func simResumeBridge(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil || !simLikePath(pkg.Path()) || fn.Name() != "Release" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Gate"
 }
 
 // simLikePath reports whether pkgPath is the simulation-core package.

@@ -62,3 +62,23 @@ func (c *Cond) Wait(p *Proc) {
 	c.waiters = append(c.waiters, p)
 	p.park()
 }
+
+// Gate parks one process until a handler releases it. Release resumes
+// the process synchronously through the same channel bridge as the
+// engine's dispatch — the facts layer sanctions it by (package, type,
+// method), not by hiding the channel operations.
+type Gate struct{ p *Proc }
+
+// Wait parks p until Release.
+func (g *Gate) Wait(p *Proc) {
+	g.p = p
+	p.park()
+}
+
+// Release hands the CPU to the parked process and returns when it yields.
+func (g *Gate) Release() {
+	p := g.p
+	g.p = nil
+	p.resume <- struct{}{}
+	<-p.parked
+}

@@ -88,3 +88,24 @@ func spawner(ch chan int) { // no simhotpath finding here
 		<-ch
 	}()
 }
+
+// releaser hands a finished request back to the asking process: Release
+// is the sanctioned coroutine dispatch bridge, not a park.
+type releaser struct{ g *sim.Gate }
+
+func (h *releaser) OnEvent(arg uint64) { // negative: Release is the dispatch bridge
+	h.g.Release()
+}
+
+// fakeGate wears the sanctioned method name on a non-sim type: the
+// bridge is matched by (package, type, method), so this still parks.
+type fakeGate struct{ ch chan int }
+
+// Release blocks on a channel; only sim.Gate's Release is sanctioned.
+func (f *fakeGate) Release() { f.ch <- 1 }
+
+type fakeReleaser struct{ g *fakeGate }
+
+func (h *fakeReleaser) OnEvent(arg uint64) { // want `handler \(\*simhotpath\.fakeReleaser\)\.OnEvent may park the event loop: calls \(\*simhotpath\.fakeGate\)\.Release, which sends on a channel`
+	h.g.Release()
+}

@@ -13,12 +13,12 @@ import (
 var quick = Opts{Quick: true}
 
 // TestScalingSerialParallelIdentical pins the parallel runner's contract
-// at the bench layer: the connection-scaling document (the exact payload
-// of BENCH_scaling.json) must serialize byte-identically whatever the
-// worker count.
+// at the bench layer: the connection-scaling document's virtual-time
+// payload (BENCH_scaling.json minus the host-side goroutine/wall-clock
+// columns) must serialize byte-identically whatever the worker count.
 func TestScalingSerialParallelIdentical(t *testing.T) {
 	docJSON := func(workers int) string {
-		doc := ConnScaling(Opts{Quick: true, Parallel: workers})
+		doc := StripHostMetrics(ConnScaling(Opts{Quick: true, Parallel: workers}))
 		b, err := json.Marshal(doc)
 		if err != nil {
 			t.Fatal(err)

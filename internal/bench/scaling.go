@@ -2,8 +2,12 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
+	"sort"
+	"time"
 
 	"ibflow/internal/core"
+	"ibflow/internal/ib"
 	"ibflow/internal/mpi"
 	"ibflow/internal/runner"
 )
@@ -25,22 +29,52 @@ type ScalingSeries struct {
 	Backlogged []uint64 `json:"backlogged"`
 	// LimitEvents counts SRQ low-watermark events (shared scheme only).
 	LimitEvents []uint64 `json:"limit_events"`
-	// TimeMS is the job makespan in milliseconds.
+	// TimeMS is the job makespan in milliseconds (virtual time).
 	TimeMS []float64 `json:"time_ms"`
+	// Goroutines is the host goroutine count sampled while every rank
+	// was live. With progress on bound CQ handlers the count is the rank
+	// mains plus a small constant — no per-device or per-connection
+	// daemons — which is what lets one process host thousand-rank worlds.
+	// Host-side measurement: excluded from determinism digests.
+	Goroutines []int `json:"goroutines"`
+	// WallMS is the host wall-clock time to simulate the cell, in
+	// milliseconds. Host-side measurement: machine-dependent, excluded
+	// from determinism digests.
+	WallMS []float64 `json:"wall_ms"`
 }
 
 // ScalingDoc is the machine-readable connection-scaling document stored
 // as BENCH_scaling.json at the repo root (fcbench -test scaling -json).
 type ScalingDoc struct {
-	Benchmark   string          `json:"benchmark"`
-	Ranks       []int           `json:"ranks"`
-	MsgsPerPeer int             `json:"msgs_per_peer"`
-	MsgSizeB    int             `json:"msg_size_b"`
-	Prepost     int             `json:"prepost"`
-	DynMax      int             `json:"dynmax"`
-	PoolPrepost int             `json:"pool_prepost"`
-	PoolMax     int             `json:"pool_max"`
-	Series      []ScalingSeries `json:"series"`
+	Benchmark   string `json:"benchmark"`
+	Ranks       []int  `json:"ranks"`
+	MsgsPerPeer int    `json:"msgs_per_peer"`
+	MsgSizeB    int    `json:"msg_size_b"`
+	Prepost     int    `json:"prepost"`
+	DynMax      int    `json:"dynmax"`
+	PoolPrepost int    `json:"pool_prepost"`
+	PoolMax     int    `json:"pool_max"`
+	// Fanout caps how many peers each rank exchanges traffic with (the
+	// storm stays all-to-all while n-1 <= Fanout). Eagerly wired worlds
+	// still provision buffers for all n-1 connections, so the memory
+	// story is unchanged — idle connections are exactly what cost memory
+	// under per-connection schemes.
+	Fanout int `json:"fanout"`
+	// FatTreeFrom, LeafRadix, Oversub and Rails describe the large-row
+	// interconnect: rank counts >= FatTreeFrom run on a two-level fat
+	// tree of LeafRadix-port leaves, Oversub-to-1 oversubscribed, with
+	// Rails-wide multi-rail ports. Smaller rows keep the paper's
+	// crossbar testbed.
+	FatTreeFrom int `json:"fat_tree_from"`
+	LeafRadix   int `json:"leaf_radix"`
+	Oversub     int `json:"oversub"`
+	Rails       int `json:"rails"`
+	// OnDemandFrom is the rank count at which worlds switch to on-demand
+	// connection establishment: eagerly wiring ~n^2/2 connections with
+	// pre-posted buffers is the scaling barrier itself, and lazy setup
+	// is how MVAPICH-era MPIs reached thousands of ranks at all.
+	OnDemandFrom int             `json:"on_demand_from"`
+	Series       []ScalingSeries `json:"series"`
 }
 
 // connScalingSchemes returns the four schemes the scaling benchmark
@@ -56,27 +90,59 @@ func connScalingSchemes(prepost, dynMax, poolPrepost, poolMax int) []core.Params
 	}
 }
 
+// cellOptions builds the world options for one (scheme, rank-count)
+// cell: the calibrated crossbar testbed at paper scale, the fat-tree
+// large-cluster configuration from FatTreeFrom ranks up, and on-demand
+// connection establishment from OnDemandFrom ranks up.
+func (doc *ScalingDoc) cellOptions(fc core.Params, n int) mpi.Options {
+	opts := mpi.DefaultOptions(fc)
+	if n >= doc.FatTreeFrom {
+		opts.IB.Topology = ib.TopoFatTree
+		opts.IB.LeafRadix = doc.LeafRadix
+		opts.IB.Oversub = doc.Oversub
+		opts.IB.Rails = doc.Rails
+	}
+	if n >= doc.OnDemandFrom {
+		opts.Chan.OnDemand = true
+	}
+	opts.TimeLimit = timeLimit
+	return opts
+}
+
 // ConnScaling measures how receive-buffer memory and flow-control
 // pressure grow with the number of connected peers under each scheme:
-// every rank runs an all-to-all small-message storm against every other
-// rank. Per-connection schemes provision buffers per peer, so their
-// memory high-water mark grows linearly with the rank count; the shared
-// scheme backs all connections with one SRQ pool, so its footprint is
-// bounded by the pool maximum regardless of fan-in — at the price of
-// RNR NAKs when the storm outruns watermark replenishment.
+// every rank runs a small-message storm against up to Fanout other
+// ranks (all-to-all below that). Per-connection schemes provision
+// buffers per peer, so their memory high-water mark grows linearly with
+// the rank count; the shared scheme backs all connections with one SRQ
+// pool, so its footprint is bounded by the pool maximum regardless of
+// fan-in — at the price of RNR NAKs when the storm outruns watermark
+// replenishment.
+//
+// The large rows ride the goroutine-to-handler migration: progress runs
+// on bound CQ handlers, so a cell's goroutine count is its rank mains
+// plus a small constant, and 256- and 1024-rank worlds fit in one
+// process. The largest rows also switch the fabric to an oversubscribed
+// multi-rail fat tree (the interconnect such clusters actually run).
 func ConnScaling(o Opts) ScalingDoc {
 	doc := ScalingDoc{
-		Benchmark:   "connscaling",
-		Ranks:       []int{2, 4, 8, 16, 24},
-		MsgsPerPeer: 12,
-		MsgSizeB:    256,
-		Prepost:     8,
-		DynMax:      64,
-		PoolPrepost: 16,
-		PoolMax:     96,
+		Benchmark:    "connscaling",
+		Ranks:        []int{2, 4, 8, 16, 24, 64, 256, 1024},
+		MsgsPerPeer:  12,
+		MsgSizeB:     256,
+		Prepost:      8,
+		DynMax:       64,
+		PoolPrepost:  16,
+		PoolMax:      96,
+		Fanout:       24,
+		FatTreeFrom:  64,
+		LeafRadix:    32,
+		Oversub:      2,
+		Rails:        2,
+		OnDemandFrom: 512,
 	}
 	if o.Quick {
-		doc.Ranks = []int{2, 4, 8}
+		doc.Ranks = []int{2, 4, 8, 128}
 		doc.MsgsPerPeer = 6
 	}
 	schemes := connScalingSchemes(doc.Prepost, doc.DynMax, doc.PoolPrepost, doc.PoolMax)
@@ -86,17 +152,21 @@ func ConnScaling(o Opts) ScalingDoc {
 		hwm                          int
 		rnrNaks, backlogged, limitEv uint64
 		timeMS                       float64
+		goroutines                   int
+		wallMS                       float64
 	}
 	nr := len(doc.Ranks)
 	cells := runner.Map(len(schemes)*nr, o.workers(), func(k int) cell {
 		fc, n := schemes[k/nr], doc.Ranks[k%nr]
-		opts := mpi.DefaultOptions(fc)
-		opts.TimeLimit = timeLimit
+		opts := doc.cellOptions(fc, n)
 		o.tune(&opts)
+		start := time.Now()
 		w := mpi.NewWorld(n, opts)
-		if err := w.Run(allToAllStorm(doc.MsgsPerPeer, doc.MsgSizeB)); err != nil {
+		var goroutines int
+		if err := w.Run(scalingStorm(doc.MsgsPerPeer, doc.MsgSizeB, doc.Fanout, &goroutines)); err != nil {
 			panic(fmt.Sprintf("bench: connscaling %s at %d ranks: %v", fc.Kind, n, err))
 		}
+		wallMS := time.Since(start).Seconds() * 1e3
 		// The Table-2 quantity is per-process memory: take the
 		// worst rank, not the job-wide sum, so the row reads as
 		// "bytes a node must pin" at that cluster size.
@@ -113,6 +183,8 @@ func ConnScaling(o Opts) ScalingDoc {
 			backlogged: st.Backlogged,
 			limitEv:    st.LimitEvents,
 			timeMS:     w.Time().Seconds() * 1e3,
+			goroutines: goroutines,
+			wallMS:     wallMS,
 		}
 	})
 	for i, fc := range schemes {
@@ -124,34 +196,79 @@ func ConnScaling(o Opts) ScalingDoc {
 			s.Backlogged = append(s.Backlogged, c.backlogged)
 			s.LimitEvents = append(s.LimitEvents, c.limitEv)
 			s.TimeMS = append(s.TimeMS, c.timeMS)
+			s.Goroutines = append(s.Goroutines, c.goroutines)
+			s.WallMS = append(s.WallMS, c.wallMS)
 		}
 		doc.Series = append(doc.Series, s)
 	}
 	return doc
 }
 
-// allToAllStorm returns an MPI main in which every rank exchanges msgs
-// messages of size bytes with every other rank, receives pre-posted so
-// all traffic stays eager and lands on the receive-buffer machinery
-// under test.
-func allToAllStorm(msgs, size int) func(c *mpi.Comm) {
+// StripHostMetrics returns a copy of doc with the host-side columns
+// (goroutine samples, wall clock) cleared. Those columns measure the
+// simulator process — they vary with the machine, the worker count and
+// the scheduler — so determinism contracts (serial == parallel, rerun
+// identity) compare the stripped view; the virtual-time payload must
+// stay byte-identical.
+func StripHostMetrics(doc ScalingDoc) ScalingDoc {
+	out := doc
+	out.Series = make([]ScalingSeries, len(doc.Series))
+	for i, s := range doc.Series {
+		s.Goroutines = nil
+		s.WallMS = nil
+		out.Series[i] = s
+	}
+	return out
+}
+
+// scalingStorm returns an MPI main in which every rank exchanges msgs
+// messages of size bytes with up to fanout peers, chosen at a fixed
+// stride so the peer set spans leaf switches. With fanout >= n-1 this
+// is the classic all-to-all storm; above it, traffic volume stays
+// O(n*fanout) while eagerly wired worlds still pay buffer memory for
+// all n-1 connections. Receives are pre-posted so all traffic stays
+// eager and lands on the receive-buffer machinery under test.
+//
+// goroutines, when non-nil, receives the maximum runtime.NumGoroutine
+// observed at Waitall entry across ranks: the last rank to get there
+// sees every rank main live, so the sample bounds the world's true
+// footprint from below without perturbing the simulation (procs run
+// one at a time, so the write is race-free).
+func scalingStorm(msgs, size, fanout int, goroutines *int) func(c *mpi.Comm) {
 	return func(c *mpi.Comm) {
 		me, n := c.Rank(), c.Size()
+		k := fanout
+		if k > n-1 {
+			k = n - 1
+		}
+		stride := (n - 1) / k
+		// Ascending-peer posting order (the classic storm's): low-numbered
+		// ranks absorb everyone's opening burst, so the fan-in incast the
+		// shared pool must survive is part of the workload, not an accident
+		// of iteration order. With k = n-1 this is exactly the old
+		// all-to-all storm.
+		recvSrc := make([]int, 0, k)
+		sendDst := make([]int, 0, k)
+		for j := 1; j <= k; j++ {
+			recvSrc = append(recvSrc, ((me-j*stride)%n+n)%n)
+			sendDst = append(sendDst, (me+j*stride)%n)
+		}
+		sort.Ints(recvSrc)
+		sort.Ints(sendDst)
 		var reqs []*mpi.Request
-		for p := 0; p < n; p++ {
-			if p == me {
-				continue
-			}
+		for _, src := range recvSrc {
 			for m := 0; m < msgs; m++ {
-				reqs = append(reqs, c.Irecv(p, m, make([]byte, size)))
+				reqs = append(reqs, c.Irecv(src, m, make([]byte, size)))
 			}
 		}
-		for p := 0; p < n; p++ {
-			if p == me {
-				continue
-			}
+		for _, dst := range sendDst {
 			for m := 0; m < msgs; m++ {
-				reqs = append(reqs, c.Isend(p, m, make([]byte, size)))
+				reqs = append(reqs, c.Isend(dst, m, make([]byte, size)))
+			}
+		}
+		if goroutines != nil {
+			if g := runtime.NumGoroutine(); g > *goroutines {
+				*goroutines = g
 			}
 		}
 		c.Waitall(reqs...)
@@ -164,12 +281,13 @@ func allToAllStorm(msgs, size int) func(c *mpi.Comm) {
 func ConnScalingTable(doc ScalingDoc) Table {
 	t := Table{
 		Title: fmt.Sprintf(
-			"Connection scaling: per-process buffer memory HWM (KB), all-to-all storm (%d x %dB per peer)",
-			doc.MsgsPerPeer, doc.MsgSizeB),
+			"Connection scaling: per-process buffer memory HWM (KB), small-message storm (%d x %dB per peer, fanout %d)",
+			doc.MsgsPerPeer, doc.MsgSizeB, doc.Fanout),
 		Columns: []string{"ranks"},
 		Note: fmt.Sprintf(
-			"per-connection schemes pre-post %d/conn (dynamic cap %d); shared pool starts at %d, cap %d — memory bounded regardless of fan-in",
-			doc.Prepost, doc.DynMax, doc.PoolPrepost, doc.PoolMax),
+			"per-connection schemes pre-post %d/conn (dynamic cap %d); shared pool starts at %d, cap %d — memory bounded regardless of fan-in; >= %d ranks: fat tree (radix %d, %d:1, %d rails); >= %d ranks: on-demand connections",
+			doc.Prepost, doc.DynMax, doc.PoolPrepost, doc.PoolMax,
+			doc.FatTreeFrom, doc.LeafRadix, doc.Oversub, doc.Rails, doc.OnDemandFrom),
 	}
 	for _, s := range doc.Series {
 		t.Columns = append(t.Columns, s.Scheme)
@@ -190,6 +308,29 @@ func ConnScalingTable(doc ScalingDoc) Table {
 			row = append(row, fmt.Sprint(shared.RNRNaks[i]), fmt.Sprint(shared.LimitEvents[i]))
 		} else {
 			row = append(row, "-", "-")
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// ConnScalingHostTable renders the host-side columns of the scaling
+// document: goroutine count while every rank is live and wall-clock
+// time per cell. Flat goroutine counts (ranks + a small constant) are
+// the migration's receipt — progress engines no longer park goroutines.
+func ConnScalingHostTable(doc ScalingDoc) Table {
+	t := Table{
+		Title:   "Connection scaling: host footprint (goroutines live mid-run / wall-clock ms per cell)",
+		Columns: []string{"ranks"},
+		Note:    "goroutines = rank mains + constant; wall clock is machine-dependent (recorded for the committed run)",
+	}
+	for _, s := range doc.Series {
+		t.Columns = append(t.Columns, s.Scheme)
+	}
+	for i, n := range doc.Ranks {
+		row := []string{fmt.Sprint(n)}
+		for _, s := range doc.Series {
+			row = append(row, fmt.Sprintf("%d / %.0f", s.Goroutines[i], s.WallMS[i]))
 		}
 		t.AddRow(row...)
 	}

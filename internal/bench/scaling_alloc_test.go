@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"os"
+	"runtime"
+	"testing"
+
+	"ibflow/internal/core"
+	"ibflow/internal/mpi"
+)
+
+// TestScalingSteadyAllocGate is the world-level allocation gate behind
+// `make scaling-smoke`, armed via IBFLOW_ALLOC_GATE like the event-core
+// gate in internal/sim. It runs the quick sweep's 128-rank cell (static
+// scheme: the heaviest eager machinery) at two traffic volumes and
+// differences the process malloc counter, so world setup and the first
+// pass through every pool cancel out and what remains is the marginal
+// cost of one more message in steady state.
+//
+// That marginal cost is dominated by the storm main itself (one payload
+// buffer and one request per Irecv/Isend plus request-slice growth);
+// the progress engine underneath runs on bound CQ handlers and recycled
+// pool buffers and contributes nothing per message. The bound of 16
+// allocations per message holds roughly 2x headroom over the measured
+// ~7 — a progress engine that fell back to closure scheduling or
+// per-message buffers blows well past it.
+func TestScalingSteadyAllocGate(t *testing.T) {
+	if os.Getenv("IBFLOW_ALLOC_GATE") == "" {
+		t.Skip("set IBFLOW_ALLOC_GATE=1 (make scaling-smoke) to arm the gate")
+	}
+	const ranks, size, fanout = 128, 256, 24
+	doc := ScalingDoc{
+		Prepost: 8, DynMax: 64, PoolPrepost: 16, PoolMax: 96,
+		Fanout: fanout, FatTreeFrom: 64, LeafRadix: 32, Oversub: 2, Rails: 2,
+		OnDemandFrom: 512,
+	}
+	cellMallocs := func(msgs int) uint64 {
+		opts := doc.cellOptions(core.Static(doc.Prepost), ranks)
+		w := mpi.NewWorld(ranks, opts)
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		if err := w.Run(scalingStorm(msgs, size, fanout, nil)); err != nil {
+			t.Fatalf("static at %d ranks, %d msgs: %v", ranks, msgs, err)
+		}
+		runtime.ReadMemStats(&after)
+		return after.Mallocs - before.Mallocs
+	}
+	const msgsLow, msgsHigh = 6, 12
+	low := cellMallocs(msgsLow)
+	high := cellMallocs(msgsHigh)
+	if high <= low {
+		t.Fatalf("malloc counter did not grow with traffic: %d for %d msgs, %d for %d", low, msgsLow, high, msgsHigh)
+	}
+	extraMsgs := uint64(ranks * fanout * (msgsHigh - msgsLow))
+	perMsg := float64(high-low) / float64(extraMsgs)
+	t.Logf("marginal allocations per message: %.2f (%d extra mallocs over %d extra messages)",
+		perMsg, high-low, extraMsgs)
+	if perMsg > 16 {
+		t.Errorf("steady state allocates %.2f objects per message, want <= 16 (storm-main payloads only)", perMsg)
+	}
+}

@@ -14,20 +14,29 @@ import (
 )
 
 // Handler is the upcall interface the MPI layer implements. The device
-// calls it from inside its progress engine; handlers must not block.
+// calls it from inside its progress engine — plain event context, not a
+// process — so handlers must not block or charge virtual time; the
+// device itself charges the copy and registration overheads.
 type Handler interface {
-	// DeliverEager hands over a complete small message for communicator
-	// comm. data is only valid during the call (it aliases a pre-pinned
-	// buffer about to be re-posted); the handler must copy it out,
-	// charging the copy via Device.ChargeCopy.
-	DeliverEager(p *sim.Proc, src, tag int, comm uint16, data []byte)
-	// DeliverRndvStart announces an incoming rendezvous. The handler
-	// calls Device.AcceptRndv (now or later) once a matching receive
-	// buffer exists.
-	DeliverRndvStart(p *sim.Proc, r *RndvIn)
+	// DeliverEagerStart hands over a complete small message for
+	// communicator comm. data is only valid until DeliverEagerDone
+	// returns (it aliases a pre-pinned buffer about to be re-posted).
+	// The device charges the payload copy between Start and Done; the
+	// handler does its matching here and applies the copy's effects in
+	// DeliverEagerDone.
+	DeliverEagerStart(src, tag int, comm uint16, data []byte)
+	// DeliverEagerDone fires once the copy charge for the message
+	// announced by the last DeliverEagerStart has elapsed.
+	DeliverEagerDone()
+	// DeliverRndvStart announces an incoming rendezvous. Returning
+	// (buf, true) accepts immediately into buf — the device runs the
+	// registration and CTS itself. Returning (nil, false) defers: the
+	// handler keeps r and calls Device.AcceptRndv later, once a
+	// matching receive buffer exists.
+	DeliverRndvStart(r *RndvIn) (buf []byte, accept bool)
 	// DeliverRndvDone reports that an accepted rendezvous finished: the
 	// data is in the buffer passed to AcceptRndv.
-	DeliverRndvDone(p *sim.Proc, r *RndvIn)
+	DeliverRndvDone(r *RndvIn)
 	// SendDone reports that the send identified by token completed in
 	// the MPI sense (its user buffer is reusable).
 	SendDone(token any)
@@ -186,6 +195,12 @@ type Device struct {
 	setups   int // on-demand connection setups initiated
 	handling int // completions popped off the CQ but not fully processed
 
+	// progress is the device's bound-handler progress engine; gate parks
+	// the rank's process for the duration of a blocking progress session
+	// and resumes it inline when the session ends.
+	progress progressMachine
+	gate     *sim.Gate
+
 	// rndvHist, when metrics are attached, is the per-rank histogram of
 	// sender-side rendezvous latency (RTS posted to FIN sent).
 	rndvHist *metrics.Histogram
@@ -221,6 +236,9 @@ func New(eng *sim.Engine, hca *ib.HCA, cfg Config, params core.Params, rank, siz
 		rndvHist: cfg.Metrics.Histogram("chdev_rndv_ns", metrics.TimeBuckets,
 			metrics.RankLabel(rank)),
 	}
+	d.gate = sim.NewGate(eng)
+	d.progress.d = d
+	d.cq.SetNotify(&d.progress)
 	if d.params.SharedPool() {
 		d.srq = hca.NewSRQ()
 		d.rpool = core.NewPool(&d.params)
@@ -615,6 +633,28 @@ func (d *Device) drainBacklog(p *sim.Proc, c *conn) bool {
 		return false
 	}
 	did := false
+	for {
+		rts, more := d.drainAdvance(c)
+		if more {
+			did = true
+		}
+		if rts == nil {
+			return did
+		}
+		did = true
+		p.Sleep(d.cfg.CopyTime(HeaderSize))
+		d.postPacket(c, rts, HeaderSize, sendCtx{kind: ctxBuf})
+	}
+}
+
+// drainAdvance advances c's backlog as far as possible without charging
+// virtual time: eager entries post inline (their payload copy was paid
+// at enqueue), while an RTS entry is prepared and returned for the
+// caller — process or progress machine — to charge the header copy and
+// post. It reports whether it accomplished anything beyond the returned
+// RTS. Callers gate on c.degraded before starting a drain.
+func (d *Device) drainAdvance(c *conn) ([]byte, bool) {
+	did := false
 	for len(c.backlog) > 0 {
 		e := c.backlog[0]
 		if e.rndv != nil {
@@ -626,18 +666,16 @@ func (d *Device) drainBacklog(p *sim.Proc, c *conn) bool {
 				c.vc.DrainFree()
 			} else {
 				if !c.vc.CanDrainBacklog() {
-					break
+					return nil, did
 				}
 				consumed = d.params.UserLevel()
 			}
 			c.popBacklog()
 			d.tr(trace.Drained, c.peer, 0)
-			d.sendRTS(p, c, e.rndv, consumed)
-			did = true
-			continue
+			return d.prepRTS(c, e.rndv, consumed), did
 		}
 		if !c.vc.CanDrainBacklog() {
-			break
+			return nil, did
 		}
 		c.popBacklog()
 		d.tr(trace.Drained, c.peer, int64(e.n))
@@ -645,7 +683,7 @@ func (d *Device) drainBacklog(p *sim.Proc, c *conn) bool {
 		d.postEagerPacket(c, e.buf, e.n)
 		did = true
 	}
-	return did
+	return nil, did
 }
 
 // newRndvOut registers the source buffer (pin-down cached) and creates the
@@ -669,11 +707,20 @@ func (d *Device) startRndv(p *sim.Proc, c *conn, tag int, comm uint16, data []by
 	d.sendRTS(p, c, out, false)
 }
 
-// sendRTS posts the Rendezvous Start control message. consumed records
+// sendRTS posts the Rendezvous Start control message from process
+// context: prepare, charge the header copy, post.
+func (d *Device) sendRTS(p *sim.Proc, c *conn, out *rndvOut, consumed bool) {
+	buf := d.prepRTS(c, out, consumed)
+	p.Sleep(d.cfg.CopyTime(HeaderSize))
+	d.postPacket(c, buf, HeaderSize, sendCtx{kind: ctxBuf})
+}
+
+// prepRTS encodes the Rendezvous Start control message. consumed records
 // whether a user-level credit backs it; credit-less RTS (a demoted small
 // send, or the hardware scheme) is optimistic: InfiniBand's end-to-end
-// flow control is the backstop.
-func (d *Device) sendRTS(p *sim.Proc, c *conn, out *rndvOut, consumed bool) {
+// flow control is the backstop. The caller charges the header copy
+// before posting the returned packet.
+func (d *Device) prepRTS(c *conn, out *rndvOut, consumed bool) []byte {
 	buf := d.pool.Get()
 	flags := uint8(0)
 	if out.starved {
@@ -693,13 +740,30 @@ func (d *Device) sendRTS(p *sim.Proc, c *conn, out *rndvOut, consumed bool) {
 		ReqID:     out.id,
 	}
 	h.Encode(buf)
-	p.Sleep(d.cfg.CopyTime(HeaderSize))
-	d.postPacket(c, buf, HeaderSize, sendCtx{kind: ctxBuf})
+	return buf
 }
 
 // AcceptRndv supplies the receive buffer for an announced rendezvous and
-// sends the CTS reply carrying the registered destination.
+// sends the CTS reply carrying the registered destination. Process-context
+// path: the MPI layer calls it when a receive posted after the RTS
+// finally matches (the in-band accept runs on the progress machine).
 func (d *Device) AcceptRndv(p *sim.Proc, r *RndvIn, buf []byte) {
+	h, cost, reg := d.acceptStart(r, buf)
+	if reg {
+		p.Sleep(cost)
+	}
+	pkt := d.pool.Get()
+	h.Encode(pkt)
+	p.Sleep(d.cfg.CopyTime(HeaderSize))
+	d.postPacket(r.conn, pkt, HeaderSize, sendCtx{kind: ctxBuf})
+}
+
+// acceptStart runs the accept bookkeeping for an announced rendezvous
+// and builds the CTS header. reg reports whether a registration charge
+// of `cost` is due before encoding (zero-length transfers register
+// nothing); the caller charges it, then encodes, charges the header
+// copy, and posts.
+func (d *Device) acceptStart(r *RndvIn, buf []byte) (h Header, cost sim.Time, reg bool) {
 	if r.accepted {
 		panic("chdev: rendezvous accepted twice")
 	}
@@ -713,7 +777,7 @@ func (d *Device) AcceptRndv(p *sim.Proc, r *RndvIn, buf []byte) {
 	r.myReq = d.rndvSeq
 	c.recvRndv[r.myReq] = r
 
-	h := Header{
+	h = Header{
 		Type:      PktCTS,
 		Src:       int32(d.rank),
 		Len:       uint32(r.Len),
@@ -722,18 +786,17 @@ func (d *Device) AcceptRndv(p *sim.Proc, r *RndvIn, buf []byte) {
 		PeerReqID: r.myReq,
 	}
 	if r.Len > 0 {
-		mr, cost := d.regs.Register(buf[:r.Len])
-		p.Sleep(cost)
+		mr, regCost := d.regs.Register(buf[:r.Len])
 		h.MRID = uint32(mr.ID())
+		return h, regCost, true
 	}
-	pkt := d.pool.Get()
-	h.Encode(pkt)
-	p.Sleep(d.cfg.CopyTime(HeaderSize))
-	d.postPacket(c, pkt, HeaderSize, sendCtx{kind: ctxBuf})
+	return h, 0, false
 }
 
-// sendFin posts the rendezvous completion control message.
-func (d *Device) sendFin(p *sim.Proc, c *conn, peerReq uint64) {
+// sendFin posts the rendezvous completion control message. It runs in
+// event context (the FIN follows the RDMA write's completion) and
+// charges no process time.
+func (d *Device) sendFin(c *conn, peerReq uint64) {
 	buf := d.pool.Get()
 	h := Header{
 		Type:      PktFin,
@@ -798,35 +861,13 @@ func (d *Device) sendECM(c *conn) bool {
 	return true
 }
 
-// ProgressOnce drains the completion queue, the backlogs and any due
-// explicit credit messages. It reports whether it accomplished anything.
-//
-//fclint:hotpath progress-engine drain slated for bound-handler conversion (ROADMAP: goroutine-to-handler migration)
+// ProgressOnce runs one pass of the progress engine: drain the
+// completion queue, the backlogs and any due explicit credit messages.
+// It reports whether it accomplished anything. The pass runs on the
+// bound progress machine; the calling process parks only if the pass
+// charges virtual time.
 func (d *Device) ProgressOnce(p *sim.Proc) bool {
-	did := false
-	for {
-		wc, ok := d.cq.Poll()
-		if !ok {
-			break
-		}
-		did = true
-		// Handlers sleep for software overheads, so other processes can
-		// observe the device between Poll and the handler's effects;
-		// Busy keeps that window visible to the settlement detector.
-		d.handling++
-		d.handleWC(p, wc)
-		d.handling--
-	}
-	for _, c := range d.conns {
-		if c == nil {
-			continue
-		}
-		if d.drainBacklog(p, c) {
-			did = true
-		}
-		d.debugCheckConn(c)
-	}
-	return did
+	return d.progressSession(p, nil)
 }
 
 // debugCheckConn validates a connection's credit state: the VC's own
@@ -847,9 +888,9 @@ func (d *Device) debugCheckConn(c *conn) {
 
 // flushCredits sends explicit credit messages for connections whose owed
 // credits crossed the threshold with no outgoing traffic to ride on. The
-// progress engine calls it when the process is about to block — the moment
+// progress engine calls it when the session is about to block — the moment
 // it knows the MPI layer has nothing else to say to the peer.
-func (d *Device) flushCredits(p *sim.Proc) bool {
+func (d *Device) flushCredits() bool {
 	did := false
 	for _, c := range d.conns {
 		if c == nil {
@@ -858,7 +899,7 @@ func (d *Device) flushCredits(p *sim.Proc) bool {
 		if !d.cfg.RDMAEager {
 			// Shrinking persistent slots would need another
 			// cooperation round; not modelled.
-			c.vc.MaybeShrink(p.Now())
+			c.vc.MaybeShrink(d.eng.Now())
 		}
 		if c.vc.NeedECM() && d.maybeSendECM(c) {
 			did = true
@@ -902,21 +943,13 @@ func (d *Device) maybeSendECM(c *conn) bool {
 }
 
 // WaitProgress runs the progress engine until done() holds, blocking on
-// the completion queue when there is nothing to do.
-//
-//fclint:hotpath progress-engine wait loop slated for bound-handler conversion (ROADMAP: goroutine-to-handler migration)
+// the armed completion queue when there is nothing to do. The wait loop
+// runs entirely on the bound progress machine — CQ notifications wake
+// the machine, not a goroutine — and the calling process parks at most
+// once, resumed inline when done() holds.
 func (d *Device) WaitProgress(p *sim.Proc, done func() bool) {
 	for !done() {
-		if d.ProgressOnce(p) {
-			continue
-		}
-		if done() {
-			return
-		}
-		if d.flushCredits(p) {
-			continue
-		}
-		d.cq.Wait(p)
+		d.progressSession(p, done)
 	}
 }
 
@@ -944,7 +977,7 @@ func (d *Device) Quiescent() bool {
 // progress points that must not block (e.g. MPI_Test).
 func (d *Device) Poke(p *sim.Proc) {
 	d.ProgressOnce(p)
-	d.flushCredits(p)
+	d.flushCredits()
 }
 
 // PendingCompletions reports completions waiting on the device's CQ.
@@ -981,47 +1014,30 @@ func (d *Device) Degraded() bool {
 	return false
 }
 
-// handleWC dispatches one completion.
-func (d *Device) handleWC(p *sim.Proc, wc ib.WC) {
-	switch wc.Opcode {
-	case ib.OpSendComplete, ib.OpWriteComplete:
-		ctx, ok := d.sendCtxs[wc.WRID]
-		if !ok {
-			panic("chdev: unknown send completion")
-		}
-		if wc.Status == ib.StatusRNRRetryExceeded {
-			d.onRetryExhausted(wc, ctx)
-			return
-		}
-		delete(d.sendCtxs, wc.WRID)
-		if wc.Status != ib.StatusSuccess {
-			panic(fmt.Sprintf("chdev: transport error %v on rank %d", wc.Status, d.rank))
-		}
-		switch ctx.kind {
-		case ctxBuf:
-			d.pool.Put(ctx.buf)
-		case ctxRndvData:
-			d.sendFin(p, ctx.conn, ctx.out.peerReq)
-			delete(ctx.conn.sendRndv, ctx.out.id)
-			d.rndvHist.ObserveTime(d.eng.Now() - ctx.out.start)
-			d.handler.SendDone(ctx.out.token)
-		}
-	case ib.OpRecvComplete:
-		slot, ok := d.recvCtxs[wc.WRID]
-		if !ok {
-			panic("chdev: unknown recv completion")
-		}
-		delete(d.recvCtxs, wc.WRID)
-		d.handlePacket(p, d.prov.arrival(wc, slot), slot.buf, false)
-	case ib.OpRecvImm:
-		// RDMA eager arrival detected (models memory polling).
-		c, ok := d.qpConn[wc.QP]
-		if !ok {
-			panic("chdev: notify on unknown QP")
-		}
-		d.handlePacket(p, c, c.slots[int(wc.Imm)], true)
-	default:
-		panic(fmt.Sprintf("chdev: unexpected completion opcode %v", wc.Opcode))
+// retireSend dispatches a send or RDMA-write completion: release the
+// pool buffer, or finish the rendezvous whose payload write completed.
+// Runs in event context; charges no time.
+func (d *Device) retireSend(wc ib.WC) {
+	ctx, ok := d.sendCtxs[wc.WRID]
+	if !ok {
+		panic("chdev: unknown send completion")
+	}
+	if wc.Status == ib.StatusRNRRetryExceeded {
+		d.onRetryExhausted(wc, ctx)
+		return
+	}
+	delete(d.sendCtxs, wc.WRID)
+	if wc.Status != ib.StatusSuccess {
+		panic(fmt.Sprintf("chdev: transport error %v on rank %d", wc.Status, d.rank))
+	}
+	switch ctx.kind {
+	case ctxBuf:
+		d.pool.Put(ctx.buf)
+	case ctxRndvData:
+		d.sendFin(ctx.conn, ctx.out.peerReq)
+		delete(ctx.conn.sendRndv, ctx.out.id)
+		d.rndvHist.ObserveTime(d.eng.Now() - ctx.out.start)
+		d.handler.SendDone(ctx.out.token)
 	}
 }
 
@@ -1058,104 +1074,8 @@ func (re *reissueEvent) OnEvent(uint64) {
 	re.c.qp.ResumeStalled()
 }
 
-// handlePacket processes one arrived packet and re-posts (or retires) the
-// buffer it occupied. viaRDMA marks packets that arrived through the
-// persistent-slot eager channel, whose slots free implicitly.
-func (d *Device) handlePacket(p *sim.Proc, c *conn, buf []byte, viaRDMA bool) {
-	h := DecodeHeader(buf)
-	switch {
-	case viaRDMA:
-		p.Sleep(d.cfg.SWRecvRDMA)
-	case h.Type.Control():
-		p.Sleep(d.cfg.SWRecvCtrl)
-	default:
-		p.Sleep(d.cfg.SWRecv)
-	}
-	if h.Piggyback > 0 {
-		c.vc.AddCredits(int(h.Piggyback))
-		if d.cfg.RDMAEager {
-			c.releaseSlots(int(h.Piggyback))
-		}
-		d.drainBacklog(p, c)
-	}
-	if h.Flags&FlagStarved != 0 {
-		if d.cfg.RDMAEager {
-			// Growth on the RDMA channel needs cooperation: the
-			// new slots only become usable once the sender
-			// learns their addresses from a ring-extension
-			// message, which itself carries the new credits.
-			if grow := c.vc.OnStarvedFeedbackRDMA(p.Now()); grow > 0 {
-				d.tr(trace.Grew, c.peer, int64(c.vc.Posted()))
-				mr := d.allocSlots(c, grow)
-				d.sendRingExt(p, c, mr, grow)
-			}
-		} else if grow := c.vc.OnStarvedFeedback(p.Now()); grow > 0 {
-			d.tr(trace.Grew, c.peer, int64(c.vc.Posted()))
-			d.prepost(c, grow)
-		}
-	}
-	switch h.Type {
-	case PktEager:
-		d.handler.DeliverEager(p, int(h.Src), int(h.Tag), h.Comm, buf[HeaderSize:HeaderSize+int(h.Len)])
-	case PktRTS:
-		r := &RndvIn{
-			Src:       int(h.Src),
-			Tag:       int(h.Tag),
-			Comm:      h.Comm,
-			Len:       int(h.Len),
-			conn:      c,
-			senderReq: h.ReqID,
-		}
-		d.handler.DeliverRndvStart(p, r)
-	case PktCTS:
-		out, ok := c.sendRndv[h.ReqID]
-		if !ok {
-			panic("chdev: CTS for unknown rendezvous")
-		}
-		out.peerReq = h.PeerReqID
-		if len(out.data) == 0 {
-			d.sendFin(p, c, out.peerReq)
-			delete(c.sendRndv, out.id)
-			d.rndvHist.ObserveTime(d.eng.Now() - out.start)
-			d.handler.SendDone(out.token)
-		} else {
-			mr := c.qp.Peer().HCA().LookupMR(int(h.MRID))
-			d.wridSeq++
-			d.sendCtxs[d.wridSeq] = sendCtx{kind: ctxRndvData, out: out, conn: c}
-			c.qp.PostWrite(d.wridSeq, out.data, ib.RemoteKey{MR: mr})
-			c.vc.CountMsg()
-			d.tr(trace.SendRDMAData, c.peer, int64(len(out.data)))
-		}
-	case PktFin:
-		r, ok := c.recvRndv[h.ReqID]
-		if !ok {
-			panic("chdev: FIN for unknown rendezvous")
-		}
-		delete(c.recvRndv, h.ReqID)
-		d.handler.DeliverRndvDone(p, r)
-	case PktCredit:
-		// Credits were handled above.
-	case PktRingExt:
-		// New persistent slots at the peer: resolve the region and
-		// take the credits that come with them.
-		mr := c.qp.Peer().HCA().LookupMR(int(h.MRID))
-		d.announceSlots(c, mr, int(h.Len))
-		c.vc.AddCredits(int(h.Len))
-		d.drainBacklog(p, c)
-	default:
-		panic(fmt.Sprintf("chdev: bad packet type %v", h.Type))
-	}
-	d.tr(trace.Recv, c.peer, int64(h.Type))
-	if viaRDMA {
-		// The slot frees implicitly; only the credit accounting runs.
-		c.vc.BufferProcessed(h.Flags&FlagCredit != 0, p.Now())
-		return
-	}
-	d.prov.processed(p, c, buf, h.Flags&FlagCredit != 0)
-}
-
 // sendRingExt announces grow new slots backed by mr to the peer.
-func (d *Device) sendRingExt(p *sim.Proc, c *conn, mr *ib.MR, grow int) {
+func (d *Device) sendRingExt(c *conn, mr *ib.MR, grow int) {
 	buf := d.pool.Get()
 	h := Header{
 		Type:      PktRingExt,

@@ -17,21 +17,30 @@ type fakeHandler struct {
 	rndvBuf  []byte
 	rndvDone int
 	sendDone []any
+
+	pendEager []byte // copy in flight between EagerStart and EagerDone
+	pendSrc   int
 }
 
-func (h *fakeHandler) DeliverEager(p *sim.Proc, src, tag int, comm uint16, data []byte) {
+func (h *fakeHandler) DeliverEagerStart(src, tag int, comm uint16, data []byte) {
 	owned := make([]byte, len(data))
 	copy(owned, data)
-	h.eager = append(h.eager, owned)
-	h.eagerSrc = append(h.eagerSrc, src)
+	h.pendEager = owned
+	h.pendSrc = src
 }
 
-func (h *fakeHandler) DeliverRndvStart(p *sim.Proc, r *RndvIn) {
+func (h *fakeHandler) DeliverEagerDone() {
+	h.eager = append(h.eager, h.pendEager)
+	h.eagerSrc = append(h.eagerSrc, h.pendSrc)
+	h.pendEager = nil
+}
+
+func (h *fakeHandler) DeliverRndvStart(r *RndvIn) ([]byte, bool) {
 	h.rndvBuf = make([]byte, r.Len)
-	h.dev.AcceptRndv(p, r, h.rndvBuf)
+	return h.rndvBuf, true
 }
 
-func (h *fakeHandler) DeliverRndvDone(p *sim.Proc, r *RndvIn) { h.rndvDone++ }
+func (h *fakeHandler) DeliverRndvDone(r *RndvIn) { h.rndvDone++ }
 
 func (h *fakeHandler) SendDone(token any) { h.sendDone = append(h.sendDone, token) }
 

@@ -1,0 +1,424 @@
+package chdev
+
+import (
+	"fmt"
+
+	"ibflow/internal/ib"
+	"ibflow/internal/sim"
+	"ibflow/internal/trace"
+)
+
+// This file is the channel device's progress engine as a bound event
+// handler: the goroutine-to-handler conversion of what used to be the
+// ProgressOnce/WaitProgress coroutine loops. Steady-state traffic —
+// completions, software receive overheads, backlog drains, rendezvous
+// control — runs entirely in event context on this one machine; the
+// rank's process parks at most once per MPI-level progress call and is
+// resumed synchronously through a sim.Gate when its request is done.
+//
+// The conversion is semantics-preserving to the event: every p.Sleep(d)
+// of the old coroutine corresponds to exactly one AfterCall(d, m, 0)
+// staged at the same execution point, and the final wakeup is an inline
+// dispatch (no event at all) exactly as the old code resumed inside the
+// completion's own wake event. The semantic-preservation goldens in
+// internal/mpi and internal/bench pin this byte-for-byte.
+
+// pstate is the machine's continuation point. States marked "staged"
+// are entered from an AfterCall after a virtual-time charge; the rest
+// are reached inline within one event.
+type pstate int
+
+const (
+	// pcIdle: no pass is running. During a waiting session the CQ
+	// notify is armed and the next completion wakes the machine here.
+	pcIdle pstate = iota
+	// pcPoll: pop the next completion (or move to the conn sweep).
+	pcPoll
+	// pcPktCredits (staged: SW receive overhead): apply piggybacked
+	// credits, then drain the backlog they may have opened.
+	pcPktCredits
+	// pcPktBody: starvation feedback and the packet-type dispatch.
+	pcPktBody
+	// pcPktEagerDone (staged: payload copy): complete eager delivery.
+	pcPktEagerDone
+	// pcAcceptEncode (staged: registration): encode the CTS reply.
+	pcAcceptEncode
+	// pcAcceptPost (staged: header copy): post the CTS reply.
+	pcAcceptPost
+	// pcPktTail: trace, buffer re-post/retire, next completion.
+	pcPktTail
+	// pcDrain: advance the current connection's backlog.
+	pcDrain
+	// pcDrainPost (staged: header copy): post a drained RTS.
+	pcDrainPost
+	// pcConns: end-of-pass sweep draining every connection's backlog.
+	pcConns
+	// pcConnsCheck: debug-check the swept connection, advance the sweep.
+	pcConnsCheck
+)
+
+// progressMachine is the device's progress engine. One machine per
+// device; one session at a time, owned by the rank's process.
+type progressMachine struct {
+	d *Device
+
+	active bool
+	pc     pstate
+	// did reports whether the current pass accomplished anything — the
+	// old ProgressOnce return value.
+	did bool
+	// pred, when non-nil, makes the session a WaitProgress loop: passes
+	// repeat (blocking on the armed CQ when idle) until pred holds.
+	pred func() bool
+
+	// In-flight packet, valid from pcPktCredits through pcPktTail.
+	c       *conn
+	buf     []byte
+	viaRDMA bool
+	hdr     Header
+
+	// Rendezvous-accept staging (pcAcceptEncode/pcAcceptPost).
+	acceptHdr Header
+	acceptPkt []byte
+
+	// Backlog-drain staging: the connection being drained and where to
+	// continue once it can make no more progress.
+	drainC     *conn
+	drainRTS   []byte
+	afterDrain pstate
+
+	// Conn-sweep cursor (pcConns/pcConnsCheck).
+	connIdx int
+}
+
+// progressSession runs one machine session on the calling process: a
+// single pass (pred == nil, the old ProgressOnce) or a wait-for-pred
+// loop (the old WaitProgress). The first segment runs inline on the
+// process's own stack; if any stage charges virtual time — or the
+// session must block on the CQ — the machine takes over in event
+// context and the process parks in the gate until the session ends.
+// It returns whether the final pass accomplished anything.
+func (d *Device) progressSession(p *sim.Proc, pred func() bool) bool {
+	m := &d.progress
+	if m.active {
+		panic(fmt.Sprintf("chdev: rank %d: nested progress session", d.rank))
+	}
+	m.active = true
+	m.pred = pred
+	m.startPass()
+	m.step()
+	if m.active {
+		d.gate.Wait(p)
+	}
+	return m.did
+}
+
+// OnEvent implements sim.Handler: every staged charge and every CQ
+// notification re-enters the machine here.
+func (m *progressMachine) OnEvent(uint64) { m.step() }
+
+// startPass begins a fresh CQ-drain + conn-sweep pass.
+func (m *progressMachine) startPass() {
+	m.did = false
+	m.connIdx = 0
+	m.pc = pcPoll
+}
+
+// finish ends the session. The machine is reset before the gate opens,
+// so the released process may immediately start the next session.
+func (m *progressMachine) finish() {
+	m.active = false
+	m.pred = nil
+	m.pc = pcIdle
+	if m.d.gate.Waiting() {
+		m.d.gate.Release()
+	}
+}
+
+// startDrain points the machine at c's backlog; it continues at `after`
+// once the drain can make no more progress. A degraded connection holds
+// its backlog until the frozen QP stream has been re-issued (checked
+// once per drain, as the coroutine's drainBacklog did at entry).
+func (m *progressMachine) startDrain(c *conn, after pstate) {
+	if c.degraded {
+		m.pc = after
+		return
+	}
+	m.drainC = c
+	m.afterDrain = after
+	m.pc = pcDrain
+}
+
+// step runs the machine until it either stages a virtual-time charge
+// (AfterCall and return), goes idle on an armed CQ, or finishes the
+// session. It is the flattened form of the old coroutine loops; the
+// comments name the p.Sleep each staged AfterCall replaces.
+func (m *progressMachine) step() {
+	d := m.d
+	for {
+		switch m.pc {
+		case pcIdle:
+			if !m.active {
+				// Stale notification: the session it was meant for
+				// ended before the event fired. Nothing to do.
+				return
+			}
+			// A completion arrived while blocked: re-check the
+			// predicate (as the old loop's `for !done()` did after
+			// cq.Wait returned), then run a pass.
+			if m.pred() {
+				m.finish()
+				return
+			}
+			m.startPass()
+
+		case pcPoll:
+			wc, ok := d.cq.Poll()
+			if !ok {
+				m.connIdx = 0
+				m.pc = pcConns
+				continue
+			}
+			m.did = true
+			// Handlers charge software overheads, so other processes
+			// can observe the device between Poll and the handler's
+			// effects; Busy keeps that window visible to the
+			// settlement detector.
+			d.handling++
+			switch wc.Opcode {
+			case ib.OpSendComplete, ib.OpWriteComplete:
+				d.retireSend(wc)
+				d.handling--
+				continue
+			case ib.OpRecvComplete:
+				slot, ok := d.recvCtxs[wc.WRID]
+				if !ok {
+					panic("chdev: unknown recv completion")
+				}
+				delete(d.recvCtxs, wc.WRID)
+				m.c = d.prov.arrival(wc, slot)
+				m.buf = slot.buf
+				m.viaRDMA = false
+			case ib.OpRecvImm:
+				// RDMA eager arrival detected (models memory polling).
+				c, ok := d.qpConn[wc.QP]
+				if !ok {
+					panic("chdev: notify on unknown QP")
+				}
+				m.c = c
+				m.buf = c.slots[int(wc.Imm)]
+				m.viaRDMA = true
+			default:
+				panic(fmt.Sprintf("chdev: unexpected completion opcode %v", wc.Opcode))
+			}
+			m.hdr = DecodeHeader(m.buf)
+			m.pc = pcPktCredits
+			switch { // was: the SWRecv* sleep at the top of handlePacket
+			case m.viaRDMA:
+				d.eng.AfterCall(d.cfg.SWRecvRDMA, m, 0)
+			case m.hdr.Type.Control():
+				d.eng.AfterCall(d.cfg.SWRecvCtrl, m, 0)
+			default:
+				d.eng.AfterCall(d.cfg.SWRecv, m, 0)
+			}
+			return
+
+		case pcPktCredits:
+			if m.hdr.Piggyback > 0 {
+				m.c.vc.AddCredits(int(m.hdr.Piggyback))
+				if d.cfg.RDMAEager {
+					m.c.releaseSlots(int(m.hdr.Piggyback))
+				}
+				m.startDrain(m.c, pcPktBody)
+				continue
+			}
+			m.pc = pcPktBody
+
+		case pcPktBody:
+			if m.hdr.Flags&FlagStarved != 0 {
+				if d.cfg.RDMAEager {
+					// Growth on the RDMA channel needs cooperation:
+					// the new slots only become usable once the
+					// sender learns their addresses from a
+					// ring-extension message, which itself carries
+					// the new credits.
+					if grow := m.c.vc.OnStarvedFeedbackRDMA(d.eng.Now()); grow > 0 {
+						d.tr(trace.Grew, m.c.peer, int64(m.c.vc.Posted()))
+						mr := d.allocSlots(m.c, grow)
+						d.sendRingExt(m.c, mr, grow)
+					}
+				} else if grow := m.c.vc.OnStarvedFeedback(d.eng.Now()); grow > 0 {
+					d.tr(trace.Grew, m.c.peer, int64(m.c.vc.Posted()))
+					d.prepost(m.c, grow)
+				}
+			}
+			switch m.hdr.Type {
+			case PktEager:
+				d.handler.DeliverEagerStart(int(m.hdr.Src), int(m.hdr.Tag), m.hdr.Comm,
+					m.buf[HeaderSize:HeaderSize+int(m.hdr.Len)])
+				m.pc = pcPktEagerDone
+				// was: the handler's ChargeCopy of the payload
+				d.eng.AfterCall(d.cfg.CopyTime(int(m.hdr.Len)), m, 0)
+				return
+			case PktRTS:
+				r := &RndvIn{
+					Src:       int(m.hdr.Src),
+					Tag:       int(m.hdr.Tag),
+					Comm:      m.hdr.Comm,
+					Len:       int(m.hdr.Len),
+					conn:      m.c,
+					senderReq: m.hdr.ReqID,
+				}
+				ubuf, accept := d.handler.DeliverRndvStart(r)
+				if !accept {
+					m.pc = pcPktTail
+					continue
+				}
+				h, cost, reg := d.acceptStart(r, ubuf)
+				m.acceptHdr = h
+				m.pc = pcAcceptEncode
+				if reg {
+					// was: the registration-cost sleep in AcceptRndv
+					d.eng.AfterCall(cost, m, 0)
+					return
+				}
+				continue
+			case PktCTS:
+				out, ok := m.c.sendRndv[m.hdr.ReqID]
+				if !ok {
+					panic("chdev: CTS for unknown rendezvous")
+				}
+				out.peerReq = m.hdr.PeerReqID
+				if len(out.data) == 0 {
+					d.sendFin(m.c, out.peerReq)
+					delete(m.c.sendRndv, out.id)
+					d.rndvHist.ObserveTime(d.eng.Now() - out.start)
+					d.handler.SendDone(out.token)
+				} else {
+					mr := m.c.qp.Peer().HCA().LookupMR(int(m.hdr.MRID))
+					d.wridSeq++
+					d.sendCtxs[d.wridSeq] = sendCtx{kind: ctxRndvData, out: out, conn: m.c}
+					m.c.qp.PostWrite(d.wridSeq, out.data, ib.RemoteKey{MR: mr})
+					m.c.vc.CountMsg()
+					d.tr(trace.SendRDMAData, m.c.peer, int64(len(out.data)))
+				}
+				m.pc = pcPktTail
+			case PktFin:
+				r, ok := m.c.recvRndv[m.hdr.ReqID]
+				if !ok {
+					panic("chdev: FIN for unknown rendezvous")
+				}
+				delete(m.c.recvRndv, m.hdr.ReqID)
+				d.handler.DeliverRndvDone(r)
+				m.pc = pcPktTail
+			case PktCredit:
+				// Credits were handled at pcPktCredits.
+				m.pc = pcPktTail
+			case PktRingExt:
+				// New persistent slots at the peer: resolve the region
+				// and take the credits that come with them.
+				mr := m.c.qp.Peer().HCA().LookupMR(int(m.hdr.MRID))
+				d.announceSlots(m.c, mr, int(m.hdr.Len))
+				m.c.vc.AddCredits(int(m.hdr.Len))
+				m.startDrain(m.c, pcPktTail)
+			default:
+				panic(fmt.Sprintf("chdev: bad packet type %v", m.hdr.Type))
+			}
+
+		case pcPktEagerDone:
+			d.handler.DeliverEagerDone()
+			m.pc = pcPktTail
+
+		case pcAcceptEncode:
+			m.acceptPkt = d.pool.Get()
+			m.acceptHdr.Encode(m.acceptPkt)
+			m.pc = pcAcceptPost
+			// was: the CopyTime(HeaderSize) sleep before the CTS post
+			d.eng.AfterCall(d.cfg.CopyTime(HeaderSize), m, 0)
+			return
+
+		case pcAcceptPost:
+			d.postPacket(m.c, m.acceptPkt, HeaderSize, sendCtx{kind: ctxBuf})
+			m.acceptPkt = nil
+			m.pc = pcPktTail
+
+		case pcPktTail:
+			d.tr(trace.Recv, m.c.peer, int64(m.hdr.Type))
+			if m.viaRDMA {
+				// The slot frees implicitly; only credit accounting runs.
+				m.c.vc.BufferProcessed(m.hdr.Flags&FlagCredit != 0, d.eng.Now())
+			} else {
+				d.prov.processed(m.c, m.buf, m.hdr.Flags&FlagCredit != 0)
+			}
+			d.handling--
+			m.c, m.buf = nil, nil
+			m.pc = pcPoll
+
+		case pcDrain:
+			rts, more := d.drainAdvance(m.drainC)
+			if more {
+				m.did = true
+			}
+			if rts == nil {
+				m.pc = m.afterDrain
+				m.drainC = nil
+				continue
+			}
+			m.did = true
+			m.drainRTS = rts
+			m.pc = pcDrainPost
+			// was: the CopyTime(HeaderSize) sleep in sendRTS
+			d.eng.AfterCall(d.cfg.CopyTime(HeaderSize), m, 0)
+			return
+
+		case pcDrainPost:
+			d.postPacket(m.drainC, m.drainRTS, HeaderSize, sendCtx{kind: ctxBuf})
+			m.drainRTS = nil
+			m.pc = pcDrain
+
+		case pcConns:
+			for m.connIdx < len(d.conns) && d.conns[m.connIdx] == nil {
+				m.connIdx++
+			}
+			if m.connIdx < len(d.conns) {
+				m.startDrain(d.conns[m.connIdx], pcConnsCheck)
+				continue
+			}
+			// End of pass: the old loop's post-ProgressOnce decisions.
+			if m.pred == nil {
+				m.finish() // single pass: ProgressOnce semantics
+				return
+			}
+			if m.did {
+				if m.pred() {
+					m.finish()
+					return
+				}
+				m.startPass()
+				continue
+			}
+			if m.pred() {
+				m.finish()
+				return
+			}
+			if d.flushCredits() {
+				if m.pred() {
+					m.finish()
+					return
+				}
+				m.startPass()
+				continue
+			}
+			// Nothing to do: block on the CQ — was cq.Wait(p); now the
+			// armed notify wakes the machine, not the process.
+			d.cq.Arm()
+			m.pc = pcIdle
+			return
+
+		case pcConnsCheck:
+			d.debugCheckConn(d.conns[m.connIdx])
+			m.connIdx++
+			m.pc = pcConns
+		}
+	}
+}

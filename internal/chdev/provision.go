@@ -5,7 +5,6 @@ import (
 
 	"ibflow/internal/core"
 	"ibflow/internal/ib"
-	"ibflow/internal/sim"
 	"ibflow/internal/trace"
 )
 
@@ -28,8 +27,9 @@ type recvProvisioner interface {
 	// accounts for the consumed receive descriptor.
 	arrival(wc ib.WC, slot recvSlot) *conn
 	// processed finishes with a consumed buffer: run the receiver-side
-	// accounting, then repost it or retire it to the host pool.
-	processed(p *sim.Proc, c *conn, buf []byte, consumedCredit bool)
+	// accounting, then repost it or retire it to the host pool. Runs in
+	// event context on the progress machine.
+	processed(c *conn, buf []byte, consumedCredit bool)
 	// posted reports receive descriptors currently provisioned
 	// (Stats.SumPosted, the live buffer-memory proxy).
 	posted() int
@@ -60,9 +60,9 @@ func (cp *connProvisioner) arrival(wc ib.WC, slot recvSlot) *conn {
 	return slot.conn
 }
 
-func (cp *connProvisioner) processed(p *sim.Proc, c *conn, buf []byte, consumedCredit bool) {
+func (cp *connProvisioner) processed(c *conn, buf []byte, consumedCredit bool) {
 	d := cp.d
-	if c.vc.BufferProcessed(consumedCredit, p.Now()) {
+	if c.vc.BufferProcessed(consumedCredit, d.eng.Now()) {
 		d.postRecvBuf(c, buf)
 	} else {
 		d.tr(trace.Shrank, c.peer, int64(c.vc.Posted()))
@@ -123,7 +123,7 @@ func (pp *poolProvisioner) arrival(wc ib.WC, slot recvSlot) *conn {
 	return c
 }
 
-func (pp *poolProvisioner) processed(p *sim.Proc, c *conn, buf []byte, consumedCredit bool) {
+func (pp *poolProvisioner) processed(c *conn, buf []byte, consumedCredit bool) {
 	if pp.pool.Processed() {
 		pp.d.postSRQBuf(buf)
 	} else {

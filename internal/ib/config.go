@@ -91,6 +91,13 @@ type Config struct {
 	LeafRadix int
 	Oversub   int
 
+	// Rails is the number of parallel links behind every port (HCA
+	// egress/ingress and fat-tree trunk attachment points). Multi-rail
+	// adapters are how large clusters keep per-node injection bandwidth
+	// ahead of fan-in; a reservation books the earliest-free rail.
+	// 0 or 1 means the classic single-rail port.
+	Rails int
+
 	// Tracer, when non-nil, records transport events (RNR NAKs and
 	// retransmissions) with node numbers in the rank fields.
 	Tracer *trace.Buffer

@@ -74,13 +74,51 @@ type CQ struct {
 	entries []WC
 	head    int
 	cond    *sim.Cond
+	notify  sim.Handler
+	armed   bool
 }
 
-// push appends a completion and wakes pollers.
+// push appends a completion and wakes pollers: an armed notify handler
+// fires as an event at the current time (one-shot, exactly where a
+// Broadcast would have resumed a waiting process), and any parked
+// cond-waiters are woken as before.
 func (cq *CQ) push(wc WC) {
 	cq.entries = append(cq.entries, wc)
+	if cq.armed {
+		cq.armed = false
+		cq.eng.AtCall(cq.eng.Now(), cq.notify, 0)
+	}
 	cq.cond.Broadcast()
 }
+
+// SetNotify registers h as the CQ's completion-notify handler. The
+// handler only fires after Arm, and each arm delivers at most one
+// notification — the verbs req_notify_cq discipline: poll until empty,
+// re-arm, poll once more to close the race.
+func (cq *CQ) SetNotify(h sim.Handler) { cq.notify = h }
+
+// Arm requests a one-shot notification on the next completion. If
+// completions are already pending the notification fires immediately (as
+// an event at the current time), so an arm after a missed push is never
+// lost. Panics without a registered notify handler.
+func (cq *CQ) Arm() {
+	if cq.notify == nil {
+		panic("ib: CQ.Arm without SetNotify")
+	}
+	if cq.Len() > 0 {
+		cq.eng.AtCall(cq.eng.Now(), cq.notify, 0)
+		return
+	}
+	cq.armed = true
+}
+
+// Disarm cancels a pending arm. A notification already fired (or firing
+// as an in-flight event) is not recalled; Disarm only stops future
+// pushes from notifying.
+func (cq *CQ) Disarm() { cq.armed = false }
+
+// Armed reports whether a notification is pending.
+func (cq *CQ) Armed() bool { return cq.armed }
 
 // Poll removes and returns the oldest completion, if any.
 func (cq *CQ) Poll() (WC, bool) {

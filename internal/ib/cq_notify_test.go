@@ -1,0 +1,142 @@
+package ib
+
+import (
+	"testing"
+
+	"ibflow/internal/sim"
+)
+
+// notifyRec records every notify firing with its virtual time.
+type notifyRec struct {
+	eng   *sim.Engine
+	times []sim.Time
+}
+
+func (n *notifyRec) OnEvent(uint64) { n.times = append(n.times, n.eng.Now()) }
+
+// TestCQNotifyCompletionAfterArm is the steady-state shape: arm an empty
+// CQ, a completion lands later, exactly one notification fires at the
+// completion's time — and a second completion without a re-arm stays
+// silent (one-shot discipline).
+func TestCQNotifyCompletionAfterArm(t *testing.T) {
+	eng, qp0, qp1, _, cq1 := pair(DefaultConfig())
+	rec := &notifyRec{eng: eng}
+	cq1.SetNotify(rec)
+	cq1.Arm()
+	if !cq1.Armed() {
+		t.Fatal("Arm on empty CQ did not latch")
+	}
+	qp1.PostRecv(1, make([]byte, 8))
+	qp1.PostRecv(2, make([]byte, 8))
+	qp0.PostSend(1, []byte("a"))
+	eng.At(200*sim.Microsecond, func() { qp0.PostSend(2, []byte("b")) })
+	if err := eng.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.times) != 1 {
+		t.Fatalf("notify fired %d times, want 1 (one-shot): %v", len(rec.times), rec.times)
+	}
+	if cq1.Len() != 2 {
+		t.Errorf("CQ has %d completions, want 2", cq1.Len())
+	}
+	if rec.times[0] >= 200*sim.Microsecond {
+		t.Errorf("notify at %v: fired for the second completion, not the first", rec.times[0])
+	}
+}
+
+// TestCQNotifyCompletionBeforeArm closes the poll/arm race: arming a CQ
+// that already holds completions must notify immediately (as an event at
+// the current time), never strand the handler.
+func TestCQNotifyCompletionBeforeArm(t *testing.T) {
+	eng, qp0, qp1, _, cq1 := pair(DefaultConfig())
+	rec := &notifyRec{eng: eng}
+	cq1.SetNotify(rec)
+	qp1.PostRecv(1, make([]byte, 8))
+	qp0.PostSend(1, []byte("x"))
+	const armAt = 500 * sim.Microsecond
+	eng.At(armAt, func() {
+		if cq1.Len() == 0 {
+			t.Fatal("completion not delivered before arm")
+		}
+		cq1.Arm()
+		if cq1.Armed() {
+			t.Error("Arm with pending completions latched instead of firing")
+		}
+	})
+	if err := eng.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.times) != 1 || rec.times[0] != armAt {
+		t.Fatalf("notify times = %v, want exactly one at %v", rec.times, armAt)
+	}
+}
+
+// TestCQNotifyDisarmMidFlight cancels an arm before any completion:
+// traffic after the disarm stays silent, and a later re-arm on the
+// now-nonempty CQ fires immediately.
+func TestCQNotifyDisarmMidFlight(t *testing.T) {
+	eng, qp0, qp1, _, cq1 := pair(DefaultConfig())
+	rec := &notifyRec{eng: eng}
+	cq1.SetNotify(rec)
+	cq1.Arm()
+	eng.At(10*sim.Microsecond, func() { cq1.Disarm() })
+	qp1.PostRecv(1, make([]byte, 8))
+	eng.At(20*sim.Microsecond, func() { qp0.PostSend(1, []byte("y")) })
+	const rearmAt = 900 * sim.Microsecond
+	eng.At(rearmAt, func() { cq1.Arm() })
+	if err := eng.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.times) != 1 || rec.times[0] != rearmAt {
+		t.Fatalf("notify times = %v, want exactly one at %v (disarm suppressed the push)",
+			rec.times, rearmAt)
+	}
+}
+
+// TestCQNotifyRNRRearm interleaves the seam with receiver-not-ready
+// retries: an armed receive CQ must stay silent across the NAK/backoff
+// cycle (no completion exists yet) and fire exactly once when the
+// retried send finally lands in a posted buffer.
+func TestCQNotifyRNRRearm(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RNRTimeout = 50 * sim.Microsecond
+	eng, qp0, qp1, _, cq1 := pair(cfg)
+	rec := &notifyRec{eng: eng}
+	cq1.SetNotify(rec)
+	cq1.Arm()
+	// No receive posted: the send NAKs and retries on the RNR clock.
+	qp0.PostSend(1, []byte("late"))
+	// Post the buffer after a few backoff rounds.
+	const postAt = 180 * sim.Microsecond
+	eng.At(postAt, func() {
+		if len(rec.times) != 0 {
+			t.Errorf("notify fired during RNR backoff: %v", rec.times)
+		}
+		qp1.PostRecv(9, make([]byte, 8))
+	})
+	if err := eng.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.times) != 1 {
+		t.Fatalf("notify fired %d times, want 1: %v", len(rec.times), rec.times)
+	}
+	if rec.times[0] < postAt {
+		t.Errorf("notify at %v, before the buffer was posted at %v", rec.times[0], postAt)
+	}
+	wc, ok := cq1.Poll()
+	if !ok || wc.Opcode != OpRecvComplete || wc.WRID != 9 {
+		t.Errorf("completion = %+v ok=%v, want recv WRID 9", wc, ok)
+	}
+}
+
+func TestCQArmWithoutNotifyPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	f := NewFabric(eng, DefaultConfig(), 1)
+	cq := f.HCA(0).NewCQ()
+	defer func() {
+		if recover() == nil {
+			t.Error("Arm without SetNotify did not panic")
+		}
+	}()
+	cq.Arm()
+}

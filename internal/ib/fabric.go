@@ -17,6 +17,9 @@ type Fabric struct {
 	// trunkFree recycles trunkEvent hops (see topology.go) so inter-leaf
 	// delivery stays allocation-free at steady state.
 	trunkFree *trunkEvent
+
+	// udFree recycles udDeliverEvent arrivals (see ud.go) the same way.
+	udFree *udDeliverEvent
 }
 
 // NewFabric creates a fabric with nodes HCAs.
@@ -26,7 +29,12 @@ func NewFabric(eng *sim.Engine, cfg Config, nodes int) *Fabric {
 	}
 	f := &Fabric{eng: eng, cfg: cfg}
 	for i := 0; i < nodes; i++ {
-		f.hcas = append(f.hcas, &HCA{fabric: f, node: i})
+		f.hcas = append(f.hcas, &HCA{
+			fabric:  f,
+			node:    i,
+			egress:  newPort(cfg.Rails),
+			ingress: newPort(cfg.Rails),
+		})
 	}
 	if cfg.Topology == TopoFatTree {
 		if cfg.LeafRadix < 1 || cfg.Oversub < 1 {
@@ -34,7 +42,10 @@ func NewFabric(eng *sim.Engine, cfg Config, nodes int) *Fabric {
 		}
 		nLeaves := (nodes + cfg.LeafRadix - 1) / cfg.LeafRadix
 		for i := 0; i < nLeaves; i++ {
-			f.leaves = append(f.leaves, &leafSwitch{})
+			f.leaves = append(f.leaves, &leafSwitch{
+				up:   newPort(cfg.Rails),
+				down: newPort(cfg.Rails),
+			})
 		}
 	}
 	return f
@@ -52,7 +63,7 @@ func (f *Fabric) Nodes() int { return len(f.hcas) }
 // HCA returns the adapter at node i.
 func (f *Fabric) HCA(i int) *HCA { return f.hcas[i] }
 
-// link is a FIFO serialization point (an HCA port direction).
+// link is a FIFO serialization point (one rail of a port direction).
 type link struct {
 	freeAt sim.Time
 }
@@ -68,6 +79,34 @@ func (l *link) reserve(now sim.Time, d sim.Time) sim.Time {
 	return start
 }
 
+// port is one direction of an attachment point: Config.Rails parallel
+// links (rails). Reservations pick the earliest-free rail, breaking ties
+// toward the lowest index, so the schedule stays deterministic and a
+// single-rail port is byte-identical to the bare link it replaces.
+type port struct {
+	rails []link
+}
+
+// newPort allocates a port with n rails (minimum one).
+func newPort(n int) port {
+	if n < 1 {
+		n = 1
+	}
+	return port{rails: make([]link, n)}
+}
+
+// reserve books the earliest-free rail for a transmission of duration d
+// starting no earlier than now, returning the transmission start time.
+func (p *port) reserve(now sim.Time, d sim.Time) sim.Time {
+	best := 0
+	for i := 1; i < len(p.rails); i++ {
+		if p.rails[i].freeAt < p.rails[best].freeAt {
+			best = i
+		}
+	}
+	return p.rails[best].reserve(now, d)
+}
+
 // HCAStats aggregates counters across an adapter's queue pairs.
 type HCAStats struct {
 	MsgsSent      uint64
@@ -79,13 +118,14 @@ type HCAStats struct {
 	RNRExhausted  uint64 // WQEs that ran out of RNR retry budget
 }
 
-// HCA is a host channel adapter: one egress and one ingress link plus the
-// queue pairs and memory regions that live on it.
+// HCA is a host channel adapter: one egress and one ingress port (each
+// Config.Rails rails wide) plus the queue pairs and memory regions that
+// live on it.
 type HCA struct {
 	fabric  *Fabric
 	node    int
-	egress  link
-	ingress link
+	egress  port
+	ingress port
 	qps     []*QP
 	udqps   []*UDQP
 	srqs    []*SRQ

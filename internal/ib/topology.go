@@ -23,10 +23,11 @@ func (t Topology) String() string {
 	return "crossbar"
 }
 
-// leafSwitch carries the shared trunk serialization points of one leaf.
+// leafSwitch carries the shared trunk serialization points of one leaf
+// (multi-rail ports when Config.Rails > 1).
 type leafSwitch struct {
-	up   link
-	down link
+	up   port
+	down port
 }
 
 // leafOf returns the leaf switch index of a node.
@@ -135,31 +136,4 @@ func (f *Fabric) acquireTrunk() *trunkEvent {
 func (f *Fabric) releaseTrunk(te *trunkEvent) {
 	*te = trunkEvent{next: f.trunkFree}
 	f.trunkFree = te
-}
-
-// pathEnd adapts a plain closure to the deliverTo handler convention: it
-// reserves the destination ingress link, charges the receive overhead,
-// and then runs fn. Used by the UD path, which is not hot enough for a
-// bound-struct rewrite.
-type pathEnd struct {
-	f   *Fabric
-	dst *HCA
-	tx  sim.Time
-	fn  func()
-}
-
-func (pe *pathEnd) OnEvent(stage uint64) {
-	if stage == 0 {
-		cfg := &pe.f.cfg
-		arrive := pe.dst.ingress.reserve(pe.f.eng.Now(), pe.tx) + pe.tx
-		pe.f.eng.AtCall(arrive+cfg.RecvOverhead, pe, 1)
-		return
-	}
-	pe.fn()
-}
-
-// deliverPath is the closure form of deliverTo: fn runs once the message
-// has fully arrived and passed the receive overhead.
-func (f *Fabric) deliverPath(src, dst *HCA, start, tx sim.Time, n int, fn func()) {
-	f.deliverTo(src, dst, start, tx, n, &pathEnd{f: f, dst: dst, tx: tx, fn: fn})
 }

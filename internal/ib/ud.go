@@ -1,6 +1,10 @@
 package ib
 
-import "fmt"
+import (
+	"fmt"
+
+	"ibflow/internal/sim"
+)
 
 // UDStats counts Unreliable Datagram events.
 type UDStats struct {
@@ -25,7 +29,21 @@ type UDQP struct {
 	recvQ    []recvWQE
 	recvHead int
 
+	// sendEv is the bound send-completion handler: AtCall carries the
+	// WRID as the event payload, so retiring a datagram send stays
+	// closure-free.
+	sendEv udSendEvent
+
 	stats UDStats
+}
+
+// udSendEvent pushes the local send completion for a UD datagram once
+// the last bit leaves the source port.
+type udSendEvent struct{ qp *UDQP }
+
+func (se *udSendEvent) OnEvent(wrid uint64) {
+	qp := se.qp
+	qp.sendCQ.push(WC{UD: qp, Opcode: OpSendComplete, Status: StatusSuccess, WRID: wrid})
 }
 
 // MaxUDPayload is the datagram size limit (a 2 KB MTU, as InfiniBand UD
@@ -36,6 +54,7 @@ const MaxUDPayload = 2048
 // it fabric-wide together with the node id.
 func (h *HCA) NewUDQP(sendCQ, recvCQ *CQ) *UDQP {
 	qp := &UDQP{hca: h, num: len(h.udqps), sendCQ: sendCQ, recvCQ: recvCQ}
+	qp.sendEv.qp = qp
 	h.udqps = append(h.udqps, qp)
 	return qp
 }
@@ -80,15 +99,54 @@ func (qp *UDQP) SendTo(wrid uint64, dstNode, dstQPN int, payload []byte) {
 	qp.hca.stats.BytesSent += uint64(len(payload) + cfg.HeaderBytes)
 
 	start := qp.hca.egress.reserve(eng.Now()+cfg.SendOverhead, tx)
-	eng.At(start+tx, func() {
-		qp.sendCQ.push(WC{UD: qp, Opcode: OpSendComplete, Status: StatusSuccess, WRID: wrid})
-	})
-	srcNode := qp.hca.node
+	eng.AtCall(start+tx, &qp.sendEv, wrid)
 	data := make([]byte, len(payload))
 	copy(data, payload)
-	f.deliverPath(qp.hca, dstHCA, start, tx, len(payload), func() {
-		dst.deliver(srcNode, data)
-	})
+	de := f.acquireUDDeliver()
+	*de = udDeliverEvent{f: f, dst: dst, srcNode: qp.hca.node, data: data, tx: tx}
+	f.deliverTo(qp.hca, dstHCA, start, tx, len(payload), de)
+}
+
+// udDeliverEvent walks one datagram through the destination port as a
+// bound two-stage handler (the deliverTo convention, see topology.go):
+// stage 0 reserves the destination ingress link and charges the receive
+// overhead, stage 1 hands the payload to the destination queue pair and
+// returns the event to the fabric's freelist. The payload copy is the
+// only per-datagram allocation left on the UD path.
+type udDeliverEvent struct {
+	f       *Fabric
+	dst     *UDQP
+	srcNode int
+	data    []byte
+	tx      sim.Time
+	next    *udDeliverEvent // freelist link, valid only while released
+}
+
+func (de *udDeliverEvent) OnEvent(stage uint64) {
+	if stage == 0 {
+		cfg := &de.f.cfg
+		arrive := de.dst.hca.ingress.reserve(de.f.eng.Now(), de.tx) + de.tx
+		de.f.eng.AtCall(arrive+cfg.RecvOverhead, de, 1)
+		return
+	}
+	de.dst.deliver(de.srcNode, de.data)
+	de.f.releaseUDDeliver(de)
+}
+
+// acquireUDDeliver pops a recycled udDeliverEvent or allocates a fresh one.
+func (f *Fabric) acquireUDDeliver() *udDeliverEvent {
+	if de := f.udFree; de != nil {
+		f.udFree = de.next
+		return de
+	}
+	return &udDeliverEvent{}
+}
+
+// releaseUDDeliver returns a finished udDeliverEvent to the freelist,
+// clearing it so the recycled arrival cannot leak the previous datagram.
+func (f *Fabric) releaseUDDeliver(de *udDeliverEvent) {
+	*de = udDeliverEvent{next: f.udFree}
+	f.udFree = de
 }
 
 // deliver hands a datagram to a posted descriptor, or drops it.

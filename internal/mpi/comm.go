@@ -122,9 +122,13 @@ func (c *Comm) isend(dst, tag int, data []byte, blocking bool) *Request {
 	return req
 }
 
-// selfSend delivers a message to the local rank without the network.
+// selfSend delivers a message to the local rank without the network. It
+// runs on the rank's own process, so the copy charge that the device's
+// progress machine would stage is paid here directly.
 func (c *Comm) selfSend(tag int, data []byte) {
-	c.r.DeliverEager(c.r.proc, c.r.idx, tag, c.id, data)
+	c.r.DeliverEagerStart(c.r.idx, tag, c.id, data)
+	c.r.dev.ChargeCopy(c.r.proc, len(data))
+	c.r.DeliverEagerDone()
 }
 
 // Irecv posts a non-blocking receive into buf for a message matching

@@ -1,0 +1,141 @@
+package mpi
+
+import (
+	"runtime"
+	"testing"
+
+	"ibflow/internal/core"
+)
+
+// The goroutine-flatness regression tests pin the payoff of the
+// goroutine-to-handler migration: a world's goroutine count is its rank
+// mains plus a small constant — no progress daemons, no per-connection
+// or per-device drivers — and a rank's coroutine dispatch count depends
+// on its own traffic, not on the size of the world around it. Before
+// the migration both grew with rank count, which is what capped worlds
+// at a few dozen ranks.
+
+// flatnessSchemes are the four flow-control schemes, at the scaling
+// benchmark's provisioning.
+func flatnessSchemes() []core.Params {
+	return []core.Params{
+		core.Hardware(8),
+		core.Static(8),
+		core.Dynamic(8, 64),
+		core.Shared(16, 96),
+	}
+}
+
+// goroutineOverhead builds an n-rank world under fc, runs a neighbor
+// storm, and returns the maximum runtime.NumGoroutine observed at
+// Waitall entry minus n. The last rank to reach Waitall samples while
+// every rank main is live (each needs its peers' messages to get past
+// Waitall), so the sample covers the whole world; ranks run one at a
+// time inside the event loop, so the shared write is race-free.
+func goroutineOverhead(t *testing.T, fc core.Params, n int) int {
+	t.Helper()
+	const msgs, size, fanout = 4, 256, 4
+	hwm := 0
+	w := NewWorld(n, DefaultOptions(fc))
+	err := w.Run(func(c *Comm) {
+		me := c.Rank()
+		var reqs []*Request
+		for j := 1; j <= fanout; j++ {
+			src := ((me-j)%n + n) % n
+			for m := 0; m < msgs; m++ {
+				reqs = append(reqs, c.Irecv(src, m, make([]byte, size)))
+			}
+		}
+		for j := 1; j <= fanout; j++ {
+			dst := (me + j) % n
+			for m := 0; m < msgs; m++ {
+				reqs = append(reqs, c.Isend(dst, m, make([]byte, size)))
+			}
+		}
+		if g := runtime.NumGoroutine(); g > hwm {
+			hwm = g
+		}
+		c.Waitall(reqs...)
+	})
+	if err != nil {
+		t.Fatalf("%v at %d ranks: %v", fc.Kind, n, err)
+	}
+	if hwm < n {
+		t.Fatalf("%v at %d ranks: sampled %d goroutines, fewer than the rank mains", fc.Kind, n, hwm)
+	}
+	return hwm - n
+}
+
+// TestGoroutineFlatness asserts that growing a world from 16 to 64
+// ranks adds exactly the 48 extra rank mains and nothing else: the
+// overhead beyond rank mains (test harness, engine, runtime background
+// goroutines) is a small constant independent of rank count, for every
+// scheme. A per-rank daemon would show up here as overhead growing with
+// n.
+func TestGoroutineFlatness(t *testing.T) {
+	for _, fc := range flatnessSchemes() {
+		small := goroutineOverhead(t, fc, 16)
+		large := goroutineOverhead(t, fc, 64)
+		if large > small+2 {
+			t.Errorf("%v: goroutine overhead grew with world size: %d at 16 ranks, %d at 64 ranks",
+				fc.Kind, small, large)
+		}
+		if large > 12 {
+			t.Errorf("%v: goroutine overhead %d at 64 ranks, want a small constant (<= 12)",
+				fc.Kind, large)
+		}
+	}
+}
+
+// receiverDispatches runs an n-rank world in which rank 1 sends msgs
+// eager messages to rank 0 and everyone else is idle, returning how
+// many coroutine dispatches rank 0's receive loop consumed.
+func receiverDispatches(t *testing.T, fc core.Params, n, msgs int) uint64 {
+	t.Helper()
+	var delta uint64
+	w := NewWorld(n, DefaultOptions(fc))
+	err := w.Run(func(c *Comm) {
+		buf := make([]byte, 256)
+		switch c.Rank() {
+		case 0:
+			before := c.r.proc.Dispatches()
+			for m := 0; m < msgs; m++ {
+				c.Recv(1, m, buf)
+			}
+			delta = c.r.proc.Dispatches() - before
+		case 1:
+			for m := 0; m < msgs; m++ {
+				c.Send(0, m, buf)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("%v at %d ranks: %v", fc.Kind, n, err)
+	}
+	return delta
+}
+
+// TestReceiverDispatchFlat asserts the per-rank analogue of goroutine
+// flatness: a pure receiver is woken per message it handles, not per
+// rank in the world. The progress engine runs as a bound CQ handler
+// between wakes, so idle connections cost the receiving coroutine
+// nothing — its dispatch count at 32 ranks equals its count at 8, and
+// stays linear in the message count.
+func TestReceiverDispatchFlat(t *testing.T) {
+	const msgs = 24
+	for _, fc := range flatnessSchemes() {
+		small := receiverDispatches(t, fc, 8, msgs)
+		large := receiverDispatches(t, fc, 32, msgs)
+		if large != small {
+			t.Errorf("%v: receiver dispatches depend on world size: %d at 8 ranks, %d at 32 ranks",
+				fc.Kind, small, large)
+		}
+		// Linear in traffic: doubling the messages at most doubles the
+		// dispatches (plus a constant for loop entry/exit).
+		double := receiverDispatches(t, fc, 8, 2*msgs)
+		if double > 2*small+4 {
+			t.Errorf("%v: dispatches superlinear in messages: %d for %d msgs, %d for %d msgs",
+				fc.Kind, small, msgs, double, 2*msgs)
+		}
+	}
+}

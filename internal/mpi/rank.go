@@ -46,6 +46,21 @@ type Rank struct {
 	unex        []unexEntry
 	maxUnex     int
 	nextCommID  uint16 // context ids handed out by Split
+
+	// pending is the eager delivery in flight between DeliverEagerStart
+	// and DeliverEagerDone (the device charges the payload copy between
+	// the two upcalls; at most one delivery is in flight per rank).
+	pending pendingEager
+}
+
+// pendingEager records a matched-or-queued eager message whose copy
+// charge is still elapsing: the visible effect (request completion or
+// unexpected-queue insertion) is applied in DeliverEagerDone.
+type pendingEager struct {
+	matched bool
+	req     *Request  // matched: the receive to complete
+	st      Status    // matched: its completion status
+	entry   unexEntry // unmatched: the queue entry to push
 }
 
 func match(wantComm, comm uint16, wantSrc, wantTag, src, tag int) bool {
@@ -66,40 +81,54 @@ func (r *Rank) findPosted(src, tag int, comm uint16) *Request {
 	return nil
 }
 
-// DeliverEager implements chdev.Handler.
-func (r *Rank) DeliverEager(p *sim.Proc, src, tag int, comm uint16, data []byte) {
+// DeliverEagerStart implements chdev.Handler: match and copy now, apply
+// the visible effects in DeliverEagerDone once the copy charge elapsed.
+func (r *Rank) DeliverEagerStart(src, tag int, comm uint16, data []byte) {
 	if req := r.findPosted(src, tag, comm); req != nil {
 		if len(data) > len(req.buf) {
 			panic(fmt.Sprintf("mpi: rank %d: %d-byte message truncates %d-byte receive (src %d tag %d)",
 				r.idx, len(data), len(req.buf), src, tag))
 		}
 		copy(req.buf, data)
-		r.dev.ChargeCopy(p, len(data))
-		req.complete(Status{Source: src, Tag: tag, Len: len(data)})
+		r.pending = pendingEager{matched: true, req: req,
+			st: Status{Source: src, Tag: tag, Len: len(data)}}
 		return
 	}
 	owned := make([]byte, len(data))
 	copy(owned, data)
-	r.dev.ChargeCopy(p, len(data))
-	r.pushUnex(unexEntry{kind: unexEager, src: src, tag: tag, comm: comm, data: owned})
+	r.pending = pendingEager{
+		entry: unexEntry{kind: unexEager, src: src, tag: tag, comm: comm, data: owned}}
 }
 
-// DeliverRndvStart implements chdev.Handler.
-func (r *Rank) DeliverRndvStart(p *sim.Proc, in *chdev.RndvIn) {
+// DeliverEagerDone implements chdev.Handler.
+func (r *Rank) DeliverEagerDone() {
+	pe := r.pending
+	r.pending = pendingEager{}
+	if pe.matched {
+		pe.req.complete(pe.st)
+		return
+	}
+	r.pushUnex(pe.entry)
+}
+
+// DeliverRndvStart implements chdev.Handler: accept in-band when a
+// posted receive matches, otherwise queue the announcement and accept
+// later from matchUnex.
+func (r *Rank) DeliverRndvStart(in *chdev.RndvIn) ([]byte, bool) {
 	if req := r.findPosted(in.Src, in.Tag, in.Comm); req != nil {
 		if in.Len > len(req.buf) {
 			panic(fmt.Sprintf("mpi: rank %d: %d-byte rendezvous truncates %d-byte receive",
 				r.idx, in.Len, len(req.buf)))
 		}
 		in.UserData = req
-		r.dev.AcceptRndv(p, in, req.buf)
-		return
+		return req.buf, true
 	}
 	r.pushUnex(unexEntry{kind: unexRndv, src: in.Src, tag: in.Tag, comm: in.Comm, rndv: in})
+	return nil, false
 }
 
 // DeliverRndvDone implements chdev.Handler.
-func (r *Rank) DeliverRndvDone(p *sim.Proc, in *chdev.RndvIn) {
+func (r *Rank) DeliverRndvDone(in *chdev.RndvIn) {
 	req := in.UserData.(*Request)
 	req.complete(Status{Source: in.Src, Tag: in.Tag, Len: in.Len})
 }

@@ -235,9 +235,19 @@ type faultRunResult struct {
 // It builds a private world and touches nothing shared, so distinct
 // (fc, seed) cells may run on parallel workers (see runner.Map).
 func faultTorture(fc core.Params, seed uint64) (faultRunResult, error) {
+	return faultTortureVariant(fc, seed, nil)
+}
+
+// faultTortureVariant is faultTorture with an Options mutator applied on
+// top of the fault configuration, so channel variants (RDMA eager,
+// on-demand connections) run under the identical fault mix.
+func faultTortureVariant(fc core.Params, seed uint64, mut func(*Options)) (faultRunResult, error) {
 	const n, count = 4, 40
 	tracer := trace.NewBuffer(1 << 14)
 	opts := faultTortureOpts(fc, seed, tracer)
+	if mut != nil {
+		mut(&opts)
+	}
 	sched := tortureSchedule(n, count, seed^0xf001)
 	w := NewWorld(n, opts)
 	err := w.Run(func(c *Comm) {

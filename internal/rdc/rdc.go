@@ -12,8 +12,9 @@
 // so reverse traffic can carry them implicitly) and timeout-driven
 // retransmission.
 //
-// Each Endpoint runs a daemon driver process, like a kernel completion
-// handler; applications just call Send and receive deliveries through the
+// Each Endpoint drives itself from completion-queue notifications, like
+// a kernel completion handler — no goroutine, no parked process;
+// applications just call Send and receive deliveries through the
 // OnMessage callback, in order per peer.
 package rdc
 
@@ -100,6 +101,10 @@ type Endpoint struct {
 	stats   Stats
 	bufs    map[uint64][]byte
 	wrid    uint64
+
+	// pend is an arrived datagram whose software-receive charge is
+	// elapsing; the next OnEvent delivers it before draining the CQ.
+	pend []byte
 }
 
 // New creates an endpoint on hca able to talk to nPeers ranks (rank ==
@@ -127,7 +132,8 @@ func New(eng *sim.Engine, hca *ib.HCA, cfg Config, nPeers int, onMessage func(sr
 		e.postRecv()
 	}
 	e.stats.PoolBytes = cfg.Pool * ib.MaxUDPayload
-	eng.GoDaemon(fmt.Sprintf("rdc-%d", e.node), e.drive)
+	cq.SetNotify(e)
+	cq.Arm()
 	return e
 }
 
@@ -202,21 +208,32 @@ func (e *Endpoint) onRTO(dst int, p *peerState) {
 	e.pump(dst, p)
 }
 
-// drive is the endpoint's daemon: it processes completions forever.
-//
-//fclint:hotpath completion-drain daemon slated for bound-handler conversion (ROADMAP: goroutine-to-handler migration)
-func (e *Endpoint) drive(proc *sim.Proc) {
+// OnEvent implements sim.Handler: the endpoint's completion driver. A
+// CQ notification (or an elapsed software-receive charge) re-enters
+// here; the CQ is drained, each arrived datagram pays SWRecv as a
+// staged continuation, and the CQ is re-armed before going idle.
+func (e *Endpoint) OnEvent(uint64) {
+	if e.pend != nil {
+		buf := e.pend
+		e.pend = nil
+		e.handlePacket(buf)
+		e.postRecv()
+	}
 	for {
-		wc := e.cq.WaitPoll(proc)
+		wc, ok := e.cq.Poll()
+		if !ok {
+			e.cq.Arm()
+			return
+		}
 		switch wc.Opcode {
 		case ib.OpSendComplete:
 			// Local completion only; reliability is ack-driven.
 		case ib.OpRecvComplete:
 			buf := e.bufs[wc.WRID]
 			delete(e.bufs, wc.WRID)
-			proc.Sleep(e.cfg.SWRecv)
-			e.handlePacket(buf[:wc.Len])
-			e.postRecv()
+			e.pend = buf[:wc.Len]
+			e.eng.AfterCall(e.cfg.SWRecv, e, 0)
+			return
 		}
 	}
 }

@@ -12,12 +12,13 @@ import (
 //
 // All Proc methods must be called from the process's own goroutine.
 type Proc struct {
-	eng      *Engine
-	name     string
-	resume   chan struct{} // engine -> proc: run
-	parked   chan struct{} // proc -> engine: I yielded (or finished)
-	finished bool
-	daemon   bool
+	eng        *Engine
+	name       string
+	resume     chan struct{} // engine -> proc: run
+	parked     chan struct{} // proc -> engine: I yielded (or finished)
+	finished   bool
+	daemon     bool
+	dispatches uint64
 }
 
 // Go spawns a new process running fn. The process starts at the current
@@ -72,6 +73,7 @@ func (e *Engine) dispatch(p *Proc) {
 	if p.finished {
 		panic(fmt.Sprintf("sim: dispatch of finished process %q", p.name))
 	}
+	p.dispatches++
 	prev := e.cur
 	e.cur = p
 	p.resume <- struct{}{}
@@ -92,6 +94,11 @@ func (p *Proc) park() {
 
 // Engine returns the engine this process belongs to.
 func (p *Proc) Engine() *Engine { return p.eng }
+
+// Dispatches reports how many times the engine has handed the CPU to this
+// process — the goroutine context-switch count. Handler-based progress
+// engines exist to keep this flat: steady-state traffic must not grow it.
+func (p *Proc) Dispatches() uint64 { return p.dispatches }
 
 // Name returns the process name.
 func (p *Proc) Name() string { return p.name }
@@ -164,3 +171,50 @@ func (c *Cond) WaitUntil(p *Proc, pred func() bool) {
 		c.Wait(p)
 	}
 }
+
+// Gate parks at most one process until an event handler releases it. It is
+// the bridge between a handler-based progress engine and the process that
+// asked it for work: the process parks once per request, and the handler —
+// having finished the request entirely in event context — resumes it
+// synchronously, with no wakeup event and no change to the event order.
+//
+// Unlike Cond.Broadcast (which schedules the waiter as a fresh event),
+// Release hands the CPU over inline, exactly as if the waiting process had
+// been the current event's handler itself. That makes Release the inverse
+// of Proc.OnEvent and, like it, part of the sanctioned coroutine dispatch
+// bridge: the facts layer treats a Release call the way it treats
+// Engine.Go — a control-flow handoff, not a park (see internal/analysis).
+//
+// The zero value is NOT usable; create with NewGate.
+type Gate struct {
+	eng *Engine
+	p   *Proc
+}
+
+// NewGate creates a gate on engine e.
+func NewGate(e *Engine) *Gate { return &Gate{eng: e} }
+
+// Wait parks p until Release. At most one process may wait at a time: the
+// gate models a request/completion pair, not a queue.
+func (g *Gate) Wait(p *Proc) {
+	if g.p != nil {
+		panic(fmt.Sprintf("sim: Gate.Wait(%q) while %q is already waiting", p.name, g.p.name))
+	}
+	g.p = p
+	p.park()
+}
+
+// Release synchronously resumes the waiting process and returns when it
+// parks again or finishes. Must be called from the engine goroutine
+// (inside an event); panics if no process is waiting.
+func (g *Gate) Release() {
+	p := g.p
+	if p == nil {
+		panic("sim: Gate.Release with no waiter")
+	}
+	g.p = nil
+	g.eng.dispatch(p)
+}
+
+// Waiting reports whether a process is parked on g.
+func (g *Gate) Waiting() bool { return g.p != nil }
