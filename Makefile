@@ -77,6 +77,9 @@ metrics-smoke:
 	$(GO) run ./cmd/fcbench -test latency -size 64 -iters 50 -scheme static -metrics-out /tmp/ibflow-metrics.json
 	$(GO) run ./cmd/fcstats /tmp/ibflow-metrics.json > /dev/null
 	$(GO) run ./cmd/fcstats -keys /tmp/ibflow-metrics.json | diff - cmd/fcstats/testdata/latency_metrics_keys.golden
+	$(GO) run ./cmd/fcbench -test latency -size 64 -iters 50 -scheme rdma -prepost 8 -metrics-out /tmp/ibflow-metrics-rdma.json
+	$(GO) run ./cmd/fcstats /tmp/ibflow-metrics-rdma.json > /dev/null
+	$(GO) run ./cmd/fcstats -keys /tmp/ibflow-metrics-rdma.json | diff - cmd/fcstats/testdata/rdma_metrics_keys.golden
 
 # scaling-smoke mirrors the CI step: the connection-scaling benchmark in
 # quick mode — now including a 128-rank fat-tree row — must complete and

@@ -33,7 +33,7 @@ import (
 	"ibflow/internal/trace"
 )
 
-func schemeFor(name string, prepost, dynmax int) (core.Params, error) {
+func schemeFor(name string, prepost, dynmax, slotBytes int) (core.Params, error) {
 	switch name {
 	case "hardware":
 		return core.Hardware(prepost), nil
@@ -43,8 +43,12 @@ func schemeFor(name string, prepost, dynmax int) (core.Params, error) {
 		return core.Dynamic(prepost, dynmax), nil
 	case "shared":
 		return core.Shared(prepost, dynmax), nil
+	case "rdma":
+		// The ring scheme reads -prepost as the slot count per
+		// connection direction.
+		return core.RDMA(prepost, slotBytes), nil
 	}
-	return core.Params{}, fmt.Errorf("unknown scheme %q (hardware|static|dynamic|shared)", name)
+	return core.Params{}, fmt.Errorf("unknown scheme %q (hardware|static|dynamic|shared|rdma)", name)
 }
 
 // fail prints a flag-combination error plus usage and exits nonzero.
@@ -110,9 +114,10 @@ func writeMetrics(reg *metrics.Registry, ring *trace.Buffer, path, format string
 
 func main() {
 	test := flag.String("test", "latency", "benchmark: latency, bandwidth, micro (all schemes), or scaling (connection scaling, all schemes)")
-	scheme := flag.String("scheme", "static", "flow control scheme: hardware, static, dynamic, shared")
-	prepost := flag.Int("prepost", 100, "pre-posted buffers per connection")
+	scheme := flag.String("scheme", "static", "flow control scheme: hardware, static, dynamic, shared, rdma")
+	prepost := flag.Int("prepost", 100, "pre-posted buffers per connection (ring slots for -scheme rdma)")
 	dynmax := flag.Int("dynmax", 300, "dynamic scheme growth cap")
+	slotbytes := flag.Int("slotbytes", 1024, "ring slot size in bytes (-scheme rdma only)")
 	size := flag.Int("size", 4, "message size in bytes (bandwidth; latency sweeps unless set)")
 	window := flag.Int("window", 0, "bandwidth window size (0 = sweep)")
 	reps := flag.Int("reps", 10, "bandwidth repetitions")
@@ -152,6 +157,9 @@ func main() {
 		if set["scheme"] {
 			fail("-test micro sweeps all schemes; drop -scheme")
 		}
+		if set["slotbytes"] {
+			fail("-slotbytes applies to -scheme rdma only")
+		}
 		if set["metrics-out"] {
 			fail("-metrics-out is not supported with -test micro (many worlds, one registry)")
 		}
@@ -162,7 +170,7 @@ func main() {
 		if set["metrics-out"] {
 			fail("-metrics-out is not supported with -test scaling (many worlds, one registry)")
 		}
-		for _, f := range []string{"prepost", "dynmax", "size", "window", "reps", "iters", "blocking", "rdma"} {
+		for _, f := range []string{"prepost", "dynmax", "slotbytes", "size", "window", "reps", "iters", "blocking", "rdma"} {
 			if set[f] {
 				fail("-%s does not apply to -test scaling (fixed sweep; see internal/bench.ConnScaling)", f)
 			}
@@ -172,6 +180,12 @@ func main() {
 	}
 	if set["quick"] && *test != "scaling" {
 		fail("-quick applies to -test scaling only")
+	}
+	if *scheme == "rdma" && *rdma {
+		fail("-scheme rdma carries its own persistent RDMA channel; drop -rdma (the ICS'03 copy-based variant)")
+	}
+	if set["slotbytes"] && *scheme != "rdma" {
+		fail("-slotbytes applies to -scheme rdma only")
 	}
 	if *parallel < 0 {
 		fail("-parallel must be >= 0")
@@ -215,7 +229,7 @@ func main() {
 		return
 	}
 
-	fc, err := schemeFor(*scheme, *prepost, *dynmax)
+	fc, err := schemeFor(*scheme, *prepost, *dynmax, *slotbytes)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fcbench:", err)
 		flag.Usage()

@@ -20,19 +20,58 @@ func instrumentedLatencyDump() metrics.Dump {
 	return reg.Snapshot()
 }
 
-// TestKeyListMatchesGolden pins the instrumentation key set: adding or
-// renaming a metric anywhere in the stack must update
-// testdata/latency_metrics_keys.golden (which CI also diffs against a
-// live fcbench|fcstats run).
-func TestKeyListMatchesGolden(t *testing.T) {
-	d := instrumentedLatencyDump()
+// checkKeyGolden compares a dump's key list against a golden file,
+// regenerating it when IBFLOW_UPDATE_GOLDENS is set.
+func checkKeyGolden(t *testing.T, d metrics.Dump, golden string) {
+	t.Helper()
 	got := strings.Join(keyList(d), "\n") + "\n"
-	want, err := os.ReadFile(filepath.Join("testdata", "latency_metrics_keys.golden"))
+	path := filepath.Join("testdata", golden)
+	if os.Getenv("IBFLOW_UPDATE_GOLDENS") != "" {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatalf("reading golden: %v", err)
 	}
 	if got != string(want) {
 		t.Errorf("metric key set diverged from golden:\ngot:\n%swant:\n%s", got, want)
+	}
+}
+
+// TestKeyListMatchesGolden pins the instrumentation key set: adding or
+// renaming a metric anywhere in the stack must update
+// testdata/latency_metrics_keys.golden (which CI also diffs against a
+// live fcbench|fcstats run).
+func TestKeyListMatchesGolden(t *testing.T) {
+	checkKeyGolden(t, instrumentedLatencyDump(), "latency_metrics_keys.golden")
+}
+
+// instrumentedRingDump runs the same latency point under the ring
+// scheme (fcbench -scheme rdma).
+func instrumentedRingDump() metrics.Dump {
+	reg := metrics.New()
+	bench.LatencyOpts(core.RDMA(8, 1024), 64, 50, func(o *mpi.Options) { o.Metrics = reg })
+	return reg.Snapshot()
+}
+
+// TestRingKeyListMatchesGolden pins the ring scheme's key inventory —
+// the rdma run swaps the per-VC credit instruments for the ring's own:
+// occupancy high-water mark, explicit credit syncs, and rendezvous
+// read bytes.
+func TestRingKeyListMatchesGolden(t *testing.T) {
+	d := instrumentedRingDump()
+	checkKeyGolden(t, d, "rdma_metrics_keys.golden")
+	keys := strings.Join(keyList(d), "\n")
+	for _, k := range []string{
+		"chdev_rndv_read_bytes", "chdev_ring_occupancy_hwm", "chdev_ring_syncs",
+	} {
+		if !strings.Contains(keys, k+"{") {
+			t.Errorf("ring run is missing metric %s", k)
+		}
 	}
 }
 

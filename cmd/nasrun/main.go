@@ -23,9 +23,10 @@ func main() {
 	app := flag.String("app", "IS", "kernel: IS, FT, LU, CG, MG, BT, SP")
 	classStr := flag.String("class", "W", "problem class: S, W, A")
 	np := flag.Int("np", 0, "process count (0 = paper default: 8, or 16 for BT/SP)")
-	scheme := flag.String("scheme", "static", "flow control scheme: hardware, static, dynamic, shared")
-	prepost := flag.Int("prepost", 100, "pre-posted buffers per connection (or shared pool start)")
+	scheme := flag.String("scheme", "static", "flow control scheme: hardware, static, dynamic, shared, rdma")
+	prepost := flag.Int("prepost", 100, "pre-posted buffers per connection (shared pool start; ring slots for rdma)")
 	dynmax := flag.Int("dynmax", 300, "dynamic/shared scheme growth cap")
+	slotbytes := flag.Int("slotbytes", 1024, "ring slot size in bytes (-scheme rdma only)")
 	traceN := flag.Int("trace", 0, "print the last N protocol trace events")
 	flag.Parse()
 
@@ -44,6 +45,8 @@ func main() {
 		fc = core.Dynamic(*prepost, *dynmax)
 	case "shared":
 		fc = core.Shared(*prepost, *dynmax)
+	case "rdma":
+		fc = core.RDMA(*prepost, *slotbytes)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *scheme)
 		os.Exit(2)

@@ -55,6 +55,37 @@ func ExampleCluster_Stats() {
 	// Output: grew from 1 buffer: true
 }
 
+// The RDMA ring channel is the fifth scheme: small messages ride a
+// persistent per-connection ring of RDMA-written slots (credits return
+// as ring heads piggybacked on reverse traffic), and payloads too big
+// for a slot switch to RDMA-read rendezvous — the receiver pulls them
+// directly from the sender's memory.
+func ExampleRDMA() {
+	cluster := ibflow.NewCluster(2, ibflow.RDMA(8, 1024))
+	err := cluster.Run(func(c *ibflow.Comm) {
+		small := make([]byte, 64)    // fits a 1024-byte slot: eager via the ring
+		large := make([]byte, 16384) // too big: RDMA-read rendezvous
+		if c.Rank() == 0 {
+			for i := 0; i < 20; i++ {
+				c.Send(1, i, small)
+			}
+			c.Send(1, 99, large)
+		} else {
+			for i := 0; i < 20; i++ {
+				c.Recv(0, i, small)
+			}
+			c.Recv(0, 99, large)
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	st := cluster.Stats()
+	fmt.Printf("eager on the ring: %d, rendezvous bytes pulled by RDMA read: %d\n",
+		st.EagerSent, st.RndvReadBytes)
+	// Output: eager on the ring: 20, rendezvous bytes pulled by RDMA read: 16384
+}
+
 // Comm.Split carves sub-communicators with their own rank numbering.
 func ExampleComm_Split() {
 	cluster := ibflow.NewCluster(4, ibflow.Static(10))

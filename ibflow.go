@@ -6,9 +6,10 @@
 // an MPICH-style MPI implementation (eager + zero-copy rendezvous over
 // send/receive and RDMA write), the paper's three flow control schemes
 // (hardware-based, user-level static, user-level dynamic) plus an
-// SRQ-backed shared-pool fourth, the NAS Parallel Benchmark communication
-// kernels, and a harness that regenerates every figure and table of the
-// paper's evaluation.
+// SRQ-backed shared-pool fourth and a persistent RDMA-write ring
+// channel fifth (with RDMA-read rendezvous), the NAS Parallel Benchmark
+// communication kernels, and a harness that regenerates every figure
+// and table of the paper's evaluation.
 //
 // Quick start:
 //
@@ -106,6 +107,18 @@ func Dynamic(prepost, max int) Scheme { return core.Dynamic(prepost, max) }
 // low-watermark limit events up to max. Buffer memory is decoupled from
 // the connection count — the scalable fourth scheme.
 func Shared(prepost, max int) Scheme { return core.Shared(prepost, max) }
+
+// RDMA returns the persistent RDMA-write eager channel — the fifth
+// scheme. Each connection direction pins a ring of slots pre-registered
+// buffers of slotBytes each; small messages are RDMA-written straight
+// into the next slot (no receive descriptors, no RNR exposure), the
+// receiver's ring head piggybacks on reverse traffic as the credit
+// return, and an explicit credit-sync covers one-way streams. Messages
+// too big for a slot move by RDMA-read rendezvous: the receiver pulls
+// the payload from the sender's registered buffer, eliminating the CTS
+// leg. Per-connection memory is fixed at provisioning time — the ring
+// never grows.
+func RDMA(slots, slotBytes int) Scheme { return core.RDMA(slots, slotBytes) }
 
 // Cluster is a simulated InfiniBand cluster running one MPI job.
 type Cluster struct {

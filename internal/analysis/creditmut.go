@@ -7,16 +7,20 @@ import (
 )
 
 // creditFields are the credit/pre-post accounting fields of the flow
-// control state (core.VC, core.Pool and their mirrors). Every unit of
-// credit motion must flow through the owning type's methods — the
-// audited piggyback/ECM paths, or Take/Processed/OnLimitEvent for the
-// shared pool — so that the conservation invariants checked by
-// CheckInvariants and the ibdebug assertions stay trustworthy. inUse is
-// the pool's in-flight descriptor count: mutating it outside the Pool
-// breaks the shared-shape conservation law the audit relies on.
+// control state (core.VC, core.Pool, core.Ring and their mirrors).
+// Every unit of credit motion must flow through the owning type's
+// methods — the audited piggyback/ECM paths, Take/Processed/
+// OnLimitEvent for the shared pool, or Reserve/SeenHead/Arrived/
+// Consumed/TakeHead for the ring — so that the conservation invariants
+// checked by CheckInvariants and the ibdebug assertions stay
+// trustworthy. inUse is the pool's in-flight descriptor count; the
+// ring's head/tail counters ARE its credit state (free slots =
+// slots - (tail - headSeen)), so a stray write to either silently
+// forges or destroys ring credit.
 var creditFields = map[string]bool{
 	"credits": true, "owed": true, "posted": true,
 	"backlog": true, "shrinkDebt": true, "inUse": true,
+	"head": true, "tail": true, "headSeen": true, "headSent": true,
 }
 
 // CreditMut flags direct writes (assignment, ++/--, compound ops, or

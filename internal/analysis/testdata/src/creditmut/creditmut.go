@@ -86,3 +86,54 @@ func (d *device) poolOutsideOwner(pl *pool) {
 func poolReadsOK(pl *pool) int {
 	return pl.posted - pl.inUse
 }
+
+// ring mirrors core.Ring: the RDMA eager channel whose head/tail
+// counters are themselves the credit state (free slots =
+// slots - (tail - headSeen)).
+type ring struct {
+	slots    uint32
+	tail     uint32
+	head     uint32
+	headSeen uint32
+	headSent uint32
+}
+
+// Methods of the ring are the audited slot-accounting API.
+func (r *ring) reserve() uint32 {
+	s := r.tail % r.slots
+	r.tail++
+	return s
+}
+
+func (r *ring) seenHead(h uint32) {
+	r.headSeen = h
+	r.head = h
+}
+
+func (r *ring) takeHead() uint32 {
+	r.headSent = r.head
+	return r.head
+}
+
+// closure inside a ring method is still the manager.
+func (r *ring) consumeViaClosure() {
+	f := func() { r.head++ }
+	f()
+}
+
+func (d *device) ringOutsideOwner(r *ring) {
+	r.tail++         // want `write to credit field ring\.tail outside ring's methods`
+	r.head = 0       // want `write to credit field ring\.head outside ring's methods`
+	r.headSeen += 1  // want `write to credit field ring\.headSeen outside ring's methods`
+	r.headSent = 999 // want `write to credit field ring\.headSent outside ring's methods`
+}
+
+func ringSteal(r *ring) *uint32 {
+	return &r.tail // want `taking the address of credit field ring\.tail outside ring's methods`
+}
+
+// ringReadsOK: reading the counters (occupancy, free-slot math) from
+// anywhere is fine; only mutation is confined to the ring.
+func ringReadsOK(r *ring) uint32 {
+	return r.slots - (r.tail - r.headSeen)
+}

@@ -54,6 +54,8 @@ type ScalingDoc struct {
 	DynMax      int    `json:"dynmax"`
 	PoolPrepost int    `json:"pool_prepost"`
 	PoolMax     int    `json:"pool_max"`
+	RingSlots   int    `json:"ring_slots"`
+	SlotBytes   int    `json:"slot_bytes"`
 	// Fanout caps how many peers each rank exchanges traffic with (the
 	// storm stays all-to-all while n-1 <= Fanout). Eagerly wired worlds
 	// still provision buffers for all n-1 connections, so the memory
@@ -77,16 +79,18 @@ type ScalingDoc struct {
 	Series       []ScalingSeries `json:"series"`
 }
 
-// connScalingSchemes returns the four schemes the scaling benchmark
+// connScalingSchemes returns the five schemes the scaling benchmark
 // compares. The per-connection schemes pre-post `prepost` buffers per
 // peer; the shared scheme provisions one pool per rank, sized
-// independently of the peer count.
-func connScalingSchemes(prepost, dynMax, poolPrepost, poolMax int) []core.Params {
+// independently of the peer count; the ring scheme pins a fixed
+// slots x slotBytes eager ring per connection direction.
+func connScalingSchemes(prepost, dynMax, poolPrepost, poolMax, ringSlots, slotBytes int) []core.Params {
 	return []core.Params{
 		core.Hardware(prepost),
 		core.Static(prepost),
 		core.Dynamic(prepost, dynMax),
 		core.Shared(poolPrepost, poolMax),
+		core.RDMA(ringSlots, slotBytes),
 	}
 }
 
@@ -134,6 +138,8 @@ func ConnScaling(o Opts) ScalingDoc {
 		DynMax:       64,
 		PoolPrepost:  16,
 		PoolMax:      96,
+		RingSlots:    8,
+		SlotBytes:    1024,
 		Fanout:       24,
 		FatTreeFrom:  64,
 		LeafRadix:    32,
@@ -145,7 +151,8 @@ func ConnScaling(o Opts) ScalingDoc {
 		doc.Ranks = []int{2, 4, 8, 128}
 		doc.MsgsPerPeer = 6
 	}
-	schemes := connScalingSchemes(doc.Prepost, doc.DynMax, doc.PoolPrepost, doc.PoolMax)
+	schemes := connScalingSchemes(doc.Prepost, doc.DynMax, doc.PoolPrepost, doc.PoolMax,
+		doc.RingSlots, doc.SlotBytes)
 	// Each (scheme, rank-count) cell is a share-nothing world: fan the
 	// grid out across the worker pool and reassemble series in cell order.
 	type cell struct {
@@ -285,8 +292,9 @@ func ConnScalingTable(doc ScalingDoc) Table {
 			doc.MsgsPerPeer, doc.MsgSizeB, doc.Fanout),
 		Columns: []string{"ranks"},
 		Note: fmt.Sprintf(
-			"per-connection schemes pre-post %d/conn (dynamic cap %d); shared pool starts at %d, cap %d — memory bounded regardless of fan-in; >= %d ranks: fat tree (radix %d, %d:1, %d rails); >= %d ranks: on-demand connections",
+			"per-connection schemes pre-post %d/conn (dynamic cap %d); shared pool starts at %d, cap %d — memory bounded regardless of fan-in; rdma ring pins %d x %dB slots per conn direction; >= %d ranks: fat tree (radix %d, %d:1, %d rails); >= %d ranks: on-demand connections",
 			doc.Prepost, doc.DynMax, doc.PoolPrepost, doc.PoolMax,
+			doc.RingSlots, doc.SlotBytes,
 			doc.FatTreeFrom, doc.LeafRadix, doc.Oversub, doc.Rails, doc.OnDemandFrom),
 	}
 	for _, s := range doc.Series {

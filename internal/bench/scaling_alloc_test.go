@@ -31,31 +31,38 @@ func TestScalingSteadyAllocGate(t *testing.T) {
 	const ranks, size, fanout = 128, 256, 24
 	doc := ScalingDoc{
 		Prepost: 8, DynMax: 64, PoolPrepost: 16, PoolMax: 96,
+		RingSlots: 8, SlotBytes: 1024,
 		Fanout: fanout, FatTreeFrom: 64, LeafRadix: 32, Oversub: 2, Rails: 2,
 		OnDemandFrom: 512,
 	}
-	cellMallocs := func(msgs int) uint64 {
-		opts := doc.cellOptions(core.Static(doc.Prepost), ranks)
+	cellMallocs := func(fc core.Params, msgs int) uint64 {
+		opts := doc.cellOptions(fc, ranks)
 		w := mpi.NewWorld(ranks, opts)
 		var before, after runtime.MemStats
 		runtime.ReadMemStats(&before)
 		if err := w.Run(scalingStorm(msgs, size, fanout, nil)); err != nil {
-			t.Fatalf("static at %d ranks, %d msgs: %v", ranks, msgs, err)
+			t.Fatalf("%v at %d ranks, %d msgs: %v", fc.Kind, ranks, msgs, err)
 		}
 		runtime.ReadMemStats(&after)
 		return after.Mallocs - before.Mallocs
 	}
-	const msgsLow, msgsHigh = 6, 12
-	low := cellMallocs(msgsLow)
-	high := cellMallocs(msgsHigh)
-	if high <= low {
-		t.Fatalf("malloc counter did not grow with traffic: %d for %d msgs, %d for %d", low, msgsLow, high, msgsHigh)
-	}
-	extraMsgs := uint64(ranks * fanout * (msgsHigh - msgsLow))
-	perMsg := float64(high-low) / float64(extraMsgs)
-	t.Logf("marginal allocations per message: %.2f (%d extra mallocs over %d extra messages)",
-		perMsg, high-low, extraMsgs)
-	if perMsg > 16 {
-		t.Errorf("steady state allocates %.2f objects per message, want <= 16 (storm-main payloads only)", perMsg)
+	// Static is the heaviest send/recv eager machinery; rdma is the ring
+	// channel, whose slot reserve/write/consume cycle must be just as free.
+	for _, fc := range []core.Params{core.Static(doc.Prepost), core.RDMA(doc.RingSlots, doc.SlotBytes)} {
+		const msgsLow, msgsHigh = 6, 12
+		low := cellMallocs(fc, msgsLow)
+		high := cellMallocs(fc, msgsHigh)
+		if high <= low {
+			t.Fatalf("%v: malloc counter did not grow with traffic: %d for %d msgs, %d for %d",
+				fc.Kind, low, msgsLow, high, msgsHigh)
+		}
+		extraMsgs := uint64(ranks * fanout * (msgsHigh - msgsLow))
+		perMsg := float64(high-low) / float64(extraMsgs)
+		t.Logf("%v: marginal allocations per message: %.2f (%d extra mallocs over %d extra messages)",
+			fc.Kind, perMsg, high-low, extraMsgs)
+		if perMsg > 16 {
+			t.Errorf("%v: steady state allocates %.2f objects per message, want <= 16 (storm-main payloads only)",
+				fc.Kind, perMsg)
+		}
 	}
 }

@@ -92,7 +92,7 @@ func TestFigureGoldens(t *testing.T) {
 		Figure2: sha(fig2.String()),
 		Storm:   map[string]string{},
 	}
-	for _, fc := range connScalingSchemes(8, 64, 16, 96) {
+	for _, fc := range connScalingSchemes(8, 64, 16, 96, 8, 1024) {
 		got.Storm[fc.Kind.String()] = stormDigest(t, fc)
 	}
 	if os.Getenv("IBFLOW_UPDATE_GOLDENS") != "" {

@@ -15,6 +15,10 @@ import "fmt"
 //   - no stranded work: empty backlogs, no queued WQEs, no rendezvous in
 //     flight, no degraded connection;
 //   - RDMA eager channel: A's free-slot view matches its credit view;
+//   - ring scheme (core.KindRDMA): every slot A reserved arrived at B,
+//     A's view of B's head matches what B announced, and each endpoint's
+//     own ring law head <= tail <= head + slots holds (per-endpoint half
+//     checked in ringProvisioner.audit);
 //   - shared-pool scheme: the provisioner's own law — no pooled buffer
 //     in use and the SRQ's free count equal to the pool's accounting
 //     (the pooled analogue of the credit law, see poolProvisioner.audit).
@@ -61,6 +65,22 @@ func Audit(devs []*Device) error {
 			rc := rd.conns[d.rank]
 			if rc == nil {
 				return fmt.Errorf("chdev audit: rank %d -> %d connected only one way", d.rank, c.peer)
+			}
+			if d.params.RingChannel() {
+				// The ring conservation laws, cross-endpoint: every
+				// slot A reserved arrived at B (the write channel loses
+				// nothing), and at quiescence A's view of B's head has
+				// caught up with everything B announced.
+				if got, want := c.ringOut.Tail(), rc.ringIn.Tail(); got != want {
+					return fmt.Errorf(
+						"chdev audit: ring slot leak on %d -> %d: %d reserved, %d arrived",
+						d.rank, c.peer, got, want)
+				}
+				if got, want := c.ringOut.HeadSeen(), rc.ringIn.HeadSent(); got != want {
+					return fmt.Errorf(
+						"chdev audit: ring head skew on %d -> %d: sender saw %d, receiver sent %d",
+						d.rank, c.peer, got, want)
+				}
 			}
 			if d.params.UserLevel() {
 				// The conservation law of the credit-based schemes. It

@@ -51,6 +51,7 @@ type RndvIn struct {
 
 	conn      *conn
 	senderReq uint64
+	senderMR  uint32 // ring scheme: source region id from the RTS
 	myReq     uint64
 	accepted  bool
 	buf       []byte
@@ -62,6 +63,7 @@ type rndvOut struct {
 	tag     int
 	comm    uint16
 	data    []byte
+	mr      *ib.MR // registered source region (ring scheme: RTS carries its id)
 	token   any
 	starved bool
 	peerReq uint64
@@ -74,12 +76,14 @@ type ctxKind int
 const (
 	ctxBuf      ctxKind = iota // pool buffer to release on completion
 	ctxRndvData                // RDMA write of rendezvous payload
+	ctxRndvRead                // RDMA read pulling rendezvous payload (ring scheme)
 )
 
 type sendCtx struct {
 	kind     ctxKind
 	buf      []byte
 	out      *rndvOut
+	rin      *RndvIn // ctxRndvRead: the accepted rendezvous being pulled
 	conn     *conn
 	attempts int // times re-issued after RNR budget exhaustion
 }
@@ -131,6 +135,16 @@ type conn struct {
 	slotsOut []ib.RemoteKey // sender-side remote slot addresses
 	slotFree []int          // sender-side free slot indices, FIFO
 	slotUsed []int          // sender-side in-flight slot indices, FIFO
+
+	// Ring channel state (core.KindRDMA): the persistent-slot design
+	// where flow control IS the ring geometry. ringOut is the sender's
+	// view of the outgoing direction (tail owned here, peer head learned
+	// from piggybacks); ringIn is the receiver's view of the incoming
+	// one (head owned here, communicated back on reverse traffic). The
+	// slots/slotsOut views above are reused for the slot memory; the
+	// FIFO free/used lists are not — position mod slots is the slot.
+	ringOut *core.Ring
+	ringIn  *core.Ring
 }
 
 // Stats aggregates a device's flow control and transport counters.
@@ -156,6 +170,11 @@ type Stats struct {
 
 	// Shared-pool counters (core.KindShared).
 	LimitEvents uint64 // SRQ low-watermark events handled
+
+	// Ring-channel counters (core.KindRDMA).
+	RingSyncs        uint64 // explicit head-sync messages (reverse path idle)
+	RingOccupancyHWM int    // max in-flight ring slots over connections
+	RndvReadBytes    uint64 // payload bytes pulled by RDMA-read rendezvous
 
 	// Graceful-degradation counters (fault handling).
 	RNRExhausted   uint64 // transport retry budgets exhausted
@@ -204,6 +223,12 @@ type Device struct {
 	// rndvHist, when metrics are attached, is the per-rank histogram of
 	// sender-side rendezvous latency (RTS posted to FIN sent).
 	rndvHist *metrics.Histogram
+
+	// rndvReadBytes counts payload bytes pulled by the ring scheme's
+	// RDMA-read rendezvous (nil-safe; only registered under KindRDMA).
+	// rndvReadTotal mirrors it for Stats even without a metrics registry.
+	rndvReadBytes *metrics.Counter
+	rndvReadTotal uint64
 }
 
 // New creates a channel device for rank on hca. Wire must be called on the
@@ -217,6 +242,17 @@ func New(eng *sim.Engine, hca *ib.HCA, cfg Config, params core.Params, rank, siz
 	}
 	if params.SharedPool() && cfg.RDMAEager {
 		panic("chdev: RDMA eager channel is incompatible with the shared-pool scheme (persistent slots are per-connection by design)")
+	}
+	if params.RingChannel() {
+		if cfg.RDMAEager {
+			panic("chdev: the KindRDMA ring scheme already owns the RDMA eager channel; Config.RDMAEager composes with the send/recv schemes only")
+		}
+		if params.SlotBytes <= HeaderSize {
+			panic(fmt.Sprintf("chdev: ring slot size %d below header size %d", params.SlotBytes, HeaderSize))
+		}
+		if params.SlotBytes > cfg.BufSize {
+			panic(fmt.Sprintf("chdev: ring slot size %d exceeds staging buffer size %d", params.SlotBytes, cfg.BufSize))
+		}
 	}
 	d := &Device{
 		eng:      eng,
@@ -250,12 +286,57 @@ func New(eng *sim.Engine, hca *ib.HCA, cfg Config, params core.Params, rank, siz
 		d.rpool.RegisterMetrics(d.cfg.Metrics, rank)
 		d.cfg.Metrics.GaugeFunc("chdev_pool_free",
 			func() int64 { return int64(d.srq.PostedRecvs()) }, metrics.RankLabel(rank))
+	} else if d.params.RingChannel() {
+		d.prov = &ringProvisioner{d: d}
+		d.rndvReadBytes = d.cfg.Metrics.Counter("chdev_rndv_read_bytes", metrics.RankLabel(rank))
+		d.cfg.Metrics.GaugeFunc("chdev_ring_occupancy_hwm",
+			func() int64 { return int64(d.ringOccupancyHWM()) }, metrics.RankLabel(rank))
+		d.cfg.Metrics.CounterFunc("chdev_ring_syncs",
+			func() uint64 { return d.ringSyncs() }, metrics.RankLabel(rank))
 	} else {
 		d.prov = &connProvisioner{d: d}
 	}
 	d.cfg.Metrics.GaugeFunc("chdev_buf_bytes_hwm",
 		func() int64 { return int64(d.prov.postedHWMBytes()) }, metrics.RankLabel(rank))
 	return d
+}
+
+// ringMode reports whether eager traffic runs on the persistent ring.
+func (d *Device) ringMode() bool { return d.params.RingChannel() }
+
+// ringOccupancyHWM is the worst in-flight slot count any ring direction
+// reached. The outbound view (written, head not yet returned) is where
+// backpressure registers; the inbound view (arrived, not yet consumed)
+// catches a receiver falling behind its own completions.
+func (d *Device) ringOccupancyHWM() int {
+	hwm := 0
+	for _, c := range d.conns {
+		if c == nil {
+			continue
+		}
+		if c.ringOut != nil {
+			if o := c.ringOut.Stats().OccupancyHWM; o > hwm {
+				hwm = o
+			}
+		}
+		if c.ringIn != nil {
+			if o := c.ringIn.Stats().OccupancyHWM; o > hwm {
+				hwm = o
+			}
+		}
+	}
+	return hwm
+}
+
+// ringSyncs totals explicit head-sync messages across connections.
+func (d *Device) ringSyncs() uint64 {
+	n := uint64(0)
+	for _, c := range d.conns {
+		if c != nil && c.ringIn != nil {
+			n += uint64(c.ringIn.Stats().Syncs)
+		}
+	}
+	return n
 }
 
 // onPoolLimit handles the SRQ's low-watermark limit event: the free
@@ -323,7 +404,18 @@ func establish(a, b *Device) {
 	// registry's first-sample offsets.
 	ca.vc.RegisterMetrics(a.cfg.Metrics, a.rank, b.rank)
 	cb.vc.RegisterMetrics(b.cfg.Metrics, b.rank, a.rank)
-	if a.cfg.RDMAEager {
+	if a.params.RingChannel() {
+		// Ring scheme: control descriptors from the provisioner, then
+		// each side allocates its inbound slot ring and the peers adopt
+		// the remote addresses (exchanged during connection setup, like
+		// the RDMAEager announce).
+		a.prov.provisionConn(ca)
+		b.prov.provisionConn(cb)
+		mrA := a.allocRing(ca)
+		mrB := b.allocRing(cb)
+		b.adoptRing(cb, mrA, a.params.Prepost, a.params.SlotBytes)
+		a.adoptRing(ca, mrB, b.params.Prepost, b.params.SlotBytes)
+	} else if a.cfg.RDMAEager {
 		a.prepost(ca, a.cfg.CtrlPrepost)
 		b.prepost(cb, b.cfg.CtrlPrepost)
 		mrA := a.allocSlots(ca, ca.vc.Posted())
@@ -346,6 +438,30 @@ func (d *Device) allocSlots(c *conn, n int) *ib.MR {
 		c.slots = append(c.slots, region[i*d.cfg.BufSize:(i+1)*d.cfg.BufSize])
 	}
 	return mr
+}
+
+// allocRing allocates and registers this side's inbound slot ring on c:
+// a fixed region of Prepost slots of SlotBytes each that the peer will
+// RDMA-write eager packets into. Unlike the RDMAEager channel there are
+// no free/used lists — the ring bookkeeping is position arithmetic.
+func (d *Device) allocRing(c *conn) *ib.MR {
+	n, sz := d.params.Prepost, d.params.SlotBytes
+	region := make([]byte, n*sz)
+	mr := d.hca.RegisterMemory(region)
+	for i := 0; i < n; i++ {
+		c.slots = append(c.slots, region[i*sz:(i+1)*sz])
+	}
+	c.ringIn = core.NewRing(n)
+	return mr
+}
+
+// adoptRing installs the peer's inbound ring as this side's outbound
+// one: n remote slots of sz bytes backed by mr, written at (tail mod n).
+func (d *Device) adoptRing(c *conn, mr *ib.MR, n, sz int) {
+	for i := 0; i < n; i++ {
+		c.slotsOut = append(c.slotsOut, ib.RemoteKey{MR: mr, Offset: i * sz})
+	}
+	c.ringOut = core.NewRing(n)
 }
 
 // announceSlots appends n remote slots backed by mr to the sender side of
@@ -405,6 +521,8 @@ func pktKind(t PktType) trace.Kind {
 		return trace.SendECM
 	case PktRingExt:
 		return trace.SendRingExt
+	case PktRingSync:
+		return trace.SendRingSync
 	}
 	return trace.Kind(0)
 }
@@ -473,6 +591,12 @@ func (d *Device) postPacket(c *conn, buf []byte, n int, ctx sendCtx) {
 		ctx.buf = buf
 	}
 	d.sendCtxs[d.wridSeq] = ctx
+	if c.ringIn != nil {
+		// The piggyback rule: every outgoing packet on a ring connection
+		// carries the receiver's current head, re-stamped post-encode so
+		// even backlogged or pre-built packets return the freshest value.
+		binary.LittleEndian.PutUint32(buf[44:], c.ringIn.TakeHead(true))
+	}
 	c.qp.PostSend(d.wridSeq, buf[:n])
 	c.vc.CountMsg()
 	c.lastSend = d.eng.Now()
@@ -491,6 +615,14 @@ func (d *Device) Send(p *sim.Proc, dst, tag int, comm uint16, data []byte, token
 	d.ProgressOnce(p)
 	c := d.conn(p, dst)
 	p.Sleep(d.cfg.SWSend)
+	if d.ringMode() {
+		if len(data) <= d.params.SlotBytes-HeaderSize {
+			d.sendRingEager(p, c, tag, comm, data, token, blocking)
+		} else {
+			d.sendRndvPath(p, c, tag, comm, data, token)
+		}
+		return
+	}
 	if len(data) <= d.cfg.EagerThreshold() {
 		if c.degraded {
 			// Degraded mode: the QP is frozen on RNR exhaustion, so
@@ -529,6 +661,48 @@ func (d *Device) SendSync(p *sim.Proc, dst, tag int, comm uint16, data []byte, t
 	d.sendRndvPath(p, c, tag, comm, data, token)
 }
 
+// sendRingEager routes a small message over the ring channel. The flow
+// control IS the ring geometry: a send needs a free slot between the
+// local tail and the peer's last announced head. A blocking send with no
+// free slot parks the rank's own process on the progress engine until a
+// head update arrives (slot-exhaustion backpressure — never a handler);
+// a non-blocking one joins the backlog and drains as heads come back.
+func (d *Device) sendRingEager(p *sim.Proc, c *conn, tag int, comm uint16, data []byte, token any, blocking bool) {
+	if blocking && !c.degraded && len(c.backlog) == 0 && c.ringOut.Free() == 0 {
+		d.tr(trace.Backlogged, c.peer, int64(len(data)))
+		d.WaitProgress(p, func() bool { return c.degraded || c.ringOut.Free() > 0 })
+	}
+	if !c.degraded && len(c.backlog) == 0 && c.ringOut.Free() > 0 {
+		c.vc.DecideEager(false) // non-user-level: counts EagerSent, always sends
+		d.postRingEager(p, c, tag, comm, data)
+		d.handler.SendDone(token)
+		return
+	}
+	d.tr(trace.Backlogged, c.peer, int64(len(data)))
+	c.vc.QueueFree()
+	d.enqueueEager(p, c, tag, comm, data, token)
+	if !c.degraded {
+		d.drainBacklog(p, c)
+	}
+}
+
+// postRingEager encodes an eager packet and writes it into the next ring
+// slot (the caller checked ringOut.Free).
+func (d *Device) postRingEager(p *sim.Proc, c *conn, tag int, comm uint16, data []byte) {
+	buf := d.pool.Get()
+	h := Header{
+		Type: PktEager,
+		Comm: comm,
+		Src:  int32(d.rank),
+		Tag:  int32(tag),
+		Len:  uint32(len(data)),
+	}
+	h.Encode(buf)
+	copy(buf[HeaderSize:], data)
+	p.Sleep(d.cfg.CopyTime(HeaderSize + len(data)))
+	d.postEagerPacket(c, buf, HeaderSize+len(data))
+}
+
 // sendRndvPath routes a message through the rendezvous protocol. The RTS
 // occupies a receiver buffer like any other send, so under user-level
 // schemes it consumes a credit; at zero credits (or behind a non-empty
@@ -537,7 +711,7 @@ func (d *Device) SendSync(p *sim.Proc, dst, tag int, comm uint16, data []byte, t
 // the paper observes in Figures 7-8.
 func (d *Device) sendRndvPath(p *sim.Proc, c *conn, tag int, comm uint16, data []byte, token any) {
 	out := d.newRndvOut(p, c, tag, comm, data, token, false)
-	if d.cfg.RDMAEager {
+	if d.cfg.RDMAEager || d.ringMode() {
 		// Control traffic rides the descriptor pool, outside the
 		// slot credit system — but it must not overtake backlogged
 		// eager traffic (MPI's non-overtaking order).
@@ -583,6 +757,20 @@ func (d *Device) postEager(p *sim.Proc, c *conn, tag int, comm uint16, data []by
 // channel is configured: a send/receive descriptor or an RDMA write into
 // the next persistent slot.
 func (d *Device) postEagerPacket(c *conn, buf []byte, n int) {
+	if c.ringOut != nil {
+		// Ring channel: write into the next ring position. Callers gate
+		// on ringOut.Free() before reaching here, so Reserve cannot
+		// overrun the peer's last announced head.
+		slot := c.ringOut.Reserve()
+		binary.LittleEndian.PutUint32(buf[44:], c.ringIn.TakeHead(true))
+		d.wridSeq++
+		d.sendCtxs[d.wridSeq] = sendCtx{kind: ctxBuf, buf: buf, conn: c}
+		c.qp.PostWriteNotify(d.wridSeq, buf[:n], c.slotsOut[slot], uint64(slot))
+		c.vc.CountMsg()
+		c.lastSend = d.eng.Now()
+		d.tr(trace.SendEager, c.peer, int64(n))
+		return
+	}
 	if !d.cfg.RDMAEager {
 		d.postPacket(c, buf, n, sendCtx{kind: ctxBuf})
 		return
@@ -610,9 +798,16 @@ func (d *Device) postEagerPacket(c *conn, buf []byte, n int) {
 // buffer is immediately reusable, so SendDone fires now.
 func (d *Device) enqueueEager(p *sim.Proc, c *conn, tag int, comm uint16, data []byte, token any) {
 	buf := d.pool.Get()
+	flags := FlagCredit | FlagStarved
+	if c.ringOut != nil {
+		// Ring flow control has no credits and no growth feedback; the
+		// packet is indistinguishable from a direct send once a slot
+		// frees up.
+		flags = 0
+	}
 	h := Header{
 		Type:  PktEager,
-		Flags: FlagCredit | FlagStarved,
+		Flags: flags,
 		Comm:  comm,
 		Src:   int32(d.rank),
 		Tag:   int32(tag),
@@ -662,7 +857,9 @@ func (d *Device) drainAdvance(c *conn) ([]byte, bool) {
 			// drain without a credit; an RC-channel RTS needs one
 			// under a user-level scheme.
 			consumed := false
-			if d.cfg.RDMAEager {
+			if d.cfg.RDMAEager || d.ringMode() {
+				// Control traffic is outside the slot/ring credit
+				// system; the entry queued only for ordering.
 				c.vc.DrainFree()
 			} else {
 				if !c.vc.CanDrainBacklog() {
@@ -673,6 +870,12 @@ func (d *Device) drainAdvance(c *conn) ([]byte, bool) {
 			c.popBacklog()
 			d.tr(trace.Drained, c.peer, 0)
 			return d.prepRTS(c, e.rndv, consumed), did
+		}
+		if c.ringOut != nil && c.ringOut.Free() == 0 {
+			// Ring slot exhaustion: wait for a head update before
+			// draining further (CanDrainBacklog below is unconditional
+			// for non-user-level schemes, so gate first).
+			return nil, did
 		}
 		if !c.vc.CanDrainBacklog() {
 			return nil, did
@@ -694,7 +897,8 @@ func (d *Device) newRndvOut(p *sim.Proc, c *conn, tag int, comm uint16, data []b
 		starved: starved, start: d.eng.Now()}
 	c.sendRndv[out.id] = out
 	if len(data) > 0 {
-		_, cost := d.regs.Register(data)
+		mr, cost := d.regs.Register(data)
+		out.mr = mr
 		p.Sleep(cost)
 	}
 	return out
@@ -739,6 +943,11 @@ func (d *Device) prepRTS(c *conn, out *rndvOut, consumed bool) []byte {
 		Piggyback: uint32(c.vc.TakePiggyback()),
 		ReqID:     out.id,
 	}
+	if d.ringMode() && len(out.data) > 0 {
+		// Ring rendezvous pulls with an RDMA read: the RTS carries the
+		// registered source region so the receiver needs no CTS round.
+		h.MRID = uint32(out.mr.ID())
+	}
 	h.Encode(buf)
 	return buf
 }
@@ -748,6 +957,18 @@ func (d *Device) prepRTS(c *conn, out *rndvOut, consumed bool) []byte {
 // path: the MPI layer calls it when a receive posted after the RTS
 // finally matches (the in-band accept runs on the progress machine).
 func (d *Device) AcceptRndv(p *sim.Proc, r *RndvIn, buf []byte) {
+	if d.ringMode() {
+		cost, reg := d.acceptReadStart(r, buf)
+		if reg {
+			p.Sleep(cost)
+		}
+		if r.Len == 0 {
+			d.finishRndvRead(r)
+			return
+		}
+		d.postRndvRead(r)
+		return
+	}
 	h, cost, reg := d.acceptStart(r, buf)
 	if reg {
 		p.Sleep(cost)
@@ -791,6 +1012,50 @@ func (d *Device) acceptStart(r *RndvIn, buf []byte) (h Header, cost sim.Time, re
 		return h, regCost, true
 	}
 	return h, 0, false
+}
+
+// acceptReadStart runs the accept bookkeeping for a ring-scheme
+// rendezvous, whose payload the receiver pulls with an RDMA read (the
+// RTS carried the source region; no CTS round exists). reg reports
+// whether a registration charge of `cost` is due before the read posts.
+func (d *Device) acceptReadStart(r *RndvIn, buf []byte) (cost sim.Time, reg bool) {
+	if r.accepted {
+		panic("chdev: rendezvous accepted twice")
+	}
+	if len(buf) < r.Len {
+		panic(fmt.Sprintf("chdev: rendezvous buffer %d bytes for %d-byte message", len(buf), r.Len))
+	}
+	r.accepted = true
+	r.buf = buf
+	if r.Len > 0 {
+		_, regCost := d.regs.Register(buf[:r.Len])
+		return regCost, true
+	}
+	return 0, false
+}
+
+// postRndvRead posts the RDMA read pulling an accepted ring-scheme
+// rendezvous payload from the sender's registered region. Completion
+// (OpReadComplete) sends the FIN and delivers the data.
+func (d *Device) postRndvRead(r *RndvIn) {
+	c := r.conn
+	mr := c.qp.Peer().HCA().LookupMR(int(r.senderMR))
+	d.wridSeq++
+	d.sendCtxs[d.wridSeq] = sendCtx{kind: ctxRndvRead, rin: r, conn: c}
+	c.qp.PostRead(d.wridSeq, r.buf[:r.Len], ib.RemoteKey{MR: mr})
+	c.vc.CountMsg()
+	c.lastSend = d.eng.Now()
+	d.rndvReadBytes.Add(uint64(r.Len))
+	d.rndvReadTotal += uint64(r.Len)
+	d.tr(trace.SendRDMARead, c.peer, int64(r.Len))
+}
+
+// finishRndvRead completes a ring-scheme rendezvous at the receiver: the
+// payload (if any) is in r.buf, so tell the sender (FIN) and the MPI
+// layer. Runs in event context; charges no time.
+func (d *Device) finishRndvRead(r *RndvIn) {
+	d.sendFin(r.conn, r.senderReq)
+	d.handler.DeliverRndvDone(r)
 }
 
 // sendFin posts the rendezvous completion control message. It runs in
@@ -896,6 +1161,14 @@ func (d *Device) flushCredits() bool {
 		if c == nil {
 			continue
 		}
+		if c.ringIn != nil {
+			// Ring channel: what flows back is the head pointer, not
+			// credits. Same silence gate, different message.
+			if c.ringIn.NeedSync() && d.maybeSendRingSync(c) {
+				did = true
+			}
+			continue
+		}
 		if !d.cfg.RDMAEager {
 			// Shrinking persistent slots would need another
 			// cooperation round; not modelled.
@@ -915,6 +1188,14 @@ func (d *Device) flushCredits() bool {
 func (d *Device) ecmTimer(c *conn) *sim.Timer {
 	if c.ecmTimer == nil {
 		c.ecmTimer = sim.NewTimer(d.eng, func() {
+			if c.ringIn != nil {
+				if c.ringIn.NeedSync() && d.eng.Now()-c.lastSend >= d.cfg.ECMSilence {
+					d.sendRingSync(c)
+				} else if c.ringIn.NeedSync() {
+					c.ecmTimer.Reset(d.cfg.ECMSilence)
+				}
+				return
+			}
 			if c.vc.NeedECM() && d.eng.Now()-c.lastSend >= d.cfg.ECMSilence {
 				d.sendECM(c)
 			} else if c.vc.NeedECM() {
@@ -940,6 +1221,62 @@ func (d *Device) maybeSendECM(c *conn) bool {
 		t.Reset(c.lastSend + silence - now)
 	}
 	return false
+}
+
+// maybeSendRingSync is the ring channel's silence gate: an explicit head
+// sync goes out only when no reverse traffic has carried the head for
+// ECMSilence; otherwise a timer keeps the update flowing even if this
+// rank stays parked (liveness: the peer may be out of ring slots).
+func (d *Device) maybeSendRingSync(c *conn) bool {
+	now := d.eng.Now()
+	silence := d.cfg.ECMSilence
+	if now-c.lastSend >= silence {
+		return d.sendRingSync(c)
+	}
+	t := d.ecmTimer(c)
+	if !t.Armed() {
+		t.Reset(c.lastSend + silence - now)
+	}
+	return false
+}
+
+// sendRingSync posts the ring channel's explicit head update — the
+// analogue of an ECM when the reverse path is idle. It may run from a
+// timer event, so it charges no process time. The fault hooks mirror
+// sendECM: a drop leaves the head unannounced (headSent unchanged, so
+// NeedSync stays true and the timer retries); a duplicate re-sends the
+// same absolute head, which SeenHead ignores as stale.
+func (d *Device) sendRingSync(c *conn) bool {
+	now := d.eng.Now()
+	if d.cfg.Faults != nil && d.cfg.Faults.DropECM(now, d.rank, c.peer) {
+		c.vc.NoteECMDropped()
+		d.tr(trace.ECMDropped, c.peer, int64(c.ringIn.Unsynced()))
+		t := d.ecmTimer(c)
+		if !t.Armed() {
+			t.Reset(d.cfg.ECMSilence)
+		}
+		return false
+	}
+	buf := d.pool.Get()
+	h := Header{
+		Type:     PktRingSync,
+		Src:      int32(d.rank),
+		RingHead: c.ringIn.TakeHead(false),
+	}
+	h.Encode(buf)
+	d.postPacket(c, buf, HeaderSize, sendCtx{kind: ctxBuf})
+	if d.cfg.Faults != nil && d.cfg.Faults.DuplicateECM(now, d.rank, c.peer) {
+		c.vc.NoteECMDuplicated()
+		d.tr(trace.ECMDuplicated, c.peer, 0)
+		dup := d.pool.Get()
+		// Same absolute head again: SeenHead at the peer treats the
+		// second application as stale, so duplication cannot free slots
+		// twice.
+		dh := Header{Type: PktRingSync, Src: int32(d.rank), RingHead: c.ringIn.TakeHead(false)}
+		dh.Encode(dup)
+		d.postPacket(c, dup, HeaderSize, sendCtx{kind: ctxBuf})
+	}
+	return true
 }
 
 // WaitProgress runs the progress engine until done() holds, blocking on
@@ -996,7 +1333,13 @@ func (d *Device) Busy() bool { return d.handling > 0 }
 // credits as in flight.
 func (d *Device) CreditFlushPending() bool {
 	for _, c := range d.conns {
-		if c != nil && c.vc.NeedECM() {
+		if c == nil {
+			continue
+		}
+		if c.ringIn != nil && c.ringIn.NeedSync() {
+			return true
+		}
+		if c.vc.NeedECM() {
 			return true
 		}
 	}
@@ -1038,6 +1381,10 @@ func (d *Device) retireSend(wc ib.WC) {
 		delete(ctx.conn.sendRndv, ctx.out.id)
 		d.rndvHist.ObserveTime(d.eng.Now() - ctx.out.start)
 		d.handler.SendDone(ctx.out.token)
+	case ctxRndvRead:
+		// The RDMA read pulled the payload into the accepted buffer:
+		// complete at the receiver and FIN the sender.
+		d.finishRndvRead(ctx.rin)
 	}
 }
 
@@ -1115,7 +1462,20 @@ func (d *Device) Stats() Stats {
 		s.Retransmits += qs.Retransmits
 		s.WastedBytes += qs.WastedBytes
 		s.RNRExhausted += qs.RNRExhausted
+		if c.ringIn != nil {
+			rs := c.ringIn.Stats()
+			s.RingSyncs += uint64(rs.Syncs)
+			if rs.OccupancyHWM > s.RingOccupancyHWM {
+				s.RingOccupancyHWM = rs.OccupancyHWM
+			}
+		}
+		if c.ringOut != nil {
+			if o := c.ringOut.Stats().OccupancyHWM; o > s.RingOccupancyHWM {
+				s.RingOccupancyHWM = o
+			}
+		}
 	}
+	s.RndvReadBytes = d.rndvReadTotal
 	if d.rpool != nil {
 		// Shared shape: the pool's accounting replaces the per-VC
 		// receiver-side numbers, which are vestigial under this scheme.
@@ -1126,6 +1486,11 @@ func (d *Device) Stats() Stats {
 	}
 	s.SumPosted = d.prov.posted()
 	s.BufBytesInUse = s.SumPosted * d.cfg.BufSize
+	if d.ringMode() {
+		// The ring slots are pinned for the connection's lifetime; they
+		// are receive memory even though nothing is "posted" for them.
+		s.BufBytesInUse += s.Conns * d.params.Prepost * d.params.SlotBytes
+	}
 	s.BufBytesHWM = d.prov.postedHWMBytes()
 	return s
 }

@@ -23,6 +23,10 @@ const (
 	// sender (dynamic growth on the RDMA channel requires cooperation:
 	// the new buffers are unusable until their addresses are known).
 	PktRingExt
+	// PktRingSync carries the ring scheme's receiver head pointer when
+	// the reverse path has been idle too long for piggybacking — the
+	// ring channel's analogue of an ECM.
+	PktRingSync
 )
 
 func (t PktType) String() string {
@@ -39,6 +43,8 @@ func (t PktType) String() string {
 		return "CREDIT"
 	case PktRingExt:
 		return "RING_EXT"
+	case PktRingSync:
+		return "RING_SYNC"
 	}
 	return fmt.Sprintf("PktType(%d)", uint8(t))
 }
@@ -75,6 +81,7 @@ type Header struct {
 	MROffset  uint32 // CTS: destination offset
 	ReqID     uint64 // RTS: sender request; CTS: echo; FIN: receiver request
 	PeerReqID uint64 // CTS: receiver request id for the later FIN
+	RingHead  uint32 // ring scheme: receiver's absolute head pointer
 }
 
 // Encode writes the header into b[:HeaderSize].
@@ -91,7 +98,7 @@ func (h *Header) Encode(b []byte) {
 	binary.LittleEndian.PutUint32(b[24:], h.MROffset)
 	binary.LittleEndian.PutUint64(b[28:], h.ReqID)
 	binary.LittleEndian.PutUint64(b[36:], h.PeerReqID)
-	binary.LittleEndian.PutUint32(b[44:], 0)
+	binary.LittleEndian.PutUint32(b[44:], h.RingHead)
 }
 
 // DecodeHeader reads a header from b[:HeaderSize].
@@ -109,5 +116,6 @@ func DecodeHeader(b []byte) Header {
 		MROffset:  binary.LittleEndian.Uint32(b[24:]),
 		ReqID:     binary.LittleEndian.Uint64(b[28:]),
 		PeerReqID: binary.LittleEndian.Uint64(b[36:]),
+		RingHead:  binary.LittleEndian.Uint32(b[44:]),
 	}
 }

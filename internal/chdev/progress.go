@@ -45,6 +45,9 @@ const (
 	pcAcceptEncode
 	// pcAcceptPost (staged: header copy): post the CTS reply.
 	pcAcceptPost
+	// pcReadPost (staged: registration): post the ring rendezvous RDMA
+	// read (or finish immediately for a zero-length transfer).
+	pcReadPost
 	// pcPktTail: trace, buffer re-post/retire, next completion.
 	pcPktTail
 	// pcDrain: advance the current connection's backlog.
@@ -80,6 +83,9 @@ type progressMachine struct {
 	// Rendezvous-accept staging (pcAcceptEncode/pcAcceptPost).
 	acceptHdr Header
 	acceptPkt []byte
+
+	// Ring rendezvous-read staging (pcReadPost).
+	readR *RndvIn
 
 	// Backlog-drain staging: the connection being drained and where to
 	// continue once it can make no more progress.
@@ -186,7 +192,7 @@ func (m *progressMachine) step() {
 			// settlement detector.
 			d.handling++
 			switch wc.Opcode {
-			case ib.OpSendComplete, ib.OpWriteComplete:
+			case ib.OpSendComplete, ib.OpWriteComplete, ib.OpReadComplete:
 				d.retireSend(wc)
 				d.handling--
 				continue
@@ -206,7 +212,18 @@ func (m *progressMachine) step() {
 					panic("chdev: notify on unknown QP")
 				}
 				m.c = c
-				m.buf = c.slots[int(wc.Imm)]
+				if c.ringIn != nil {
+					// Ring channel: arrivals are in-order, so the slot
+					// is determined by the ring tail; the immediate
+					// value must agree with it.
+					slot := c.ringIn.Arrived()
+					if slot != int(wc.Imm) {
+						panic(fmt.Sprintf("chdev: ring arrival in slot %d, expected %d", wc.Imm, slot))
+					}
+					m.buf = c.slots[slot]
+				} else {
+					m.buf = c.slots[int(wc.Imm)]
+				}
 				m.viaRDMA = true
 			default:
 				panic(fmt.Sprintf("chdev: unexpected completion opcode %v", wc.Opcode))
@@ -224,6 +241,17 @@ func (m *progressMachine) step() {
 			return
 
 		case pcPktCredits:
+			if m.c.ringOut != nil {
+				// Ring channel: every inbound packet piggybacks the
+				// peer's receive head; an advance frees outbound slots,
+				// which may unblock the backlog.
+				if m.c.ringOut.SeenHead(m.hdr.RingHead) {
+					m.startDrain(m.c, pcPktBody)
+					continue
+				}
+				m.pc = pcPktBody
+				continue
+			}
 			if m.hdr.Piggyback > 0 {
 				m.c.vc.AddCredits(int(m.hdr.Piggyback))
 				if d.cfg.RDMAEager {
@@ -268,10 +296,24 @@ func (m *progressMachine) step() {
 					Len:       int(m.hdr.Len),
 					conn:      m.c,
 					senderReq: m.hdr.ReqID,
+					senderMR:  m.hdr.MRID,
 				}
 				ubuf, accept := d.handler.DeliverRndvStart(r)
 				if !accept {
 					m.pc = pcPktTail
+					continue
+				}
+				if d.ringMode() {
+					// Ring rendezvous: the RTS carried the source
+					// region, so pull with an RDMA read — no CTS round.
+					cost, reg := d.acceptReadStart(r, ubuf)
+					m.readR = r
+					m.pc = pcReadPost
+					if reg {
+						// was: the registration-cost sleep in AcceptRndv
+						d.eng.AfterCall(cost, m, 0)
+						return
+					}
 					continue
 				}
 				h, cost, reg := d.acceptStart(r, ubuf)
@@ -304,6 +346,19 @@ func (m *progressMachine) step() {
 				}
 				m.pc = pcPktTail
 			case PktFin:
+				if d.ringMode() {
+					// Ring rendezvous FIN travels receiver -> sender:
+					// the RDMA read finished, the source buffer is free.
+					out, ok := m.c.sendRndv[m.hdr.ReqID]
+					if !ok {
+						panic("chdev: FIN for unknown rendezvous")
+					}
+					delete(m.c.sendRndv, out.id)
+					d.rndvHist.ObserveTime(d.eng.Now() - out.start)
+					d.handler.SendDone(out.token)
+					m.pc = pcPktTail
+					continue
+				}
 				r, ok := m.c.recvRndv[m.hdr.ReqID]
 				if !ok {
 					panic("chdev: FIN for unknown rendezvous")
@@ -313,6 +368,9 @@ func (m *progressMachine) step() {
 				m.pc = pcPktTail
 			case PktCredit:
 				// Credits were handled at pcPktCredits.
+				m.pc = pcPktTail
+			case PktRingSync:
+				// The head update was applied at pcPktCredits.
 				m.pc = pcPktTail
 			case PktRingExt:
 				// New persistent slots at the peer: resolve the region
@@ -342,11 +400,28 @@ func (m *progressMachine) step() {
 			m.acceptPkt = nil
 			m.pc = pcPktTail
 
+		case pcReadPost:
+			r := m.readR
+			m.readR = nil
+			if r.Len == 0 {
+				d.finishRndvRead(r)
+			} else {
+				d.postRndvRead(r)
+			}
+			m.pc = pcPktTail
+
 		case pcPktTail:
 			d.tr(trace.Recv, m.c.peer, int64(m.hdr.Type))
 			if m.viaRDMA {
-				// The slot frees implicitly; only credit accounting runs.
-				m.c.vc.BufferProcessed(m.hdr.Flags&FlagCredit != 0, d.eng.Now())
+				if m.c.ringIn != nil {
+					// Ring channel: consuming the slot advances the
+					// head; the peer learns it from the next piggyback
+					// or an explicit sync.
+					m.c.ringIn.Consumed()
+				} else {
+					// The slot frees implicitly; only credit accounting runs.
+					m.c.vc.BufferProcessed(m.hdr.Flags&FlagCredit != 0, d.eng.Now())
+				}
 			} else {
 				d.prov.processed(m.c, m.buf, m.hdr.Flags&FlagCredit != 0)
 			}

@@ -95,6 +95,77 @@ func (cp *connProvisioner) postedHWMBytes() int {
 // Audit, where both endpoints are in hand.
 func (cp *connProvisioner) audit() error { return nil }
 
+// ringProvisioner is the ring shape (core.KindRDMA): eager data lands in
+// persistent RDMA-written ring slots that consume no receive descriptors
+// at all, so the only posted receives are a small fixed control quota per
+// connection (RTS/FIN/sync packets), recycled 1:1. Flow control is the
+// ring geometry itself — audited here per endpoint and pairwise in Audit.
+type ringProvisioner struct {
+	d *Device
+}
+
+func (rp *ringProvisioner) newQP() *ib.QP {
+	return rp.d.hca.NewQP(rp.d.cq, rp.d.cq)
+}
+
+func (rp *ringProvisioner) provisionConn(c *conn) {
+	rp.d.prepost(c, rp.d.cfg.CtrlPrepost)
+}
+
+func (rp *ringProvisioner) arrival(wc ib.WC, slot recvSlot) *conn {
+	return slot.conn
+}
+
+// processed recycles a consumed control buffer 1:1: eager data never
+// lands here (it arrives in ring slots via OpRecvImm), so the control
+// quota is constant for the connection's lifetime.
+func (rp *ringProvisioner) processed(c *conn, buf []byte, consumedCredit bool) {
+	rp.d.postRecvBuf(c, buf)
+}
+
+func (rp *ringProvisioner) posted() int {
+	n := 0
+	for _, c := range rp.d.conns {
+		if c != nil {
+			n += rp.d.cfg.CtrlPrepost
+		}
+	}
+	return n
+}
+
+// postedHWMBytes counts the pinned ring slots alongside the control
+// receives: both are per-connection receive memory held for the
+// connection's lifetime, and the sum is what the scaling benchmark
+// plots. It is also the high-water mark — the ring never grows.
+func (rp *ringProvisioner) postedHWMBytes() int {
+	n := 0
+	for _, c := range rp.d.conns {
+		if c != nil {
+			n += rp.d.params.Prepost*rp.d.params.SlotBytes + rp.d.cfg.CtrlPrepost*rp.d.cfg.BufSize
+		}
+	}
+	return n
+}
+
+// audit checks each endpoint's ring laws at quiescence: the counter
+// invariants (head <= tail <= head + slots in signed-distance form) and
+// full consumption — every arrived slot was consumed, so head == tail on
+// the inbound view.
+func (rp *ringProvisioner) audit() error {
+	for _, c := range rp.d.conns {
+		if c == nil {
+			continue
+		}
+		c.ringIn.CheckInvariants()
+		c.ringOut.CheckInvariants()
+		if h, t := c.ringIn.Head(), c.ringIn.Tail(); h != t {
+			return fmt.Errorf("chdev audit: rank %d peer %d: %d ring arrivals unconsumed at quiescence",
+				rp.d.rank, c.peer, int32(t-h))
+		}
+	}
+	return nil
+}
+
 // poolProvisioner is the shared shape: one SRQ holds every receive
 // descriptor, every QP consumes from it, and a core.Pool carries the
 // accounting. Replenishment is watermark-driven — the SRQ limit event

@@ -52,6 +52,15 @@ const (
 	// receiver replenishes the pool when a low-watermark limit event
 	// fires, decoupling receive memory from the connection count.
 	KindShared
+	// KindRDMA moves eager data over a persistent per-connection ring of
+	// pre-registered RDMA-write slots (the MPICH2-over-InfiniBand design
+	// that followed the paper): the sender owns the ring tail, the
+	// receiver owns the head, credits return by piggybacking the head
+	// pointer on reverse-direction traffic (with an explicit sync when
+	// the reverse path is idle), and large messages use an RDMA-read
+	// rendezvous. No receive descriptors are consumed by eager data at
+	// all, so receive posting and flow control are fully decoupled.
+	KindRDMA
 )
 
 func (k Kind) String() string {
@@ -64,6 +73,8 @@ func (k Kind) String() string {
 		return "dynamic"
 	case KindShared:
 		return "shared"
+	case KindRDMA:
+		return "rdma"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -152,6 +163,11 @@ type Params struct {
 	// SRQ limit event fires and the pool grows by Increment (up to Max,
 	// paced by GrowthCooldown). Defaults to Prepost/4, at least 1.
 	PoolWatermark int
+
+	// SlotBytes is the RDMA ring scheme's per-slot buffer size: the
+	// eager threshold on that channel is SlotBytes minus the packet
+	// header. Prepost doubles as the slot count per direction.
+	SlotBytes int
 }
 
 // Hardware returns parameters for the hardware-based scheme.
@@ -204,6 +220,14 @@ func Shared(prepost, max int) Params {
 	}
 }
 
+// RDMA returns parameters for the RDMA-write eager ring scheme: slots
+// pre-registered buffers of slotBytes each per direction of every
+// connection, polled head/tail, credits piggybacked as the receiver's
+// head pointer.
+func RDMA(slots, slotBytes int) Params {
+	return Params{Kind: KindRDMA, Prepost: slots, SlotBytes: slotBytes}
+}
+
 // Validate checks the parameter combination and fills defaulted fields.
 func (p *Params) Validate() error {
 	if p.Prepost < 1 {
@@ -227,6 +251,14 @@ func (p *Params) Validate() error {
 		}
 		if p.ShrinkIdle > 0 {
 			return fmt.Errorf("core: shared pool does not support shrinking")
+		}
+		return nil
+	case KindRDMA:
+		if p.SlotBytes < 64 {
+			return fmt.Errorf("core: rdma slot size %d < 64", p.SlotBytes)
+		}
+		if p.ShrinkIdle > 0 {
+			return fmt.Errorf("core: rdma ring does not support shrinking")
 		}
 		return nil
 	case KindStatic, KindDynamic:
@@ -259,3 +291,7 @@ func (p *Params) UserLevel() bool { return p.Kind == KindStatic || p.Kind == Kin
 // SharedPool reports whether receive buffers come from a shared SRQ pool
 // instead of per-connection queues.
 func (p *Params) SharedPool() bool { return p.Kind == KindShared }
+
+// RingChannel reports whether eager data moves over the persistent
+// RDMA-write slot ring instead of send/recv descriptors.
+func (p *Params) RingChannel() bool { return p.Kind == KindRDMA }

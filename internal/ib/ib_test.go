@@ -361,6 +361,46 @@ func TestRDMAWriteNotifySurfacesImmediate(t *testing.T) {
 	}
 }
 
+// TestWriteNotifyNeedsNoReceiveDescriptor pins the verb semantics the
+// ring channel is built on: RDMA write-with-notify lands in registered
+// memory and surfaces OpRecvImm without consuming a receive descriptor,
+// so a burst at a QP with zero posted receives must complete without a
+// single RNR NAK — that is exactly why a persistent ring needs no
+// receiver-side buffer posting and no credit for the wire itself.
+func TestWriteNotifyNeedsNoReceiveDescriptor(t *testing.T) {
+	eng, qp0, qp1, cq0, cq1 := pair(DefaultConfig())
+	const n = 8
+	region := make([]byte, 16*n)
+	mr := qp1.HCA().RegisterMemory(region)
+	for i := 0; i < n; i++ {
+		qp0.PostWriteNotify(uint64(i), []byte{byte(i)}, RemoteKey{MR: mr, Offset: i * 16}, uint64(i))
+	}
+	if err := eng.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		wc, ok := cq1.Poll()
+		if !ok || wc.Opcode != OpRecvImm || wc.Imm != uint64(i) {
+			t.Fatalf("notify %d = %+v ok=%v", i, wc, ok)
+		}
+		if region[i*16] != byte(i) {
+			t.Errorf("slot %d payload = %d", i, region[i*16])
+		}
+	}
+	for i := 0; i < n; i++ {
+		wc, ok := cq0.Poll()
+		if !ok || wc.Opcode != OpWriteComplete || wc.WRID != uint64(i) || wc.Status != StatusSuccess {
+			t.Errorf("write completion %d = %+v ok=%v", i, wc, ok)
+		}
+	}
+	if got := qp0.Stats().RNRNaks; got != 0 {
+		t.Errorf("RNRNaks = %d, want 0 (write-notify must not need receive descriptors)", got)
+	}
+	if got := qp1.PostedRecvs(); got != 0 {
+		t.Errorf("PostedRecvs = %d, want 0 (none were posted, none may be consumed)", got)
+	}
+}
+
 func TestRDMARead(t *testing.T) {
 	eng, qp0, qp1, cq0, _ := pair(DefaultConfig())
 	region := []byte("remote-data-here")

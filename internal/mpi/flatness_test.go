@@ -15,7 +15,7 @@ import (
 // the migration both grew with rank count, which is what capped worlds
 // at a few dozen ranks.
 
-// flatnessSchemes are the four flow-control schemes, at the scaling
+// flatnessSchemes are the five flow-control schemes, at the scaling
 // benchmark's provisioning.
 func flatnessSchemes() []core.Params {
 	return []core.Params{
@@ -23,6 +23,7 @@ func flatnessSchemes() []core.Params {
 		core.Static(8),
 		core.Dynamic(8, 64),
 		core.Shared(16, 96),
+		core.RDMA(8, 1024),
 	}
 }
 

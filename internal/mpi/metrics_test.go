@@ -41,13 +41,14 @@ func runInstrumented(t *testing.T, opts Options, n int) *World {
 
 // TestMetricsDumpDeterminism is the subsystem's core contract: the same
 // seed and configuration must yield byte-identical metric dumps in every
-// export format, across all four flow control schemes.
+// export format, across all five flow control schemes.
 func TestMetricsDumpDeterminism(t *testing.T) {
 	schemes := []core.Params{
 		core.Hardware(2),
 		core.Static(2),
 		core.Dynamic(1, 64),
 		core.Shared(4, 64),
+		core.RDMA(4, 1024),
 	}
 	for _, fc := range schemes {
 		fc := fc

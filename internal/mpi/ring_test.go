@@ -1,0 +1,201 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+
+	"ibflow/internal/core"
+	"ibflow/internal/sim"
+)
+
+// Tests for the ring scheme (core.KindRDMA): the persistent RDMA-write
+// eager channel whose flow control is the ring geometry itself. The
+// edge cases pinned here are exactly the ones a head/tail design gets
+// wrong first: slot wraparound, slot-exhaustion backpressure, and head
+// return over an idle reverse path.
+
+// runRing builds an n-rank world on a small ring and runs main.
+func runRing(t *testing.T, n, slots, slotBytes int, main func(c *Comm)) *World {
+	t.Helper()
+	opts := DefaultOptions(core.RDMA(slots, slotBytes))
+	opts.Settle = true // the audit below needs every completion drained
+	w := NewWorld(n, opts)
+	if err := w.Run(main); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := w.Audit(); err != nil {
+		t.Fatalf("audit: %v", err)
+	}
+	return w
+}
+
+// TestRingWraparoundFlood pushes far more messages than the ring has
+// slots through a tiny 2-slot ring in both directions, with payload
+// verification: the absolute head/tail counters must wrap the slot
+// positions without ever landing a packet in the wrong slot.
+func TestRingWraparoundFlood(t *testing.T) {
+	const msgs = 100 // 50 ring revolutions on 2 slots
+	runRing(t, 2, 2, 256, func(c *Comm) {
+		me, peer := c.Rank(), 1-c.Rank()
+		var reqs []*Request
+		bufs := make([][]byte, msgs)
+		for i := 0; i < msgs; i++ {
+			bufs[i] = make([]byte, 64)
+			reqs = append(reqs, c.Irecv(peer, i, bufs[i]))
+		}
+		for i := 0; i < msgs; i++ {
+			data := make([]byte, 64)
+			fillPattern(data, byte(me*131+i))
+			c.Wait(c.Isend(peer, i, data))
+		}
+		c.Waitall(reqs...)
+		for i := 0; i < msgs; i++ {
+			if !checkPattern(bufs[i], byte(peer*131+i)) {
+				c.Abort(fmt.Sprintf("message %d corrupted crossing the slot boundary", i))
+			}
+		}
+	})
+}
+
+// TestRingBackpressureParksSender fires a one-way blocking burst at a
+// receiver that sits in a long compute: the sender must fill the ring,
+// park its own rank main on the progress engine (never a handler), and
+// finish once the receiver drains and its head flows back. The
+// occupancy high-water mark proves the ring actually filled.
+func TestRingBackpressureParksSender(t *testing.T) {
+	const slots, msgs = 4, 32
+	w := runRing(t, 2, slots, 256, func(c *Comm) {
+		if c.Rank() == 0 {
+			data := make([]byte, 64)
+			for i := 0; i < msgs; i++ {
+				fillPattern(data, byte(i))
+				c.Send(1, i, data) // blocking: parks when the ring is full
+			}
+		} else {
+			// A long compute delay guarantees the sender hits slot
+			// exhaustion before the first receive is even posted.
+			c.Compute(500 * sim.Microsecond)
+			buf := make([]byte, 64)
+			for i := 0; i < msgs; i++ {
+				c.Recv(0, i, buf)
+				if !checkPattern(buf, byte(i)) {
+					c.Abort(fmt.Sprintf("message %d corrupted under backpressure", i))
+				}
+			}
+		}
+	})
+	st := w.Stats()
+	if st.RingOccupancyHWM != slots {
+		t.Errorf("ring occupancy HWM = %d, want %d (the burst must fill the ring)",
+			st.RingOccupancyHWM, slots)
+	}
+}
+
+// TestRingSyncOnIdleReversePath drives strictly one-way traffic: the
+// receiver never sends, so no reverse packet exists for the head to
+// piggyback on, and only explicit credit-sync messages can reopen the
+// ring. The run completing at all proves the sync path works; the stats
+// pin that it was exercised and that piggybacking stayed silent.
+func TestRingSyncOnIdleReversePath(t *testing.T) {
+	const slots, msgs = 4, 40
+	w := runRing(t, 2, slots, 256, func(c *Comm) {
+		data := make([]byte, 64)
+		if c.Rank() == 0 {
+			for i := 0; i < msgs; i++ {
+				fillPattern(data, byte(i))
+				c.Send(1, i, data)
+			}
+		} else {
+			buf := make([]byte, 64)
+			for i := 0; i < msgs; i++ {
+				c.Recv(0, i, buf)
+				if !checkPattern(buf, byte(i)) {
+					c.Abort(fmt.Sprintf("message %d corrupted on one-way stream", i))
+				}
+			}
+		}
+	})
+	if st := w.Stats(); st.RingSyncs == 0 {
+		t.Error("no explicit ring sync fired on a one-way stream (sender should have deadlocked)")
+	}
+}
+
+// TestRingRendezvousRead moves payloads above the slot capacity: they
+// must take the RDMA-read rendezvous (RTS carries the source region, the
+// receiver pulls, a FIN completes the sender) and the read-byte counter
+// must account every payload byte exactly once.
+func TestRingRendezvousRead(t *testing.T) {
+	sizes := []int{2048, 65536, 0, 1000}
+	total := 0
+	for _, n := range sizes {
+		if n > 1024-48 { // above SlotBytes-HeaderSize: pulled by RDMA read
+			total += n
+		}
+	}
+	w := runRing(t, 2, 4, 1024, func(c *Comm) {
+		me, peer := c.Rank(), 1-c.Rank()
+		var reqs []*Request
+		bufs := make([][]byte, len(sizes))
+		for i, n := range sizes {
+			bufs[i] = make([]byte, n)
+			reqs = append(reqs, c.Irecv(peer, i, bufs[i]))
+		}
+		for i, n := range sizes {
+			data := make([]byte, n)
+			fillPattern(data, byte(me*131+i))
+			c.Wait(c.Isend(peer, i, data))
+		}
+		c.Waitall(reqs...)
+		for i := range sizes {
+			if !checkPattern(bufs[i], byte(peer*131+i)) {
+				c.Abort(fmt.Sprintf("rendezvous payload %d corrupted", i))
+			}
+		}
+	})
+	if st, want := w.Stats(), uint64(2*total); st.RndvReadBytes != want {
+		t.Errorf("rendezvous read bytes = %d, want %d", st.RndvReadBytes, want)
+	}
+}
+
+// TestRingManyToOne hammers a single receiver from every other rank —
+// the asymmetric pattern that breaks pure piggybacking — over a tiny
+// ring, with rendezvous traffic mixed in.
+func TestRingManyToOne(t *testing.T) {
+	const n, msgs = 4, 20
+	runRing(t, n, 2, 512, func(c *Comm) {
+		me := c.Rank()
+		if me == 0 {
+			var reqs []*Request
+			bufs := make(map[int][]byte)
+			for src := 1; src < n; src++ {
+				for i := 0; i < msgs; i++ {
+					size := 64
+					if i%5 == 4 {
+						size = 4096 // rendezvous mixed in
+					}
+					buf := make([]byte, size)
+					bufs[src*msgs+i] = buf
+					reqs = append(reqs, c.Irecv(src, i, buf))
+				}
+			}
+			c.Waitall(reqs...)
+			for src := 1; src < n; src++ {
+				for i := 0; i < msgs; i++ {
+					if !checkPattern(bufs[src*msgs+i], byte(src*53+i)) {
+						c.Abort(fmt.Sprintf("payload %d from %d corrupted", i, src))
+					}
+				}
+			}
+		} else {
+			for i := 0; i < msgs; i++ {
+				size := 64
+				if i%5 == 4 {
+					size = 4096
+				}
+				data := make([]byte, size)
+				fillPattern(data, byte(me*53+i))
+				c.Send(0, i, data)
+			}
+		}
+	})
+}

@@ -39,9 +39,9 @@ type semanticGolden struct {
 	MetricKeys string `json:"metric_keys_digest"`
 }
 
-// semanticCells enumerates the pinned worlds: all four schemes on the
-// send/recv channel, the RDMA eager channel where supported, and the
-// on-demand connection path. One fixed seed per cell — determinism of
+// semanticCells enumerates the pinned worlds: all five schemes (the ring
+// scheme carries its own channel), the RDMA eager channel where
+// supported, and the on-demand connection path. One fixed seed per cell — determinism of
 // the engine (same world, same bytes) is already pinned by the torture
 // rerun tests; this file pins identity across the migration.
 func semanticCells() []struct {
@@ -58,6 +58,7 @@ func semanticCells() []struct {
 		{"static", core.Static(2), nil},
 		{"dynamic", core.Dynamic(1, 64), nil},
 		{"shared", core.Shared(4, 64), nil},
+		{"rdma", core.RDMA(4, 1024), nil},
 		{"hardware-rdma", core.Hardware(2), func(o *Options) { o.Chan.RDMAEager = true }},
 		{"static-rdma", core.Static(2), func(o *Options) { o.Chan.RDMAEager = true }},
 		{"dynamic-rdma", core.Dynamic(1, 64), func(o *Options) { o.Chan.RDMAEager = true }},

@@ -112,6 +112,7 @@ func TestTortureMatrix(t *testing.T) {
 		core.Static(2),
 		core.Dynamic(1, 64),
 		core.Shared(4, 64),
+		core.RDMA(4, 1024),
 	}
 	variants := []cfg{
 		{"sendrecv", func(o *Options) {}},
@@ -128,6 +129,11 @@ func TestTortureMatrix(t *testing.T) {
 				// The RDMA eager channel's persistent slots are
 				// per-connection by design; the device rejects the
 				// combination.
+				continue
+			}
+			if fc.RingChannel() && v.name == "rdma" {
+				// The ring scheme IS an RDMA eager channel; composing
+				// it with Config.RDMAEager is rejected by the device.
 				continue
 			}
 			fc, v := fc, v
@@ -325,6 +331,7 @@ func TestTortureFaultSweep(t *testing.T) {
 		core.Static(2),
 		core.Dynamic(1, 64),
 		core.Shared(4, 64),
+		core.RDMA(4, 1024),
 	}
 	for _, fc := range schemes {
 		fc := fc
@@ -378,6 +385,7 @@ func TestTortureFaultDeterminism(t *testing.T) {
 		core.Static(2),
 		core.Dynamic(1, 64),
 		core.Shared(4, 64),
+		core.RDMA(4, 1024),
 	}
 	for _, fc := range schemes {
 		for _, seed := range []uint64{3, 17, 42} {
@@ -410,6 +418,54 @@ func TestTortureFaultDeterminism(t *testing.T) {
 	}
 }
 
+// TestTortureRDMARerunAllSeeds reruns every fault-sweep seed for the
+// ring scheme and demands bit-identical results: same makespan, same
+// device and fault stats, same metrics dump, same trace event sequence.
+// The new channel shape must be exactly as deterministic as the four it
+// joins — all 64 seeds, not a sample.
+func TestTortureRDMARerunAllSeeds(t *testing.T) {
+	const seeds = 64
+	fc := core.RDMA(4, 1024)
+	type rerunCell struct{ a, b faultCell }
+	cells := runner.Map(seeds, runner.Default(), func(i int) rerunCell {
+		ra, ea := faultTorture(fc, uint64(i))
+		rb, eb := faultTorture(fc, uint64(i))
+		return rerunCell{faultCell{ra, ea}, faultCell{rb, eb}}
+	})
+	for seed, cell := range cells {
+		if cell.a.err != nil {
+			t.Fatalf("seed %d: %v", seed, cell.a.err)
+		}
+		if cell.b.err != nil {
+			t.Fatalf("seed %d rerun: %v", seed, cell.b.err)
+		}
+		a, b := cell.a.res, cell.b.res
+		if a.makespan != b.makespan {
+			t.Errorf("seed %d: makespan %v != %v", seed, a.makespan, b.makespan)
+		}
+		if a.stats != b.stats {
+			t.Errorf("seed %d: device stats diverge:\n%+v\n%+v", seed, a.stats, b.stats)
+		}
+		if a.fstats != b.fstats {
+			t.Errorf("seed %d: fault stats diverge:\n%+v\n%+v", seed, a.fstats, b.fstats)
+		}
+		if !bytes.Equal(a.metricsJSON, b.metricsJSON) {
+			t.Errorf("seed %d: metric dumps diverge between identical runs", seed)
+		}
+		if len(a.events) != len(b.events) {
+			t.Errorf("seed %d: %d trace events vs %d", seed, len(a.events), len(b.events))
+			continue
+		}
+		for i := range a.events {
+			if a.events[i] != b.events[i] {
+				t.Errorf("seed %d: trace diverges at %d: %v != %v",
+					seed, i, a.events[i], b.events[i])
+				break
+			}
+		}
+	}
+}
+
 // TestTortureSerialParallelIdentical is the parallel runner's determinism
 // contract end to end: sweeping the faulty torture workload with worker
 // pools of several sizes must reproduce the serial sweep byte for byte —
@@ -424,6 +480,7 @@ func TestTortureSerialParallelIdentical(t *testing.T) {
 		core.Static(2),
 		core.Dynamic(1, 64),
 		core.Shared(4, 64),
+		core.RDMA(4, 1024),
 	}
 	for _, fc := range schemes {
 		fc := fc

@@ -246,6 +246,11 @@ func (w *World) Stats() chdev.Stats {
 		s.Reissues += rs.Reissues
 		s.ECMsDropped += rs.ECMsDropped
 		s.ECMsDuplicated += rs.ECMsDuplicated
+		s.RingSyncs += rs.RingSyncs
+		if rs.RingOccupancyHWM > s.RingOccupancyHWM {
+			s.RingOccupancyHWM = rs.RingOccupancyHWM
+		}
+		s.RndvReadBytes += rs.RndvReadBytes
 	}
 	return s
 }

@@ -41,6 +41,10 @@ const (
 	Reissued
 	PoolLimit
 	PoolGrew
+	// Ring-channel kinds (core.KindRDMA) — appended so the values of the
+	// kinds above stay stable for semantic golden digests.
+	SendRingSync
+	SendRDMARead
 )
 
 var kindNames = map[Kind]string{
@@ -67,6 +71,8 @@ var kindNames = map[Kind]string{
 	Reissued:       "reissued",
 	PoolLimit:      "pool-limit",
 	PoolGrew:       "pool-grew",
+	SendRingSync:   "send-ringsync",
+	SendRDMARead:   "rdma-read",
 }
 
 func (k Kind) String() string {
