@@ -4,7 +4,7 @@ GO ?= go
 # Raise it when coverage improves; never lower it to make a change pass.
 COVER_FLOOR ?= 75.0
 
-.PHONY: all build vet lint lint-json lint-fix lint-baseline test debug race cover bench bench-simcore fmt metrics-smoke scaling-smoke
+.PHONY: all build vet lint lint-json lint-fix lint-baseline test debug race cover bench bench-simcore fmt metrics-smoke scaling-smoke endpoints-smoke
 
 all: build vet lint test
 
@@ -90,6 +90,22 @@ metrics-smoke:
 scaling-smoke:
 	$(GO) run ./cmd/fcbench -test scaling -quick
 	IBFLOW_ALLOC_GATE=1 $(GO) test -count=1 -run TestScalingSteadyAllocGate -v ./internal/bench
+
+# endpoints-smoke mirrors the CI step: the endpoint-contention sweep in
+# quick mode must complete and render; an endpoint-instrumented run must
+# produce a parseable dump whose key set matches the checked-in golden
+# AND strictly grows the classic single-endpoint inventory (endpoint 0
+# keeps the classic per-connection labels, so -allow-new-keys diffs the
+# two cleanly); and the endpoint-set world-level allocation gate must
+# hold: endpoint selection adds zero marginal allocation per message.
+endpoints-smoke:
+	$(GO) run ./cmd/fcbench -test endpoints -quick
+	$(GO) run ./cmd/fcbench -test latency -size 64 -iters 50 -scheme static -metrics-out /tmp/ibflow-metrics-classic.json
+	$(GO) run ./cmd/fcbench -test latency -size 64 -iters 50 -scheme static -endpoints 2 -metrics-out /tmp/ibflow-metrics-ep.json
+	$(GO) run ./cmd/fcstats /tmp/ibflow-metrics-ep.json > /dev/null
+	$(GO) run ./cmd/fcstats -keys /tmp/ibflow-metrics-ep.json | diff - cmd/fcstats/testdata/endpoints_metrics_keys.golden
+	$(GO) run ./cmd/fcstats -allow-new-keys /tmp/ibflow-metrics-classic.json /tmp/ibflow-metrics-ep.json
+	IBFLOW_ALLOC_GATE=1 $(GO) test -count=1 -run TestEndpointsSteadyAllocGate -v ./internal/bench
 
 fmt:
 	gofmt -w .

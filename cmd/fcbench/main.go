@@ -8,6 +8,8 @@
 //	fcbench -test latency -size 64 -metrics-out lat.json
 //	fcbench -test micro -json > BENCH_micro.json
 //	fcbench -test scaling -json > BENCH_scaling.json
+//	fcbench -test endpoints -json > BENCH_endpoints.json
+//	fcbench -test latency -scheme static -endpoints 4
 //
 // With -metrics-out the tool runs a single instrumented point (one
 // world, one metrics registry) and dumps the deterministic metric
@@ -16,7 +18,10 @@
 // latency and bandwidth tests; with -json it emits the machine-readable
 // document stored as BENCH_micro.json at the repo root. -test scaling
 // runs the connection-scaling benchmark (all four schemes, Table-2
-// style); its -json form is BENCH_scaling.json.
+// style); its -json form is BENCH_scaling.json. -test endpoints sweeps
+// endpoint-set sizes under a many-to-one burst (all schemes); its -json
+// form is BENCH_endpoints.json. -endpoints runs a latency/bandwidth
+// point with an N-endpoint set per rank pair.
 package main
 
 import (
@@ -113,7 +118,7 @@ func writeMetrics(reg *metrics.Registry, ring *trace.Buffer, path, format string
 }
 
 func main() {
-	test := flag.String("test", "latency", "benchmark: latency, bandwidth, micro (all schemes), or scaling (connection scaling, all schemes)")
+	test := flag.String("test", "latency", "benchmark: latency, bandwidth, micro (all schemes), scaling (connection scaling, all schemes), or endpoints (endpoint-set contention, all schemes)")
 	scheme := flag.String("scheme", "static", "flow control scheme: hardware, static, dynamic, shared, rdma")
 	prepost := flag.Int("prepost", 100, "pre-posted buffers per connection (ring slots for -scheme rdma)")
 	dynmax := flag.Int("dynmax", 300, "dynamic scheme growth cap")
@@ -127,7 +132,8 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text")
 	metricsOut := flag.String("metrics-out", "", "write the run's metric dump to this file (single point only)")
 	metricsFormat := flag.String("metrics-format", "json", "metric dump format: json, csv, or perfetto")
-	quick := flag.Bool("quick", false, "smaller sweep (scaling only): fewer rank counts and messages")
+	quick := flag.Bool("quick", false, "smaller sweep (scaling/endpoints only): fewer cells and messages")
+	endpoints := flag.Int("endpoints", 0, "VC/QP endpoints per rank pair (latency/bandwidth; 0 or 1 = classic single connection)")
 	parallel := flag.Int("parallel", 0, "worker goroutines for sweeps (0 = one per CPU, 1 = serial); results are identical for every value")
 	flag.Parse()
 
@@ -170,16 +176,34 @@ func main() {
 		if set["metrics-out"] {
 			fail("-metrics-out is not supported with -test scaling (many worlds, one registry)")
 		}
-		for _, f := range []string{"prepost", "dynmax", "slotbytes", "size", "window", "reps", "iters", "blocking", "rdma"} {
+		for _, f := range []string{"prepost", "dynmax", "slotbytes", "size", "window", "reps", "iters", "blocking", "rdma", "endpoints"} {
 			if set[f] {
 				fail("-%s does not apply to -test scaling (fixed sweep; see internal/bench.ConnScaling)", f)
 			}
 		}
+	case "endpoints":
+		if set["scheme"] {
+			fail("-test endpoints sweeps all schemes; drop -scheme")
+		}
+		if set["metrics-out"] {
+			fail("-metrics-out is not supported with -test endpoints (many worlds, one registry)")
+		}
+		for _, f := range []string{"prepost", "dynmax", "slotbytes", "size", "window", "reps", "iters", "blocking", "rdma", "endpoints"} {
+			if set[f] {
+				fail("-%s does not apply to -test endpoints (fixed sweep; see internal/bench.EndpointContention)", f)
+			}
+		}
 	default:
-		fail("unknown -test %q (latency|bandwidth|micro|scaling)", *test)
+		fail("unknown -test %q (latency|bandwidth|micro|scaling|endpoints)", *test)
 	}
-	if set["quick"] && *test != "scaling" {
-		fail("-quick applies to -test scaling only")
+	if set["quick"] && *test != "scaling" && *test != "endpoints" {
+		fail("-quick applies to -test scaling and -test endpoints only")
+	}
+	if *endpoints < 0 {
+		fail("-endpoints must be >= 0")
+	}
+	if set["endpoints"] && *test == "micro" {
+		fail("-endpoints applies to -test latency and bandwidth, not micro")
 	}
 	if *scheme == "rdma" && *rdma {
 		fail("-scheme rdma carries its own persistent RDMA channel; drop -rdma (the ICS'03 copy-based variant)")
@@ -228,6 +252,16 @@ func main() {
 		}
 		return
 	}
+	if *test == "endpoints" {
+		doc := bench.EndpointContention(bench.Opts{Quick: *quick, Parallel: workers})
+		if *jsonOut {
+			emitJSON(doc)
+		} else {
+			t := bench.EndpointContentionTable(doc)
+			fmt.Print(t.String())
+		}
+		return
+	}
 
 	fc, err := schemeFor(*scheme, *prepost, *dynmax, *slotbytes)
 	if err != nil {
@@ -246,6 +280,7 @@ func main() {
 	}
 	tune := func(o *mpi.Options) {
 		o.Chan.RDMAEager = *rdma
+		o.Chan.Endpoints = *endpoints
 		if reg != nil {
 			o.Metrics = reg
 			o.Chan.Tracer = ring

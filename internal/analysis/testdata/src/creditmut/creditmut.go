@@ -137,3 +137,63 @@ func ringSteal(r *ring) *uint32 {
 func ringReadsOK(r *ring) uint32 {
 	return r.slots - (r.tail - r.headSeen)
 }
+
+// conn mirrors chdev.conn: one endpoint of a rank pair's endpoint set,
+// whose occ/occHWM occupancy pair moves in lockstep with the pending
+// send-context map.
+type conn struct {
+	occ    int
+	occHWM int
+	ep     int // not a credit field
+}
+
+// Methods of the endpoint are the audited occupancy API
+// (noteOut/noteRetired in the real device).
+func (c *conn) noteOut() {
+	c.occ++
+	if c.occ > c.occHWM {
+		c.occHWM = c.occ
+	}
+}
+
+func (c *conn) noteRetired() {
+	c.occ--
+}
+
+func (d *device) connOutsideOwner(c *conn) {
+	c.occ++      // want `write to credit field conn\.occ outside conn's methods`
+	c.occHWM = 0 // want `write to credit field conn\.occHWM outside conn's methods`
+	c.ep = 3     // not a credit field
+}
+
+func connSteal(c *conn) *int {
+	return &c.occ // want `taking the address of credit field conn\.occ outside conn's methods`
+}
+
+func connReadsOK(c *conn) int {
+	return c.occ + c.occHWM
+}
+
+// group mirrors chdev.epGroup: the endpoint set whose round-robin
+// cursor must only move through the selection methods.
+type group struct {
+	eps []*conn
+	rr  int
+}
+
+func (g *group) pickRR() *conn {
+	c := g.eps[g.rr]
+	g.rr++
+	if g.rr == len(g.eps) {
+		g.rr = 0
+	}
+	return c
+}
+
+func (d *device) groupOutsideOwner(g *group) {
+	g.rr = 0 // want `write to credit field group\.rr outside group's methods`
+}
+
+func groupReadsOK(g *group) int {
+	return g.rr
+}

@@ -1,0 +1,258 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"ibflow/internal/mpi"
+	"ibflow/internal/runner"
+)
+
+// EndpointSeries is one scheme's sweep across the endpoint-contention
+// benchmark: index i of every slice corresponds to Endpoints[i] of the
+// enclosing EndpointDoc.
+type EndpointSeries struct {
+	Scheme string `json:"scheme"`
+	// TimeMS is the incast makespan in milliseconds (virtual time) — the
+	// headline: does spreading one pair's traffic over more endpoints
+	// relieve head-of-line blocking at the hot receiver?
+	TimeMS []float64 `json:"time_ms"`
+	// Backlogged counts sends parked for lack of credits across the job.
+	// More endpoints split each pair's credit budget into independent
+	// lanes, so a bursty thread exhausts its own lane without starving
+	// its siblings.
+	Backlogged []uint64 `json:"backlogged"`
+	// RNRNaks counts receiver-not-ready NAKs across the job.
+	RNRNaks []uint64 `json:"rnr_naks"`
+	// OccupancyHWM is the worst single-endpoint outstanding-WQE count
+	// anywhere in the job — contention as the wire sees it.
+	OccupancyHWM []int `json:"occupancy_hwm"`
+	// StickySels counts endpoint selections made by the sticky policy
+	// (zero when every pair has a single endpoint: selection short-
+	// circuits without counting, keeping the hot path identical).
+	StickySels []uint64 `json:"sticky_sels"`
+	// BufBytesHWM is the per-rank receive-buffer memory high-water mark,
+	// maximized over ranks: the price of multiplying per-pair state.
+	BufBytesHWM []int `json:"buf_bytes_hwm"`
+	// Goroutines is the host goroutine count sampled while every rank
+	// was live: endpoint sets are plain data in the progress machine and
+	// must not add goroutines. Host-side: excluded from determinism
+	// digests.
+	Goroutines []int `json:"goroutines"`
+	// WallMS is the host wall-clock time per cell in milliseconds.
+	// Host-side: excluded from determinism digests.
+	WallMS []float64 `json:"wall_ms"`
+}
+
+// EndpointDoc is the machine-readable endpoint-contention document
+// stored as BENCH_endpoints.json at the repo root (fcbench -test
+// endpoints -json).
+type EndpointDoc struct {
+	Benchmark string `json:"benchmark"`
+	// Endpoints is the swept set size per rank pair.
+	Endpoints []int `json:"endpoints"`
+	// Ranks is the world size; every rank but 0 is a sender, so the
+	// incast fan-in is Ranks-1.
+	Ranks int `json:"ranks"`
+	// Threads is the simulated worker-thread count per sender; the
+	// sticky policy pins thread t to endpoint t mod Endpoints.
+	Threads int `json:"threads"`
+	// Bursts and MsgsPerBurst shape the traffic: each thread fires
+	// MsgsPerBurst back-to-back messages per burst and the sender drains
+	// the whole burst before the next — bursty, not pipelined.
+	Bursts       int              `json:"bursts"`
+	MsgsPerBurst int              `json:"msgs_per_burst"`
+	MsgSizeB     int              `json:"msg_size_b"`
+	Prepost      int              `json:"prepost"`
+	DynMax       int              `json:"dynmax"`
+	PoolPrepost  int              `json:"pool_prepost"`
+	PoolMax      int              `json:"pool_max"`
+	RingSlots    int              `json:"ring_slots"`
+	SlotBytes    int              `json:"slot_bytes"`
+	Series       []EndpointSeries `json:"series"`
+}
+
+// EndpointContention measures what an endpoint set buys under
+// many-to-one bursty traffic: every rank but one runs several simulated
+// worker threads all bursting at rank 0, and the sweep varies how many
+// VC/QP endpoints each rank pair multiplexes those threads over. With
+// one endpoint all threads of a sender contend for one credit lane and
+// one FIFO; with more, the sticky policy gives thread t its own lane
+// (t mod Endpoints), so one thread's burst backlogs itself, not its
+// siblings. The flip side is provisioning: per-connection schemes
+// pre-post per endpoint, so memory at the hot receiver grows with the
+// set size — the same trade the paper prices for connections, one level
+// down.
+func EndpointContention(o Opts) EndpointDoc {
+	doc := EndpointDoc{
+		Benchmark:    "endpoints",
+		Endpoints:    []int{1, 2, 4, 8},
+		Ranks:        16,
+		Threads:      8,
+		Bursts:       4,
+		MsgsPerBurst: 4,
+		MsgSizeB:     256,
+		Prepost:      4,
+		DynMax:       64,
+		PoolPrepost:  16,
+		PoolMax:      96,
+		RingSlots:    8,
+		SlotBytes:    1024,
+	}
+	if o.Quick {
+		doc.Ranks = 8
+		doc.Bursts = 2
+	}
+	schemes := connScalingSchemes(doc.Prepost, doc.DynMax, doc.PoolPrepost, doc.PoolMax,
+		doc.RingSlots, doc.SlotBytes)
+	type cell struct {
+		timeMS              float64
+		backlogged, rnrNaks uint64
+		occHWM              int
+		stickySels          uint64
+		bufHWM              int
+		goroutines          int
+		wallMS              float64
+	}
+	ne := len(doc.Endpoints)
+	cells := runner.Map(len(schemes)*ne, o.workers(), func(k int) cell {
+		fc, eps := schemes[k/ne], doc.Endpoints[k%ne]
+		opts := mpi.DefaultOptions(fc)
+		opts.Chan.Endpoints = eps
+		opts.TimeLimit = timeLimit
+		o.tune(&opts)
+		start := time.Now()
+		w := mpi.NewWorld(doc.Ranks, opts)
+		var goroutines int
+		err := w.Run(endpointIncast(doc.Threads, doc.Bursts, doc.MsgsPerBurst, doc.MsgSizeB, &goroutines))
+		if err != nil {
+			panic(fmt.Sprintf("bench: endpoints %s x%d: %v", fc.Kind, eps, err))
+		}
+		wallMS := time.Since(start).Seconds() * 1e3
+		bufHWM := 0
+		for i := 0; i < doc.Ranks; i++ {
+			if b := w.RankStats(i).BufBytesHWM; b > bufHWM {
+				bufHWM = b
+			}
+		}
+		st, es := w.Stats(), w.EndpointStats()
+		return cell{
+			timeMS:     w.Time().Seconds() * 1e3,
+			backlogged: st.Backlogged,
+			rnrNaks:    st.RNRNaks,
+			occHWM:     es.OccupancyHWM,
+			stickySels: es.StickySels,
+			bufHWM:     bufHWM,
+			goroutines: goroutines,
+			wallMS:     wallMS,
+		}
+	})
+	for i, fc := range schemes {
+		s := EndpointSeries{Scheme: fc.Kind.String()}
+		for j := range doc.Endpoints {
+			c := cells[i*ne+j]
+			s.TimeMS = append(s.TimeMS, c.timeMS)
+			s.Backlogged = append(s.Backlogged, c.backlogged)
+			s.RNRNaks = append(s.RNRNaks, c.rnrNaks)
+			s.OccupancyHWM = append(s.OccupancyHWM, c.occHWM)
+			s.StickySels = append(s.StickySels, c.stickySels)
+			s.BufBytesHWM = append(s.BufBytesHWM, c.bufHWM)
+			s.Goroutines = append(s.Goroutines, c.goroutines)
+			s.WallMS = append(s.WallMS, c.wallMS)
+		}
+		doc.Series = append(doc.Series, s)
+	}
+	return doc
+}
+
+// StripEndpointHostMetrics clears the host-side columns (goroutines,
+// wall clock) for determinism comparisons, as StripHostMetrics does for
+// the scaling document.
+func StripEndpointHostMetrics(doc EndpointDoc) EndpointDoc {
+	out := doc
+	out.Series = make([]EndpointSeries, len(doc.Series))
+	for i, s := range doc.Series {
+		s.Goroutines = nil
+		s.WallMS = nil
+		out.Series[i] = s
+	}
+	return out
+}
+
+// endpointIncast returns an MPI main for the many-to-one burst: every
+// rank but 0 runs `threads` simulated worker threads, each bursting
+// msgs messages of size bytes at rank 0 per round, draining its burst
+// before the next. Each thread tags with its own id, so per-thread FIFO
+// is the only ordering the receiver relies on — exactly what the sticky
+// endpoint policy guarantees. goroutines, when non-nil, receives the
+// max runtime.NumGoroutine sampled while every rank main is live.
+func endpointIncast(threads, bursts, msgs, size int, goroutines *int) func(c *mpi.Comm) {
+	return func(c *mpi.Comm) {
+		me, n := c.Rank(), c.Size()
+		if me == 0 {
+			var reqs []*mpi.Request
+			for src := 1; src < n; src++ {
+				for tid := 0; tid < threads; tid++ {
+					for m := 0; m < bursts*msgs; m++ {
+						reqs = append(reqs, c.Irecv(src, tid, make([]byte, size)))
+					}
+				}
+			}
+			if goroutines != nil {
+				if g := runtime.NumGoroutine(); g > *goroutines {
+					*goroutines = g
+				}
+			}
+			c.Waitall(reqs...)
+			return
+		}
+		views := make([]*mpi.Comm, threads)
+		for tid := range views {
+			views[tid] = c.Thread(tid)
+		}
+		data := make([]byte, size)
+		for b := 0; b < bursts; b++ {
+			var reqs []*mpi.Request
+			for tid := 0; tid < threads; tid++ {
+				for m := 0; m < msgs; m++ {
+					reqs = append(reqs, views[tid].Isend(0, tid, data))
+				}
+			}
+			if goroutines != nil {
+				if g := runtime.NumGoroutine(); g > *goroutines {
+					*goroutines = g
+				}
+			}
+			c.Waitall(reqs...)
+		}
+	}
+}
+
+// EndpointContentionTable renders the contention document: incast
+// makespan and backlog pressure versus endpoint-set size, one row per
+// (scheme, endpoints) cell.
+func EndpointContentionTable(doc EndpointDoc) Table {
+	t := Table{
+		Title: fmt.Sprintf(
+			"Endpoint contention: %d-to-1 incast, %d threads/sender, %d bursts x %d x %dB per thread",
+			doc.Ranks-1, doc.Threads, doc.Bursts, doc.MsgsPerBurst, doc.MsgSizeB),
+		Columns: []string{"scheme", "endpoints", "time (ms)", "backlogged", "RNR NAKs",
+			"occ HWM", "sticky sels", "buf HWM (KB)"},
+		Note: fmt.Sprintf(
+			"sticky policy: thread t rides endpoint t mod N; per-conn schemes pre-post %d/endpoint (dynamic cap %d); shared pool %d..%d per rank; rdma ring %d x %dB slots per endpoint direction",
+			doc.Prepost, doc.DynMax, doc.PoolPrepost, doc.PoolMax, doc.RingSlots, doc.SlotBytes),
+	}
+	for _, s := range doc.Series {
+		for i, eps := range doc.Endpoints {
+			t.AddRow(s.Scheme, fmt.Sprint(eps),
+				fmt.Sprintf("%.3f", s.TimeMS[i]),
+				fmt.Sprint(s.Backlogged[i]),
+				fmt.Sprint(s.RNRNaks[i]),
+				fmt.Sprint(s.OccupancyHWM[i]),
+				fmt.Sprint(s.StickySels[i]),
+				fmt.Sprintf("%.1f", float64(s.BufBytesHWM[i])/1024))
+		}
+	}
+	return t
+}

@@ -52,17 +52,61 @@ func TestScalingSteadyAllocGate(t *testing.T) {
 		const msgsLow, msgsHigh = 6, 12
 		low := cellMallocs(fc, msgsLow)
 		high := cellMallocs(fc, msgsHigh)
-		if high <= low {
-			t.Fatalf("%v: malloc counter did not grow with traffic: %d for %d msgs, %d for %d",
-				fc.Kind, low, msgsLow, high, msgsHigh)
+		checkPerMsg(t, fc, low, high, msgsLow, msgsHigh, ranks*fanout)
+	}
+}
+
+// TestEndpointsSteadyAllocGate repeats the steady-state allocation gate
+// with a four-endpoint set per rank pair (armed via IBFLOW_ALLOC_GATE,
+// run by `make endpoints-smoke`). Endpoint selection sits on the send
+// hot path — sticky is an index computation, round-robin a cursor
+// bump — so the marginal cost of a message must not move when the
+// connection fans out into a set.
+func TestEndpointsSteadyAllocGate(t *testing.T) {
+	if os.Getenv("IBFLOW_ALLOC_GATE") == "" {
+		t.Skip("set IBFLOW_ALLOC_GATE=1 (make endpoints-smoke) to arm the gate")
+	}
+	const ranks, size, fanout = 128, 256, 24
+	doc := ScalingDoc{
+		Prepost: 8, DynMax: 64, PoolPrepost: 16, PoolMax: 96,
+		RingSlots: 8, SlotBytes: 1024,
+		Fanout: fanout, FatTreeFrom: 64, LeafRadix: 32, Oversub: 2, Rails: 2,
+		OnDemandFrom: 512,
+	}
+	cellMallocs := func(fc core.Params, msgs int) uint64 {
+		opts := doc.cellOptions(fc, ranks)
+		opts.Chan.Endpoints = 4
+		w := mpi.NewWorld(ranks, opts)
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		if err := w.Run(scalingStorm(msgs, size, fanout, nil)); err != nil {
+			t.Fatalf("%v at %d ranks, %d msgs: %v", fc.Kind, ranks, msgs, err)
 		}
-		extraMsgs := uint64(ranks * fanout * (msgsHigh - msgsLow))
-		perMsg := float64(high-low) / float64(extraMsgs)
-		t.Logf("%v: marginal allocations per message: %.2f (%d extra mallocs over %d extra messages)",
-			fc.Kind, perMsg, high-low, extraMsgs)
-		if perMsg > 16 {
-			t.Errorf("%v: steady state allocates %.2f objects per message, want <= 16 (storm-main payloads only)",
-				fc.Kind, perMsg)
-		}
+		runtime.ReadMemStats(&after)
+		return after.Mallocs - before.Mallocs
+	}
+	for _, fc := range []core.Params{core.Static(doc.Prepost), core.RDMA(doc.RingSlots, doc.SlotBytes)} {
+		const msgsLow, msgsHigh = 6, 12
+		low := cellMallocs(fc, msgsLow)
+		high := cellMallocs(fc, msgsHigh)
+		checkPerMsg(t, fc, low, high, msgsLow, msgsHigh, ranks*fanout)
+	}
+}
+
+// checkPerMsg differences two traffic volumes' malloc counts and
+// enforces the 16-allocations-per-message steady-state bound.
+func checkPerMsg(t *testing.T, fc core.Params, low, high uint64, msgsLow, msgsHigh, flows int) {
+	t.Helper()
+	if high <= low {
+		t.Fatalf("%v: malloc counter did not grow with traffic: %d for %d msgs, %d for %d",
+			fc.Kind, low, msgsLow, high, msgsHigh)
+	}
+	extraMsgs := uint64(flows * (msgsHigh - msgsLow))
+	perMsg := float64(high-low) / float64(extraMsgs)
+	t.Logf("%v: marginal allocations per message: %.2f (%d extra mallocs over %d extra messages)",
+		fc.Kind, perMsg, high-low, extraMsgs)
+	if perMsg > 16 {
+		t.Errorf("%v: steady state allocates %.2f objects per message, want <= 16 (storm-main payloads only)",
+			fc.Kind, perMsg)
 	}
 }

@@ -102,14 +102,25 @@ type backlogEntry struct {
 	rndv *rndvOut
 }
 
-// conn is one connection (virtual channel + queue pair) to a peer rank.
+// conn is one endpoint (virtual channel + queue pair) toward a peer
+// rank. A rank pair owns an endpoint set of Config.Endpoints conns,
+// each with independent scheme state; the classic device is the
+// single-endpoint special case.
 type conn struct {
 	peer     int
+	ep       int // index within the peer's endpoint set
 	qp       *ib.QP
 	vc       *core.VC
 	backlog  []backlogEntry
 	sendRndv map[uint64]*rndvOut
 	recvRndv map[uint64]*RndvIn
+
+	// occ / occHWM track this endpoint's outstanding work requests
+	// (send contexts in flight), the per-endpoint occupancy the
+	// contention benchmark plots. Guarded by fclint's creditmut:
+	// mutation only through noteOut/noteRetired.
+	occ    int
+	occHWM int
 
 	// Explicit-credit-message silence gate state.
 	lastSend sim.Time   // last outgoing traffic on this connection
@@ -145,6 +156,52 @@ type conn struct {
 	// FIFO free/used lists are not — position mod slots is the slot.
 	ringOut *core.Ring
 	ringIn  *core.Ring
+}
+
+// noteOut records a work request posted on this endpoint.
+func (c *conn) noteOut() {
+	c.occ++
+	if c.occ > c.occHWM {
+		c.occHWM = c.occ
+	}
+}
+
+// noteRetired records a work request retired on this endpoint.
+func (c *conn) noteRetired() {
+	c.occ--
+}
+
+// epGroup is one peer's endpoint set: Config.Endpoints independent
+// conns plus the deterministic selection state that multiplexes
+// logical threads over them. eps is fully populated at establishment;
+// a nil group means the peer is not connected yet.
+type epGroup struct {
+	peer int
+	eps  []*conn
+
+	// rr is the round-robin cursor (guarded by creditmut: selection
+	// state moves only through the pick methods); selSticky/selRR
+	// count selections per policy for the endpoint-selection metrics.
+	rr        int
+	selSticky uint64
+	selRR     uint64
+}
+
+// pickSticky pins logical thread tid to one endpoint of the set.
+func (g *epGroup) pickSticky(tid int) *conn {
+	g.selSticky++
+	return g.eps[tid%len(g.eps)]
+}
+
+// pickRR rotates over the endpoint set per send.
+func (g *epGroup) pickRR() *conn {
+	c := g.eps[g.rr]
+	g.rr++
+	if g.rr == len(g.eps) {
+		g.rr = 0
+	}
+	g.selRR++
+	return c
 }
 
 // Stats aggregates a device's flow control and transport counters.
@@ -196,9 +253,15 @@ type Device struct {
 
 	pool   *mem.BufPool
 	regs   *mem.RegCache
-	conns  []*conn
+	groups []*epGroup // per-peer endpoint sets, nil until established
 	qpConn map[*ib.QP]*conn
 	peers  []*Device
+
+	// epN is the endpoint-set size (max(1, Config.Endpoints)); curTID
+	// is the logical thread the next send is issued from, set by
+	// BindThread. Both feed the endpoint-selection seam.
+	epN    int
+	curTID int
 
 	// prov owns receive-buffer provisioning: per-connection queues, or
 	// (for core.KindShared) the SRQ-backed shared pool below.
@@ -243,6 +306,9 @@ func New(eng *sim.Engine, hca *ib.HCA, cfg Config, params core.Params, rank, siz
 	if params.SharedPool() && cfg.RDMAEager {
 		panic("chdev: RDMA eager channel is incompatible with the shared-pool scheme (persistent slots are per-connection by design)")
 	}
+	if cfg.Endpoints < 0 {
+		panic(fmt.Sprintf("chdev: negative endpoint count %d", cfg.Endpoints))
+	}
 	if params.RingChannel() {
 		if cfg.RDMAEager {
 			panic("chdev: the KindRDMA ring scheme already owns the RDMA eager channel; Config.RDMAEager composes with the send/recv schemes only")
@@ -265,12 +331,16 @@ func New(eng *sim.Engine, hca *ib.HCA, cfg Config, params core.Params, rank, siz
 		handler:  h,
 		pool:     mem.NewBufPool(cfg.BufSize),
 		regs:     mem.NewRegCache(hca),
-		conns:    make([]*conn, size),
+		groups:   make([]*epGroup, size),
 		qpConn:   make(map[*ib.QP]*conn),
 		sendCtxs: make(map[uint64]sendCtx),
 		recvCtxs: make(map[uint64]recvSlot),
 		rndvHist: cfg.Metrics.Histogram("chdev_rndv_ns", metrics.TimeBuckets,
 			metrics.RankLabel(rank)),
+	}
+	d.epN = 1
+	if cfg.Endpoints > 1 {
+		d.epN = cfg.Endpoints
 	}
 	d.gate = sim.NewGate(eng)
 	d.progress.d = d
@@ -298,7 +368,100 @@ func New(eng *sim.Engine, hca *ib.HCA, cfg Config, params core.Params, rank, siz
 	}
 	d.cfg.Metrics.GaugeFunc("chdev_buf_bytes_hwm",
 		func() int64 { return int64(d.prov.postedHWMBytes()) }, metrics.RankLabel(rank))
+	if d.epN > 1 {
+		// Endpoint-set observability, registered only for true sets: a
+		// size-1 device keeps exactly the pre-endpoint metric inventory
+		// (the fcstats key goldens and the semantic goldens' key digest
+		// pin it). An endpoint-set dump is then a strict superset of the
+		// classic dump — endpoint 0 keeps the classic per-connection
+		// labels (see establish) — so fcstats -allow-new-keys diffs the
+		// two cleanly.
+		d.cfg.Metrics.GaugeFunc("chdev_endpoints_active",
+			func() int64 { return int64(d.EndpointStats().Active) }, metrics.RankLabel(rank))
+		d.cfg.Metrics.GaugeFunc("chdev_ep_occupancy_hwm",
+			func() int64 { return int64(d.EndpointStats().OccupancyHWM) }, metrics.RankLabel(rank))
+		d.cfg.Metrics.CounterFunc("chdev_ep_sel_sticky",
+			func() uint64 { return d.EndpointStats().StickySels }, metrics.RankLabel(rank))
+		d.cfg.Metrics.CounterFunc("chdev_ep_sel_rr",
+			func() uint64 { return d.EndpointStats().RRSels }, metrics.RankLabel(rank))
+	}
 	return d
+}
+
+// EPStats summarizes a device's endpoint-set state. It is a separate
+// accessor rather than new Stats fields so the pre-endpoint Stats
+// shape — hashed verbatim by the semantic goldens — never changes.
+type EPStats struct {
+	Endpoints    int    // configured endpoints per rank pair
+	Active       int    // endpoints established across all peers
+	OccupancyHWM int    // worst outstanding-WQE count any endpoint saw
+	StickySels   uint64 // sends routed by the sticky policy
+	RRSels       uint64 // sends routed by the round-robin policy
+}
+
+// EndpointStats reports the device's endpoint-set counters.
+func (d *Device) EndpointStats() EPStats {
+	s := EPStats{Endpoints: d.epN}
+	for _, g := range d.groups {
+		if g == nil {
+			continue
+		}
+		s.StickySels += g.selSticky
+		s.RRSels += g.selRR
+		for _, c := range g.eps {
+			s.Active++
+			if c.occHWM > s.OccupancyHWM {
+				s.OccupancyHWM = c.occHWM
+			}
+		}
+	}
+	return s
+}
+
+// BindThread declares the logical worker thread issuing the rank's
+// subsequent sends; the sticky selection policy pins each thread to
+// one endpoint of a peer's set. Threads are simulated (an MPI rank
+// runs on one process), so no synchronization is involved.
+func (d *Device) BindThread(tid int) {
+	if tid < 0 {
+		panic(fmt.Sprintf("chdev: negative logical thread id %d", tid))
+	}
+	d.curTID = tid
+}
+
+// connAt flattens the endpoint sets into one peer-major index space of
+// size*epN entries, preserving the pre-endpoint sweep order at set
+// size 1. Unestablished peers yield nil.
+func (d *Device) connAt(idx int) *conn {
+	g := d.groups[idx/d.epN]
+	if g == nil {
+		return nil
+	}
+	return g.eps[idx%d.epN]
+}
+
+// epAt returns endpoint ep of the set toward peer, or nil if the peer
+// is not connected.
+func (d *Device) epAt(peer, ep int) *conn {
+	g := d.groups[peer]
+	if g == nil {
+		return nil
+	}
+	return g.eps[ep]
+}
+
+// selectEP multiplexes the current logical thread over g's endpoint
+// set. A size-1 set short-circuits without touching the selection
+// counters, keeping the single-endpoint device byte-identical to the
+// pre-endpoint one.
+func (d *Device) selectEP(g *epGroup) *conn {
+	if d.epN == 1 {
+		return g.eps[0]
+	}
+	if d.cfg.EPPolicy == EPRoundRobin {
+		return g.pickRR()
+	}
+	return g.pickSticky(d.curTID)
 }
 
 // ringMode reports whether eager traffic runs on the persistent ring.
@@ -310,30 +473,37 @@ func (d *Device) ringMode() bool { return d.params.RingChannel() }
 // catches a receiver falling behind its own completions.
 func (d *Device) ringOccupancyHWM() int {
 	hwm := 0
-	for _, c := range d.conns {
-		if c == nil {
+	for _, g := range d.groups {
+		if g == nil {
 			continue
 		}
-		if c.ringOut != nil {
-			if o := c.ringOut.Stats().OccupancyHWM; o > hwm {
-				hwm = o
+		for _, c := range g.eps {
+			if c.ringOut != nil {
+				if o := c.ringOut.Stats().OccupancyHWM; o > hwm {
+					hwm = o
+				}
 			}
-		}
-		if c.ringIn != nil {
-			if o := c.ringIn.Stats().OccupancyHWM; o > hwm {
-				hwm = o
+			if c.ringIn != nil {
+				if o := c.ringIn.Stats().OccupancyHWM; o > hwm {
+					hwm = o
+				}
 			}
 		}
 	}
 	return hwm
 }
 
-// ringSyncs totals explicit head-sync messages across connections.
+// ringSyncs totals explicit head-sync messages across endpoints.
 func (d *Device) ringSyncs() uint64 {
 	n := uint64(0)
-	for _, c := range d.conns {
-		if c != nil && c.ringIn != nil {
-			n += uint64(c.ringIn.Stats().Syncs)
+	for _, g := range d.groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.eps {
+			if c.ringIn != nil {
+				n += uint64(c.ringIn.Stats().Syncs)
+			}
 		}
 	}
 	return n
@@ -380,53 +550,83 @@ func Wire(devs []*Device) {
 	}
 }
 
-// establish creates the QP pair and virtual channels between two devices
-// and pre-posts the initial buffers on both sides. With the RDMA eager
+// establish creates the endpoint set — Config.Endpoints QP pairs and
+// virtual channels — between two devices and pre-posts the initial
+// buffers on both sides, returning a's group. With the RDMA eager
 // channel, pre-posting means allocating persistent slots and exchanging
 // their addresses (part of connection setup); a small fixed descriptor
-// pool still backs control traffic.
-func establish(a, b *Device) {
-	qa := a.prov.newQP()
-	qb := b.prov.newQP()
-	ib.Connect(qa, qb)
-	ca := &conn{peer: b.rank, qp: qa, vc: core.NewVC(&a.params),
-		sendRndv: make(map[uint64]*rndvOut), recvRndv: make(map[uint64]*RndvIn)}
-	cb := &conn{peer: a.rank, qp: qb, vc: core.NewVC(&b.params),
-		sendRndv: make(map[uint64]*rndvOut), recvRndv: make(map[uint64]*RndvIn)}
-	ca.reissue.c = ca
-	cb.reissue.c = cb
-	a.conns[b.rank] = ca
-	b.conns[a.rank] = cb
-	a.qpConn[qa] = ca
-	b.qpConn[qb] = cb
-	// Each direction of the connection is a distinct metric series; with
-	// on-demand wiring this runs mid-job and the series align via the
-	// registry's first-sample offsets.
-	ca.vc.RegisterMetrics(a.cfg.Metrics, a.rank, b.rank)
-	cb.vc.RegisterMetrics(b.cfg.Metrics, b.rank, a.rank)
-	if a.params.RingChannel() {
-		// Ring scheme: control descriptors from the provisioner, then
-		// each side allocates its inbound slot ring and the peers adopt
-		// the remote addresses (exchanged during connection setup, like
-		// the RDMAEager announce).
-		a.prov.provisionConn(ca)
-		b.prov.provisionConn(cb)
-		mrA := a.allocRing(ca)
-		mrB := b.allocRing(cb)
-		b.adoptRing(cb, mrA, a.params.Prepost, a.params.SlotBytes)
-		a.adoptRing(ca, mrB, b.params.Prepost, b.params.SlotBytes)
-	} else if a.cfg.RDMAEager {
-		a.prepost(ca, a.cfg.CtrlPrepost)
-		b.prepost(cb, b.cfg.CtrlPrepost)
-		mrA := a.allocSlots(ca, ca.vc.Posted())
-		mrB := b.allocSlots(cb, cb.vc.Posted())
-		// Slot addresses are exchanged during connection setup.
-		b.announceSlots(cb, mrA, ca.vc.Posted())
-		a.announceSlots(ca, mrB, cb.vc.Posted())
-	} else {
-		a.prov.provisionConn(ca)
-		b.prov.provisionConn(cb)
+// pool still backs control traffic. All QPs are created first and
+// connected as a set (ib.ConnectSet), then each endpoint's channel
+// state is built in index order — at set size 1 the sequence is
+// exactly the pre-endpoint establishment.
+func establish(a, b *Device) *epGroup {
+	if a.epN != b.epN {
+		panic(fmt.Sprintf("chdev: endpoint-set size mismatch: rank %d has %d, rank %d has %d",
+			a.rank, a.epN, b.rank, b.epN))
 	}
+	epN := a.epN
+	qas := make([]*ib.QP, epN)
+	qbs := make([]*ib.QP, epN)
+	for ep := 0; ep < epN; ep++ {
+		qas[ep] = a.prov.newQP()
+		qbs[ep] = b.prov.newQP()
+	}
+	ib.ConnectSet(qas, qbs)
+	ga := &epGroup{peer: b.rank, eps: make([]*conn, epN)}
+	gb := &epGroup{peer: a.rank, eps: make([]*conn, epN)}
+	a.groups[b.rank] = ga
+	b.groups[a.rank] = gb
+	for ep := 0; ep < epN; ep++ {
+		ca := &conn{peer: b.rank, ep: ep, qp: qas[ep], vc: core.NewVC(&a.params),
+			sendRndv: make(map[uint64]*rndvOut), recvRndv: make(map[uint64]*RndvIn)}
+		cb := &conn{peer: a.rank, ep: ep, qp: qbs[ep], vc: core.NewVC(&b.params),
+			sendRndv: make(map[uint64]*rndvOut), recvRndv: make(map[uint64]*RndvIn)}
+		ca.reissue.c = ca
+		cb.reissue.c = cb
+		ga.eps[ep] = ca
+		gb.eps[ep] = cb
+		a.qpConn[qas[ep]] = ca
+		b.qpConn[qbs[ep]] = cb
+		// Each direction of each endpoint is a distinct metric series;
+		// with on-demand wiring this runs mid-job and the series align
+		// via the registry's first-sample offsets. Endpoint 0 keeps the
+		// pre-endpoint key shape (no ep label) at every set size, so a
+		// size-1 set reproduces the classic inventory byte for byte and
+		// a larger set's dump is a strict superset of it — additional
+		// endpoints' series carry the ep label, and fcstats
+		// -allow-new-keys accepts the growth.
+		if ep == 0 {
+			ca.vc.RegisterMetrics(a.cfg.Metrics, a.rank, b.rank)
+			cb.vc.RegisterMetrics(b.cfg.Metrics, b.rank, a.rank)
+		} else {
+			ca.vc.RegisterMetricsEP(a.cfg.Metrics, a.rank, b.rank, ep)
+			cb.vc.RegisterMetricsEP(b.cfg.Metrics, b.rank, a.rank, ep)
+		}
+		if a.params.RingChannel() {
+			// Ring scheme: control descriptors from the provisioner, then
+			// each side allocates its inbound slot ring and the peers adopt
+			// the remote addresses (exchanged during connection setup, like
+			// the RDMAEager announce).
+			a.prov.provisionConn(ca)
+			b.prov.provisionConn(cb)
+			mrA := a.allocRing(ca)
+			mrB := b.allocRing(cb)
+			b.adoptRing(cb, mrA, a.params.Prepost, a.params.SlotBytes)
+			a.adoptRing(ca, mrB, b.params.Prepost, b.params.SlotBytes)
+		} else if a.cfg.RDMAEager {
+			a.prepost(ca, a.cfg.CtrlPrepost)
+			b.prepost(cb, b.cfg.CtrlPrepost)
+			mrA := a.allocSlots(ca, ca.vc.Posted())
+			mrB := b.allocSlots(cb, cb.vc.Posted())
+			// Slot addresses are exchanged during connection setup.
+			b.announceSlots(cb, mrA, ca.vc.Posted())
+			a.announceSlots(ca, mrB, cb.vc.Posted())
+		} else {
+			a.prov.provisionConn(ca)
+			b.prov.provisionConn(cb)
+		}
+	}
+	return ga
 }
 
 // allocSlots allocates and registers n persistent eager slots on the
@@ -545,28 +745,37 @@ func (d *Device) Params() core.Params { return d.params }
 // ChargeCopy charges the virtual clock for an n-byte host copy.
 func (d *Device) ChargeCopy(p *sim.Proc, n int) { p.Sleep(d.cfg.CopyTime(n)) }
 
-// conn returns the connection to peer, establishing it on demand.
-func (d *Device) conn(p *sim.Proc, peer int) *conn {
+// group returns the endpoint set toward peer, establishing it on
+// demand. Establishment hands the fresh group straight back (the old
+// path looked the connection up, established, then looked it up a
+// second time).
+func (d *Device) group(p *sim.Proc, peer int) *epGroup {
 	if peer == d.rank || peer < 0 || peer >= d.size {
 		panic(fmt.Sprintf("chdev: rank %d has no connection to %d", d.rank, peer))
 	}
-	c := d.conns[peer]
-	if c == nil {
+	g := d.groups[peer]
+	if g == nil {
 		if !d.cfg.OnDemand {
 			panic("chdev: devices not wired")
 		}
 		p.Sleep(d.cfg.ConnSetup)
-		// Both ends can decide to connect within the same setup window;
-		// whichever wakes first establishes, the other reuses. Without
-		// the re-check the loser would wire a second QP pair over the
-		// first (and double-register the connection's metrics).
-		if c = d.conns[peer]; c == nil {
-			establish(d, d.peers[peer])
+		// Both ends — or two logical threads of this rank — can decide
+		// to connect within the same setup window; whichever wakes first
+		// establishes the whole set, the others reuse it. Without the
+		// re-check the loser would wire a second QP set over the first
+		// (and double-register the endpoints' metrics).
+		if g = d.groups[peer]; g == nil {
+			g = establish(d, d.peers[peer])
 			d.setups++
-			c = d.conns[peer]
 		}
 	}
-	return c
+	return g
+}
+
+// conn resolves the endpoint the current logical thread should use
+// toward peer, establishing the set on demand.
+func (d *Device) conn(p *sim.Proc, peer int) *conn {
+	return d.selectEP(d.group(p, peer))
 }
 
 // prepost takes n fresh buffers from the pool and posts them as receive
@@ -591,6 +800,7 @@ func (d *Device) postPacket(c *conn, buf []byte, n int, ctx sendCtx) {
 		ctx.buf = buf
 	}
 	d.sendCtxs[d.wridSeq] = ctx
+	c.noteOut()
 	if c.ringIn != nil {
 		// The piggyback rule: every outgoing packet on a ring connection
 		// carries the receiver's current head, re-stamped post-encode so
@@ -765,6 +975,7 @@ func (d *Device) postEagerPacket(c *conn, buf []byte, n int) {
 		binary.LittleEndian.PutUint32(buf[44:], c.ringIn.TakeHead(true))
 		d.wridSeq++
 		d.sendCtxs[d.wridSeq] = sendCtx{kind: ctxBuf, buf: buf, conn: c}
+		c.noteOut()
 		c.qp.PostWriteNotify(d.wridSeq, buf[:n], c.slotsOut[slot], uint64(slot))
 		c.vc.CountMsg()
 		c.lastSend = d.eng.Now()
@@ -788,6 +999,7 @@ func (d *Device) postEagerPacket(c *conn, buf []byte, n int) {
 	c.slotUsed = append(c.slotUsed, idx)
 	d.wridSeq++
 	d.sendCtxs[d.wridSeq] = sendCtx{kind: ctxBuf, buf: buf, conn: c}
+	c.noteOut()
 	c.qp.PostWriteNotify(d.wridSeq, buf[:n], c.slotsOut[idx], uint64(idx))
 	c.vc.CountMsg()
 	c.lastSend = d.eng.Now()
@@ -1042,6 +1254,7 @@ func (d *Device) postRndvRead(r *RndvIn) {
 	mr := c.qp.Peer().HCA().LookupMR(int(r.senderMR))
 	d.wridSeq++
 	d.sendCtxs[d.wridSeq] = sendCtx{kind: ctxRndvRead, rin: r, conn: c}
+	c.noteOut()
 	c.qp.PostRead(d.wridSeq, r.buf[:r.Len], ib.RemoteKey{MR: mr})
 	c.vc.CountMsg()
 	c.lastSend = d.eng.Now()
@@ -1157,25 +1370,27 @@ func (d *Device) debugCheckConn(c *conn) {
 // it knows the MPI layer has nothing else to say to the peer.
 func (d *Device) flushCredits() bool {
 	did := false
-	for _, c := range d.conns {
-		if c == nil {
+	for _, g := range d.groups {
+		if g == nil {
 			continue
 		}
-		if c.ringIn != nil {
-			// Ring channel: what flows back is the head pointer, not
-			// credits. Same silence gate, different message.
-			if c.ringIn.NeedSync() && d.maybeSendRingSync(c) {
+		for _, c := range g.eps {
+			if c.ringIn != nil {
+				// Ring channel: what flows back is the head pointer, not
+				// credits. Same silence gate, different message.
+				if c.ringIn.NeedSync() && d.maybeSendRingSync(c) {
+					did = true
+				}
+				continue
+			}
+			if !d.cfg.RDMAEager {
+				// Shrinking persistent slots would need another
+				// cooperation round; not modelled.
+				c.vc.MaybeShrink(d.eng.Now())
+			}
+			if c.vc.NeedECM() && d.maybeSendECM(c) {
 				did = true
 			}
-			continue
-		}
-		if !d.cfg.RDMAEager {
-			// Shrinking persistent slots would need another
-			// cooperation round; not modelled.
-			c.vc.MaybeShrink(d.eng.Now())
-		}
-		if c.vc.NeedECM() && d.maybeSendECM(c) {
-			did = true
 		}
 	}
 	return did
@@ -1299,12 +1514,14 @@ func (d *Device) Quiescent() bool {
 	if len(d.sendCtxs) > 0 {
 		return false
 	}
-	for _, c := range d.conns {
-		if c == nil {
+	for _, g := range d.groups {
+		if g == nil {
 			continue
 		}
-		if len(c.backlog) > 0 || len(c.sendRndv) > 0 {
-			return false
+		for _, c := range g.eps {
+			if len(c.backlog) > 0 || len(c.sendRndv) > 0 {
+				return false
+			}
 		}
 	}
 	return true
@@ -1332,15 +1549,17 @@ func (d *Device) Busy() bool { return d.handling > 0 }
 // job is not settled: a cross-rank credit audit would see the owed
 // credits as in flight.
 func (d *Device) CreditFlushPending() bool {
-	for _, c := range d.conns {
-		if c == nil {
+	for _, g := range d.groups {
+		if g == nil {
 			continue
 		}
-		if c.ringIn != nil && c.ringIn.NeedSync() {
-			return true
-		}
-		if c.vc.NeedECM() {
-			return true
+		for _, c := range g.eps {
+			if c.ringIn != nil && c.ringIn.NeedSync() {
+				return true
+			}
+			if c.vc.NeedECM() {
+				return true
+			}
 		}
 	}
 	return false
@@ -1349,9 +1568,14 @@ func (d *Device) CreditFlushPending() bool {
 // Degraded reports whether any connection is currently in degraded mode
 // (frozen QP awaiting re-issue).
 func (d *Device) Degraded() bool {
-	for _, c := range d.conns {
-		if c != nil && c.degraded {
-			return true
+	for _, g := range d.groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.eps {
+			if c.degraded {
+				return true
+			}
 		}
 	}
 	return false
@@ -1370,6 +1594,7 @@ func (d *Device) retireSend(wc ib.WC) {
 		return
 	}
 	delete(d.sendCtxs, wc.WRID)
+	ctx.conn.noteRetired()
 	if wc.Status != ib.StatusSuccess {
 		panic(fmt.Sprintf("chdev: transport error %v on rank %d", wc.Status, d.rank))
 	}
@@ -1438,40 +1663,42 @@ func (d *Device) sendRingExt(c *conn, mr *ib.MR, grow int) {
 // Stats aggregates the device's counters.
 func (d *Device) Stats() Stats {
 	s := Stats{Rank: d.rank, RegHits: d.regs.Hits(), RegMisses: d.regs.Misses()}
-	for _, c := range d.conns {
-		if c == nil {
+	for _, g := range d.groups {
+		if g == nil {
 			continue
 		}
-		s.Conns++
-		vs := c.vc.Stats()
-		s.MsgsSent += vs.MsgsSent
-		s.EagerSent += vs.EagerSent
-		s.Demoted += vs.Demoted
-		s.Backlogged += vs.Backlogged
-		s.ECMsSent += vs.ECMsSent
-		s.GrowthEvents += vs.GrowthEvents
-		s.ShrinkEvents += vs.ShrinkEvents
-		if vs.MaxPosted > s.MaxPosted {
-			s.MaxPosted = vs.MaxPosted
-		}
-		s.Reissues += vs.Reissues
-		s.ECMsDropped += vs.ECMsDropped
-		s.ECMsDuplicated += vs.ECMsDuplicated
-		qs := c.qp.Stats()
-		s.RNRNaks += qs.RNRNaks
-		s.Retransmits += qs.Retransmits
-		s.WastedBytes += qs.WastedBytes
-		s.RNRExhausted += qs.RNRExhausted
-		if c.ringIn != nil {
-			rs := c.ringIn.Stats()
-			s.RingSyncs += uint64(rs.Syncs)
-			if rs.OccupancyHWM > s.RingOccupancyHWM {
-				s.RingOccupancyHWM = rs.OccupancyHWM
+		for _, c := range g.eps {
+			s.Conns++
+			vs := c.vc.Stats()
+			s.MsgsSent += vs.MsgsSent
+			s.EagerSent += vs.EagerSent
+			s.Demoted += vs.Demoted
+			s.Backlogged += vs.Backlogged
+			s.ECMsSent += vs.ECMsSent
+			s.GrowthEvents += vs.GrowthEvents
+			s.ShrinkEvents += vs.ShrinkEvents
+			if vs.MaxPosted > s.MaxPosted {
+				s.MaxPosted = vs.MaxPosted
 			}
-		}
-		if c.ringOut != nil {
-			if o := c.ringOut.Stats().OccupancyHWM; o > s.RingOccupancyHWM {
-				s.RingOccupancyHWM = o
+			s.Reissues += vs.Reissues
+			s.ECMsDropped += vs.ECMsDropped
+			s.ECMsDuplicated += vs.ECMsDuplicated
+			qs := c.qp.Stats()
+			s.RNRNaks += qs.RNRNaks
+			s.Retransmits += qs.Retransmits
+			s.WastedBytes += qs.WastedBytes
+			s.RNRExhausted += qs.RNRExhausted
+			if c.ringIn != nil {
+				rs := c.ringIn.Stats()
+				s.RingSyncs += uint64(rs.Syncs)
+				if rs.OccupancyHWM > s.RingOccupancyHWM {
+					s.RingOccupancyHWM = rs.OccupancyHWM
+				}
+			}
+			if c.ringOut != nil {
+				if o := c.ringOut.Stats().OccupancyHWM; o > s.RingOccupancyHWM {
+					s.RingOccupancyHWM = o
+				}
 			}
 		}
 	}

@@ -340,6 +340,7 @@ func (m *progressMachine) step() {
 					mr := m.c.qp.Peer().HCA().LookupMR(int(m.hdr.MRID))
 					d.wridSeq++
 					d.sendCtxs[d.wridSeq] = sendCtx{kind: ctxRndvData, out: out, conn: m.c}
+					m.c.noteOut()
 					m.c.qp.PostWrite(d.wridSeq, out.data, ib.RemoteKey{MR: mr})
 					m.c.vc.CountMsg()
 					d.tr(trace.SendRDMAData, m.c.peer, int64(len(out.data)))
@@ -452,11 +453,13 @@ func (m *progressMachine) step() {
 			m.pc = pcDrain
 
 		case pcConns:
-			for m.connIdx < len(d.conns) && d.conns[m.connIdx] == nil {
+			// The sweep walks the flattened peer-major endpoint index
+			// space; at set size 1 the order is the old per-peer one.
+			for m.connIdx < d.size*d.epN && d.connAt(m.connIdx) == nil {
 				m.connIdx++
 			}
-			if m.connIdx < len(d.conns) {
-				m.startDrain(d.conns[m.connIdx], pcConnsCheck)
+			if m.connIdx < d.size*d.epN {
+				m.startDrain(d.connAt(m.connIdx), pcConnsCheck)
 				continue
 			}
 			// End of pass: the old loop's post-ProgressOnce decisions.
@@ -491,7 +494,7 @@ func (m *progressMachine) step() {
 			return
 
 		case pcConnsCheck:
-			d.debugCheckConn(d.conns[m.connIdx])
+			d.debugCheckConn(d.connAt(m.connIdx))
 			m.connIdx++
 			m.pc = pcConns
 		}

@@ -72,8 +72,11 @@ func (cp *connProvisioner) processed(c *conn, buf []byte, consumedCredit bool) {
 
 func (cp *connProvisioner) posted() int {
 	n := 0
-	for _, c := range cp.d.conns {
-		if c != nil {
+	for _, g := range cp.d.groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.eps {
 			n += c.vc.Posted()
 		}
 	}
@@ -82,8 +85,11 @@ func (cp *connProvisioner) posted() int {
 
 func (cp *connProvisioner) postedHWMBytes() int {
 	n := 0
-	for _, c := range cp.d.conns {
-		if c != nil {
+	for _, g := range cp.d.groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.eps {
 			n += c.vc.Stats().MaxPosted
 		}
 	}
@@ -125,10 +131,11 @@ func (rp *ringProvisioner) processed(c *conn, buf []byte, consumedCredit bool) {
 
 func (rp *ringProvisioner) posted() int {
 	n := 0
-	for _, c := range rp.d.conns {
-		if c != nil {
-			n += rp.d.cfg.CtrlPrepost
+	for _, g := range rp.d.groups {
+		if g == nil {
+			continue
 		}
+		n += len(g.eps) * rp.d.cfg.CtrlPrepost
 	}
 	return n
 }
@@ -139,10 +146,11 @@ func (rp *ringProvisioner) posted() int {
 // plots. It is also the high-water mark — the ring never grows.
 func (rp *ringProvisioner) postedHWMBytes() int {
 	n := 0
-	for _, c := range rp.d.conns {
-		if c != nil {
-			n += rp.d.params.Prepost*rp.d.params.SlotBytes + rp.d.cfg.CtrlPrepost*rp.d.cfg.BufSize
+	for _, g := range rp.d.groups {
+		if g == nil {
+			continue
 		}
+		n += len(g.eps) * (rp.d.params.Prepost*rp.d.params.SlotBytes + rp.d.cfg.CtrlPrepost*rp.d.cfg.BufSize)
 	}
 	return n
 }
@@ -152,15 +160,17 @@ func (rp *ringProvisioner) postedHWMBytes() int {
 // full consumption — every arrived slot was consumed, so head == tail on
 // the inbound view.
 func (rp *ringProvisioner) audit() error {
-	for _, c := range rp.d.conns {
-		if c == nil {
+	for _, g := range rp.d.groups {
+		if g == nil {
 			continue
 		}
-		c.ringIn.CheckInvariants()
-		c.ringOut.CheckInvariants()
-		if h, t := c.ringIn.Head(), c.ringIn.Tail(); h != t {
-			return fmt.Errorf("chdev audit: rank %d peer %d: %d ring arrivals unconsumed at quiescence",
-				rp.d.rank, c.peer, int32(t-h))
+		for _, c := range g.eps {
+			c.ringIn.CheckInvariants()
+			c.ringOut.CheckInvariants()
+			if h, t := c.ringIn.Head(), c.ringIn.Tail(); h != t {
+				return fmt.Errorf("chdev audit: rank %d peer %d ep %d: %d ring arrivals unconsumed at quiescence",
+					rp.d.rank, c.peer, c.ep, int32(t-h))
+			}
 		}
 	}
 	return nil

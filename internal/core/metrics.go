@@ -12,7 +12,22 @@ func (vc *VC) RegisterMetrics(r *metrics.Registry, rank, peer int) {
 	if r == nil {
 		return
 	}
-	ls := metrics.ConnLabels(rank, peer)
+	vc.registerMetrics(r, metrics.ConnLabels(rank, peer))
+}
+
+// RegisterMetricsEP registers the same series for one endpoint of a
+// rank pair's endpoint set, distinguished by the ep label. Endpoint 0
+// of every set uses RegisterMetrics instead, so single-endpoint runs
+// keep the pre-endpoint metric keys and a larger set's key inventory
+// strictly grows the classic one (fcstats -allow-new-keys clean).
+func (vc *VC) RegisterMetricsEP(r *metrics.Registry, rank, peer, ep int) {
+	if r == nil {
+		return
+	}
+	vc.registerMetrics(r, metrics.EndpointLabels(rank, peer, ep))
+}
+
+func (vc *VC) registerMetrics(r *metrics.Registry, ls []metrics.Label) {
 	r.GaugeFunc("fc_credits", func() int64 { return int64(vc.Credits()) }, ls...)
 	r.GaugeFunc("fc_backlog", func() int64 { return int64(vc.BacklogLen()) }, ls...)
 	r.GaugeFunc("fc_posted", func() int64 { return int64(vc.Posted()) }, ls...)

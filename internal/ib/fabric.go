@@ -205,6 +205,24 @@ func Connect(a, b *QP) {
 	b.registerMetrics()
 }
 
+// ConnectSet establishes Reliable Connections pairwise between two
+// equal-length QP slices — the endpoint-set form of Connect used when a
+// rank pair owns several independent endpoints (which may share CQs
+// and/or an SRQ on each side). Endpoint i of a converses exactly with
+// endpoint i of b; connections are made in index order, so a size-1 set
+// is literally one Connect call.
+func ConnectSet(a, b []*QP) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("ib: endpoint-set size mismatch: %d vs %d", len(a), len(b)))
+	}
+	if len(a) == 0 {
+		panic("ib: empty endpoint set")
+	}
+	for i := range a {
+		Connect(a[i], b[i])
+	}
+}
+
 // MR is a registered memory region. RDMA operations address remote memory
 // as (MR, offset); registration is the unit the pin-down cache manages.
 type MR struct {

@@ -51,6 +51,19 @@ func ConnLabels(rank, peer int) []Label {
 	}
 }
 
+// EndpointLabels labels a per-endpoint metric: ConnLabels plus the
+// endpoint's index within the rank pair's endpoint set. Used only for
+// endpoints beyond the first — endpoint 0 keeps the plain ConnLabels —
+// so single-endpoint runs keep the pre-endpoint key inventory and an
+// endpoint-set dump strictly grows it.
+func EndpointLabels(rank, peer, ep int) []Label {
+	return []Label{
+		{Key: "ep", Value: strconv.Itoa(ep)},
+		{Key: "peer", Value: strconv.Itoa(peer)},
+		{Key: "rank", Value: strconv.Itoa(rank)},
+	}
+}
+
 // Kind classifies a metric.
 type Kind uint8
 

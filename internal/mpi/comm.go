@@ -53,6 +53,22 @@ type Comm struct {
 	id      uint16
 	members []int // comm rank -> world rank; nil means the world comm
 	myrank  int   // my rank within this comm (== r.idx for the world)
+	tid     int   // logical worker thread issuing sends through this view
+}
+
+// Thread returns a view of the communicator bound to logical worker
+// thread tid. Threads are simulated — a rank still runs on one process
+// and one goroutine — but the channel device's endpoint-selection
+// policy uses the thread id to multiplex sends over a peer's endpoint
+// set (sticky: endpoint tid mod Endpoints). With a single endpoint per
+// pair the view behaves identically to the parent communicator.
+func (c *Comm) Thread(tid int) *Comm {
+	if tid < 0 {
+		panic(fmt.Sprintf("mpi: negative logical thread id %d", tid))
+	}
+	v := *c
+	v.tid = tid
+	return &v
 }
 
 // Rank returns the calling process's rank within this communicator.
@@ -118,6 +134,7 @@ func (c *Comm) isend(dst, tag int, data []byte, blocking bool) *Request {
 		req.done = true
 		return req
 	}
+	c.r.dev.BindThread(c.tid)
 	c.r.dev.Send(c.r.proc, world, tag, c.id, data, req, blocking)
 	return req
 }
@@ -168,6 +185,7 @@ func (c *Comm) Issend(dst, tag int, data []byte) *Request {
 		req.done = true
 		return req
 	}
+	c.r.dev.BindThread(c.tid)
 	c.r.dev.SendSync(c.r.proc, world, tag, c.id, data, req)
 	return req
 }

@@ -35,9 +35,17 @@ func flatnessSchemes() []core.Params {
 // time inside the event loop, so the shared write is race-free.
 func goroutineOverhead(t *testing.T, fc core.Params, n int) int {
 	t.Helper()
+	return goroutineOverheadOpts(t, DefaultOptions(fc), n)
+}
+
+// goroutineOverheadOpts is goroutineOverhead with full control of the
+// world options, for variants (endpoint sets) that must stay flat too.
+func goroutineOverheadOpts(t *testing.T, opts Options, n int) int {
+	t.Helper()
+	fc := opts.FC
 	const msgs, size, fanout = 4, 256, 4
 	hwm := 0
-	w := NewWorld(n, DefaultOptions(fc))
+	w := NewWorld(n, opts)
 	err := w.Run(func(c *Comm) {
 		me := c.Rank()
 		var reqs []*Request
@@ -83,6 +91,29 @@ func TestGoroutineFlatness(t *testing.T) {
 		}
 		if large > 12 {
 			t.Errorf("%v: goroutine overhead %d at 64 ranks, want a small constant (<= 12)",
+				fc.Kind, large)
+		}
+	}
+}
+
+// TestGoroutineFlatnessEndpoints repeats the flatness contract with a
+// four-endpoint set per rank pair: endpoints multiply QPs and scheme
+// state, but they are plain data in the progress machine — they must
+// not add a single goroutine, at any world size.
+func TestGoroutineFlatnessEndpoints(t *testing.T) {
+	for _, fc := range flatnessSchemes() {
+		opts := DefaultOptions(fc)
+		opts.Chan.Endpoints = 4
+		small := goroutineOverheadOpts(t, opts, 16)
+		opts = DefaultOptions(fc)
+		opts.Chan.Endpoints = 4
+		large := goroutineOverheadOpts(t, opts, 64)
+		if large > small+2 {
+			t.Errorf("%v: endpoint-set goroutine overhead grew with world size: %d at 16 ranks, %d at 64 ranks",
+				fc.Kind, small, large)
+		}
+		if large > 12 {
+			t.Errorf("%v: endpoint-set goroutine overhead %d at 64 ranks, want a small constant (<= 12)",
 				fc.Kind, large)
 		}
 	}

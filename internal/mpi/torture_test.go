@@ -82,7 +82,12 @@ func runTorture(t *testing.T, opts Options, n, count int, seed uint64) {
 			if m.src == me {
 				data := make([]byte, m.size)
 				fillPattern(data, m.seed)
-				c.Wait(c.Isend(m.dst, m.tag, data))
+				// Sends issue from a logical worker thread keyed by tag:
+				// inert on a single connection, and under an endpoint set
+				// the sticky policy then pins each (src, dst, tag) stream
+				// to one endpoint, preserving the FIFO that same-tag
+				// matching depends on.
+				c.Wait(c.Thread(m.tag).Isend(m.dst, m.tag, data))
 			}
 		}
 		c.Waitall(reqs...)
@@ -119,6 +124,9 @@ func TestTortureMatrix(t *testing.T) {
 		{"rdma", func(o *Options) { o.Chan.RDMAEager = true }},
 		{"smp", func(o *Options) { o.RanksPerNode = 2 }},
 		{"ondemand", func(o *Options) { o.Chan.OnDemand = true }},
+		// Two endpoints per rank pair; the tag-keyed worker threads in
+		// runTorture multiplex the schedule over both.
+		{"endpoints", func(o *Options) { o.Chan.Endpoints = 2 }},
 		// Debug mode re-checks every credit invariant after each
 		// progress pass; any leak panics the run.
 		{"invariants", func(o *Options) { o.Chan.Debug = true }},
@@ -273,7 +281,9 @@ func faultTortureVariant(fc core.Params, seed uint64, mut func(*Options)) (fault
 			if m.src == me {
 				data := make([]byte, m.size)
 				fillPattern(data, m.seed)
-				c.Wait(c.Isend(m.dst, m.tag, data))
+				// Tag-keyed worker threads, as in runTorture: inert on a
+				// single connection, endpoint-multiplexing under sets.
+				c.Wait(c.Thread(m.tag).Isend(m.dst, m.tag, data))
 			}
 		}
 		c.Waitall(reqs...)
@@ -430,6 +440,57 @@ func TestTortureRDMARerunAllSeeds(t *testing.T) {
 	cells := runner.Map(seeds, runner.Default(), func(i int) rerunCell {
 		ra, ea := faultTorture(fc, uint64(i))
 		rb, eb := faultTorture(fc, uint64(i))
+		return rerunCell{faultCell{ra, ea}, faultCell{rb, eb}}
+	})
+	for seed, cell := range cells {
+		if cell.a.err != nil {
+			t.Fatalf("seed %d: %v", seed, cell.a.err)
+		}
+		if cell.b.err != nil {
+			t.Fatalf("seed %d rerun: %v", seed, cell.b.err)
+		}
+		a, b := cell.a.res, cell.b.res
+		if a.makespan != b.makespan {
+			t.Errorf("seed %d: makespan %v != %v", seed, a.makespan, b.makespan)
+		}
+		if a.stats != b.stats {
+			t.Errorf("seed %d: device stats diverge:\n%+v\n%+v", seed, a.stats, b.stats)
+		}
+		if a.fstats != b.fstats {
+			t.Errorf("seed %d: fault stats diverge:\n%+v\n%+v", seed, a.fstats, b.fstats)
+		}
+		if !bytes.Equal(a.metricsJSON, b.metricsJSON) {
+			t.Errorf("seed %d: metric dumps diverge between identical runs", seed)
+		}
+		if len(a.events) != len(b.events) {
+			t.Errorf("seed %d: %d trace events vs %d", seed, len(a.events), len(b.events))
+			continue
+		}
+		for i := range a.events {
+			if a.events[i] != b.events[i] {
+				t.Errorf("seed %d: trace diverges at %d: %v != %v",
+					seed, i, a.events[i], b.events[i])
+				break
+			}
+		}
+	}
+}
+
+// TestTortureEndpointsRerunAllSeeds is the endpoint-set analogue of the
+// ring rerun sweep: every fault-sweep seed runs the full fault mix over
+// a two-endpoint set (tag-keyed worker threads multiplexing the
+// schedule) twice, and the two runs must be bit-identical — same
+// makespan, device and fault stats, metrics dump, and trace sequence.
+// Endpoint selection must be exactly as deterministic as the single
+// connection it generalizes.
+func TestTortureEndpointsRerunAllSeeds(t *testing.T) {
+	const seeds = 64
+	fc := core.Dynamic(1, 64)
+	endpoints := func(o *Options) { o.Chan.Endpoints = 2 }
+	type rerunCell struct{ a, b faultCell }
+	cells := runner.Map(seeds, runner.Default(), func(i int) rerunCell {
+		ra, ea := faultTortureVariant(fc, uint64(i), endpoints)
+		rb, eb := faultTortureVariant(fc, uint64(i), endpoints)
 		return rerunCell{faultCell{ra, ea}, faultCell{rb, eb}}
 	})
 	for seed, cell := range cells {

@@ -214,6 +214,27 @@ func (w *World) Time() sim.Time { return w.eng.Now() }
 // RankStats returns the channel device statistics of rank i.
 func (w *World) RankStats(i int) chdev.Stats { return w.ranks[i].dev.Stats() }
 
+// RankEndpointStats returns the endpoint-set counters of rank i's device.
+func (w *World) RankEndpointStats(i int) chdev.EPStats { return w.ranks[i].dev.EndpointStats() }
+
+// EndpointStats aggregates endpoint-set counters across all ranks:
+// selection counts and live endpoints sum, the occupancy high-water
+// mark is the worst endpoint anywhere in the job.
+func (w *World) EndpointStats() chdev.EPStats {
+	var es chdev.EPStats
+	for _, r := range w.ranks {
+		rs := r.dev.EndpointStats()
+		es.Endpoints = rs.Endpoints
+		es.Active += rs.Active
+		if rs.OccupancyHWM > es.OccupancyHWM {
+			es.OccupancyHWM = rs.OccupancyHWM
+		}
+		es.StickySels += rs.StickySels
+		es.RRSels += rs.RRSels
+	}
+	return es
+}
+
 // Stats aggregates device statistics across all ranks.
 func (w *World) Stats() chdev.Stats {
 	var s chdev.Stats
