@@ -4,7 +4,7 @@ GO ?= go
 # Raise it when coverage improves; never lower it to make a change pass.
 COVER_FLOOR ?= 75.0
 
-.PHONY: all build vet lint lint-json lint-fix lint-baseline test debug race cover bench bench-simcore fmt metrics-smoke scaling-smoke endpoints-smoke
+.PHONY: all build vet lint lint-json lint-fix lint-baseline test debug race cover bench bench-simcore bench-diff fmt metrics-smoke scaling-smoke endpoints-smoke
 
 all: build vet lint test
 
@@ -70,6 +70,17 @@ bench:
 bench-simcore:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/sim
 	IBFLOW_ALLOC_GATE=1 $(GO) test -count=1 -run TestSteadyStateAllocGate -v ./internal/sim
+
+# bench-diff regenerates the scaling and endpoint documents (quick sweeps
+# are not comparable to the committed full sweeps, so this runs the full
+# ones, serially so the allocs/msg column is meaningful) and diffs them
+# against the checked-in baselines: virtual time, buffer memory and
+# allocations per message must not regress past 5%.
+bench-diff:
+	$(GO) run ./cmd/fcbench -test scaling -parallel 1 -json > /tmp/ibflow-scaling-new.json
+	$(GO) run ./cmd/fcbench -diff BENCH_scaling.json /tmp/ibflow-scaling-new.json
+	$(GO) run ./cmd/fcbench -test endpoints -parallel 1 -json > /tmp/ibflow-endpoints-new.json
+	$(GO) run ./cmd/fcbench -diff BENCH_endpoints.json /tmp/ibflow-endpoints-new.json
 
 # metrics-smoke mirrors the CI step: an instrumented run must produce a
 # parseable dump whose key set matches the checked-in golden inventory.

@@ -10,6 +10,7 @@
 //	fcbench -test scaling -json > BENCH_scaling.json
 //	fcbench -test endpoints -json > BENCH_endpoints.json
 //	fcbench -test latency -scheme static -endpoints 4
+//	fcbench -diff BENCH_scaling.json new_scaling.json
 //
 // With -metrics-out the tool runs a single instrumented point (one
 // world, one metrics registry) and dumps the deterministic metric
@@ -21,7 +22,12 @@
 // style); its -json form is BENCH_scaling.json. -test endpoints sweeps
 // endpoint-set sizes under a many-to-one burst (all schemes); its -json
 // form is BENCH_endpoints.json. -endpoints runs a latency/bandwidth
-// point with an N-endpoint set per rank pair.
+// point with an N-endpoint set per rank pair. -diff compares two such
+// JSON documents cell by cell and exits nonzero when virtual time,
+// buffer memory or allocations per message regressed past 5% (see
+// runDiff); `make bench-diff` runs it against the committed baselines.
+// -pool-metrics adds the buffer pool's health gauges to a -metrics-out
+// dump (they are opt-in so the fcstats key goldens stay byte-stable).
 package main
 
 import (
@@ -135,10 +141,24 @@ func main() {
 	quick := flag.Bool("quick", false, "smaller sweep (scaling/endpoints only): fewer cells and messages")
 	endpoints := flag.Int("endpoints", 0, "VC/QP endpoints per rank pair (latency/bandwidth; 0 or 1 = classic single connection)")
 	parallel := flag.Int("parallel", 0, "worker goroutines for sweeps (0 = one per CPU, 1 = serial); results are identical for every value")
+	diff := flag.Bool("diff", false, "compare two benchmark JSON documents: fcbench -diff old.json new.json")
+	poolMetrics := flag.Bool("pool-metrics", false, "include the buffer pool's health gauges in the -metrics-out dump")
 	flag.Parse()
 
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	if *diff {
+		for name := range set {
+			if name != "diff" {
+				fail("-%s does not apply to -diff (it only reads the two documents)", name)
+			}
+		}
+		if flag.NArg() != 2 {
+			fail("-diff needs exactly two arguments: old.json new.json")
+		}
+		os.Exit(runDiff(flag.Arg(0), flag.Arg(1), os.Stdout, os.Stderr))
+	}
 
 	// Validate flag combinations before running anything.
 	switch *test {
@@ -229,6 +249,9 @@ func main() {
 	if set["metrics-format"] && *metricsOut == "" {
 		fail("-metrics-format requires -metrics-out")
 	}
+	if *poolMetrics && *metricsOut == "" {
+		fail("-pool-metrics requires -metrics-out (it adds gauges to the metric dump)")
+	}
 	switch *metricsFormat {
 	case "json", "csv", "perfetto":
 	default:
@@ -281,6 +304,7 @@ func main() {
 	tune := func(o *mpi.Options) {
 		o.Chan.RDMAEager = *rdma
 		o.Chan.Endpoints = *endpoints
+		o.Chan.PoolMetrics = *poolMetrics
 		if reg != nil {
 			o.Metrics = reg
 			o.Chan.Tracer = ring

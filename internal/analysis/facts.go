@@ -67,12 +67,13 @@ type FuncFact struct {
 	Root       RootKind
 	RootReason string // the //fclint:hotpath reason, for RootHotpath
 
-	// The four propagated facts: true when the function does the thing
+	// The five propagated facts: true when the function does the thing
 	// directly or through any static callee.
 	Parks            bool
 	StartsGoroutine  bool
 	SchedulesViaAt   bool
 	AllocatesClosure bool
+	AllocatesSlice   bool
 
 	// Park provenance, for diagnostics: ParkWhy names a direct parking
 	// operation ("sends on a channel"); otherwise ParkVia is the key of
@@ -109,6 +110,11 @@ type PkgFacts struct {
 	// FreshSites are composite-literal handlers built at an
 	// AtCall/AfterCall call site — a per-event allocation anywhere.
 	FreshSites []ScheduleSite
+	// SliceSites are make([]byte, ...) expressions — a per-event buffer
+	// allocation if the enclosing function is hot; the pooled-buffer
+	// discipline (mem.BufPool, the engine freelists) exists to avoid
+	// exactly these on the steady-state message path.
+	SliceSites []ScheduleSite
 	// BadHotpath are //fclint:hotpath annotations without a reason.
 	BadHotpath []badDirective
 
@@ -296,6 +302,10 @@ func propagate(funcs map[string]*FuncFact, lookup func(string) *FuncFact) {
 					f.AllocatesClosure = true
 					changed = true
 				}
+				if g.AllocatesSlice && !f.AllocatesSlice {
+					f.AllocatesSlice = true
+					changed = true
+				}
 			}
 		}
 	}
@@ -454,6 +464,14 @@ func (s *summarizer) call(f *FuncFact, call *ast.CallExpr, edge func(string)) {
 		edge(s.litKey(lit))
 		return
 	}
+	if s.isByteSliceMake(call) {
+		f.AllocatesSlice = true
+		pos := s.fset.Position(call.Pos())
+		s.pf.SliceSites = append(s.pf.SliceSites, ScheduleSite{
+			Pos: call.Pos(), Method: "make", Owner: f.Key, File: pos.Filename,
+		})
+		return
+	}
 	fn := s.callee(call)
 	if fn == nil {
 		return
@@ -544,6 +562,31 @@ func (s *summarizer) markFuncValueRoot(arg ast.Expr) {
 			s.pf.pendingRoots[fn.FullName()] = RootScheduled
 		}
 	}
+}
+
+// isByteSliceMake reports whether call is the builtin make producing a
+// byte slice — the per-message buffer allocation the pooled data path
+// exists to avoid. Byte slices specifically: they are the wire payloads;
+// other slice makes (request batches, sort scratch) are judged by the
+// closure/handler rules like any code.
+func (s *summarizer) isByteSliceMake(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return false
+	}
+	if _, builtin := s.info.Uses[id].(*types.Builtin); !builtin {
+		return false
+	}
+	t := s.info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
 }
 
 // callee resolves a call's static target function, or nil for dynamic

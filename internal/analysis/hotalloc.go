@@ -15,7 +15,11 @@ import (
 //     AtCall/AfterCall, whose event rides the engine's freelist;
 //   - a handler built at the AtCall/AfterCall call site (&T{...}, T{...}
 //     or new(T)) re-allocates what the bound-struct pattern hoists into
-//     the long-lived owner, so it is flagged anywhere in audited code.
+//     the long-lived owner, so it is flagged anywhere in audited code;
+//   - a make([]byte, ...) in a function reachable from event context
+//     allocates a payload buffer per event; the fix is staging through
+//     mem.BufPool (or another freelist), with fclint:allow reserved for
+//     genuinely amortized allocations such as pool slab refills.
 //
 // AtCancel and sim.NewTimer deliberately take closures and are not
 // flagged: AtCancel is the sanctioned cancellable path for auxiliary
@@ -25,9 +29,10 @@ import (
 // scheduled closures in tests are still simhotpath roots.
 var HotAlloc = &Analyzer{
 	Name: "hotalloc",
-	Doc: "forbid per-event allocations at schedule sites on the event hot path: closures passed to " +
-		"Engine.At/After from handler-reachable code, and handler structs built at AtCall/AfterCall " +
-		"call sites — bind a struct handler into the long-lived owner instead",
+	Doc: "forbid per-event allocations on the event hot path: closures passed to Engine.At/After " +
+		"from handler-reachable code, handler structs built at AtCall/AfterCall call sites, and " +
+		"make([]byte, ...) in handler-reachable code — bind struct handlers into long-lived owners " +
+		"and stage payloads through pooled buffers instead",
 	Run: runHotAlloc,
 }
 
@@ -89,6 +94,20 @@ func runHotAlloc(pass *Pass) error {
 			"handler struct allocated at the Engine.%s call site in %s: this allocates per event — "+
 				"hoist the bound struct into its long-lived owner",
 			site.Method, ShortKey(site.Owner))
+	}
+	for _, site := range pf.SliceSites {
+		if strings.HasSuffix(site.File, "_test.go") {
+			continue
+		}
+		root, hot := hotVia[site.Owner]
+		if !hot {
+			continue
+		}
+		pass.Reportf(site.Pos,
+			"make([]byte, ...) in %s, which runs in event context (reachable from %s): "+
+				"this allocates a buffer per event — stage through a pooled buffer (mem.BufPool) instead, "+
+				"or suppress with fclint:allow if the allocation is amortized",
+			ShortKey(site.Owner), ShortKey(root))
 	}
 	return nil
 }

@@ -70,3 +70,20 @@ func (s *sampler) OnEvent(arg uint64) {
 	s.e.AtCancel(1, func() { _ = 1 })
 	_ = sim.NewTimer(s.e, func() { _ = 1 })
 }
+
+// slicer exercises the byte-slice rule: a make([]byte, ...) reachable
+// from event context allocates a payload buffer per event.
+type slicer struct{ buf []byte }
+
+func (s *slicer) OnEvent(arg uint64) {
+	s.fill()
+}
+
+func (s *slicer) fill() {
+	s.buf = make([]byte, 64) // want `make\(\[\]byte, \.\.\.\) in \(\*hotalloc\.slicer\)\.fill, which runs in event context \(reachable from \(\*hotalloc\.slicer\)\.OnEvent\)`
+	_ = make([]int, 4)       // negative: not a wire payload
+}
+
+// coldFill makes a byte slice but is unreachable from event context: it
+// costs one buffer per call, not per event, and passes.
+func coldFill() []byte { return make([]byte, 8) }

@@ -43,6 +43,11 @@ type EndpointSeries struct {
 	// WallMS is the host wall-clock time per cell in milliseconds.
 	// Host-side: excluded from determinism digests.
 	WallMS []float64 `json:"wall_ms"`
+	// AllocsPerMsg is the host heap allocations per simulated message
+	// (process malloc counter differenced around the run). Only
+	// meaningful for serial runs (fcbench -parallel 1); host-side,
+	// excluded from determinism digests.
+	AllocsPerMsg []float64 `json:"allocs_per_msg"`
 }
 
 // EndpointDoc is the machine-readable endpoint-contention document
@@ -114,6 +119,7 @@ func EndpointContention(o Opts) EndpointDoc {
 		bufHWM              int
 		goroutines          int
 		wallMS              float64
+		allocsPerMsg        float64
 	}
 	ne := len(doc.Endpoints)
 	cells := runner.Map(len(schemes)*ne, o.workers(), func(k int) cell {
@@ -125,11 +131,15 @@ func EndpointContention(o Opts) EndpointDoc {
 		start := time.Now()
 		w := mpi.NewWorld(doc.Ranks, opts)
 		var goroutines int
+		var msBefore, msAfter runtime.MemStats
+		runtime.ReadMemStats(&msBefore)
 		err := w.Run(endpointIncast(doc.Threads, doc.Bursts, doc.MsgsPerBurst, doc.MsgSizeB, &goroutines))
 		if err != nil {
 			panic(fmt.Sprintf("bench: endpoints %s x%d: %v", fc.Kind, eps, err))
 		}
+		runtime.ReadMemStats(&msAfter)
 		wallMS := time.Since(start).Seconds() * 1e3
+		totalMsgs := (doc.Ranks - 1) * doc.Threads * doc.Bursts * doc.MsgsPerBurst
 		bufHWM := 0
 		for i := 0; i < doc.Ranks; i++ {
 			if b := w.RankStats(i).BufBytesHWM; b > bufHWM {
@@ -138,14 +148,15 @@ func EndpointContention(o Opts) EndpointDoc {
 		}
 		st, es := w.Stats(), w.EndpointStats()
 		return cell{
-			timeMS:     w.Time().Seconds() * 1e3,
-			backlogged: st.Backlogged,
-			rnrNaks:    st.RNRNaks,
-			occHWM:     es.OccupancyHWM,
-			stickySels: es.StickySels,
-			bufHWM:     bufHWM,
-			goroutines: goroutines,
-			wallMS:     wallMS,
+			timeMS:       w.Time().Seconds() * 1e3,
+			backlogged:   st.Backlogged,
+			rnrNaks:      st.RNRNaks,
+			occHWM:       es.OccupancyHWM,
+			stickySels:   es.StickySels,
+			bufHWM:       bufHWM,
+			goroutines:   goroutines,
+			wallMS:       wallMS,
+			allocsPerMsg: float64(msAfter.Mallocs-msBefore.Mallocs) / float64(totalMsgs),
 		}
 	})
 	for i, fc := range schemes {
@@ -160,6 +171,7 @@ func EndpointContention(o Opts) EndpointDoc {
 			s.BufBytesHWM = append(s.BufBytesHWM, c.bufHWM)
 			s.Goroutines = append(s.Goroutines, c.goroutines)
 			s.WallMS = append(s.WallMS, c.wallMS)
+			s.AllocsPerMsg = append(s.AllocsPerMsg, c.allocsPerMsg)
 		}
 		doc.Series = append(doc.Series, s)
 	}
@@ -175,6 +187,7 @@ func StripEndpointHostMetrics(doc EndpointDoc) EndpointDoc {
 	for i, s := range doc.Series {
 		s.Goroutines = nil
 		s.WallMS = nil
+		s.AllocsPerMsg = nil
 		out.Series[i] = s
 	}
 	return out
@@ -191,11 +204,18 @@ func endpointIncast(threads, bursts, msgs, size int, goroutines *int) func(c *mp
 	return func(c *mpi.Comm) {
 		me, n := c.Rank(), c.Size()
 		if me == 0 {
-			var reqs []*mpi.Request
+			// Slab-allocate the receive payloads and pre-size the request
+			// list so the incast main's allocation count is constant per
+			// rank — the world-level allocation gates measure the progress
+			// engine, not the harness.
+			perSrc := threads * bursts * msgs
+			slab := make([]byte, (n-1)*perSrc*size)
+			reqs := make([]*mpi.Request, 0, (n-1)*perSrc)
 			for src := 1; src < n; src++ {
 				for tid := 0; tid < threads; tid++ {
 					for m := 0; m < bursts*msgs; m++ {
-						reqs = append(reqs, c.Irecv(src, tid, make([]byte, size)))
+						off := len(reqs) * size
+						reqs = append(reqs, c.Irecv(src, tid, slab[off:off+size]))
 					}
 				}
 			}
@@ -212,8 +232,9 @@ func endpointIncast(threads, bursts, msgs, size int, goroutines *int) func(c *mp
 			views[tid] = c.Thread(tid)
 		}
 		data := make([]byte, size)
+		reqs := make([]*mpi.Request, 0, threads*msgs)
 		for b := 0; b < bursts; b++ {
-			var reqs []*mpi.Request
+			reqs = reqs[:0]
 			for tid := 0; tid < threads; tid++ {
 				for m := 0; m < msgs; m++ {
 					reqs = append(reqs, views[tid].Isend(0, tid, data))

@@ -41,6 +41,13 @@ type ScalingSeries struct {
 	// milliseconds. Host-side measurement: machine-dependent, excluded
 	// from determinism digests.
 	WallMS []float64 `json:"wall_ms"`
+	// AllocsPerMsg is the host heap allocations per simulated message
+	// (process malloc counter differenced around the run, divided by the
+	// cell's total message count). Host-side measurement: the malloc
+	// counter is process-wide, so the column is only meaningful for
+	// serial runs (fcbench -parallel 1, how the committed documents are
+	// produced) and is excluded from determinism digests.
+	AllocsPerMsg []float64 `json:"allocs_per_msg"`
 }
 
 // ScalingDoc is the machine-readable connection-scaling document stored
@@ -161,6 +168,7 @@ func ConnScaling(o Opts) ScalingDoc {
 		timeMS                       float64
 		goroutines                   int
 		wallMS                       float64
+		allocsPerMsg                 float64
 	}
 	nr := len(doc.Ranks)
 	cells := runner.Map(len(schemes)*nr, o.workers(), func(k int) cell {
@@ -170,10 +178,18 @@ func ConnScaling(o Opts) ScalingDoc {
 		start := time.Now()
 		w := mpi.NewWorld(n, opts)
 		var goroutines int
+		var msBefore, msAfter runtime.MemStats
+		runtime.ReadMemStats(&msBefore)
 		if err := w.Run(scalingStorm(doc.MsgsPerPeer, doc.MsgSizeB, doc.Fanout, &goroutines)); err != nil {
 			panic(fmt.Sprintf("bench: connscaling %s at %d ranks: %v", fc.Kind, n, err))
 		}
+		runtime.ReadMemStats(&msAfter)
 		wallMS := time.Since(start).Seconds() * 1e3
+		fan := doc.Fanout
+		if fan > n-1 {
+			fan = n - 1
+		}
+		totalMsgs := n * fan * doc.MsgsPerPeer
 		// The Table-2 quantity is per-process memory: take the
 		// worst rank, not the job-wide sum, so the row reads as
 		// "bytes a node must pin" at that cluster size.
@@ -185,13 +201,14 @@ func ConnScaling(o Opts) ScalingDoc {
 		}
 		st := w.Stats()
 		return cell{
-			hwm:        hwm,
-			rnrNaks:    st.RNRNaks,
-			backlogged: st.Backlogged,
-			limitEv:    st.LimitEvents,
-			timeMS:     w.Time().Seconds() * 1e3,
-			goroutines: goroutines,
-			wallMS:     wallMS,
+			hwm:          hwm,
+			rnrNaks:      st.RNRNaks,
+			backlogged:   st.Backlogged,
+			limitEv:      st.LimitEvents,
+			timeMS:       w.Time().Seconds() * 1e3,
+			goroutines:   goroutines,
+			wallMS:       wallMS,
+			allocsPerMsg: float64(msAfter.Mallocs-msBefore.Mallocs) / float64(totalMsgs),
 		}
 	})
 	for i, fc := range schemes {
@@ -205,6 +222,7 @@ func ConnScaling(o Opts) ScalingDoc {
 			s.TimeMS = append(s.TimeMS, c.timeMS)
 			s.Goroutines = append(s.Goroutines, c.goroutines)
 			s.WallMS = append(s.WallMS, c.wallMS)
+			s.AllocsPerMsg = append(s.AllocsPerMsg, c.allocsPerMsg)
 		}
 		doc.Series = append(doc.Series, s)
 	}
@@ -223,6 +241,7 @@ func StripHostMetrics(doc ScalingDoc) ScalingDoc {
 	for i, s := range doc.Series {
 		s.Goroutines = nil
 		s.WallMS = nil
+		s.AllocsPerMsg = nil
 		out.Series[i] = s
 	}
 	return out
@@ -262,15 +281,24 @@ func scalingStorm(msgs, size, fanout int, goroutines *int) func(c *mpi.Comm) {
 		}
 		sort.Ints(recvSrc)
 		sort.Ints(sendDst)
-		var reqs []*mpi.Request
-		for _, src := range recvSrc {
+		// Slab-allocate the payload buffers and pre-size the request list:
+		// the storm main makes a constant number of allocations per rank
+		// regardless of message count, so the world-level allocation gates
+		// measure the progress engine's marginal cost, not the benchmark
+		// harness's.
+		recvSlab := make([]byte, k*msgs*size)
+		sendSlab := make([]byte, k*msgs*size)
+		reqs := make([]*mpi.Request, 0, 2*k*msgs)
+		for i, src := range recvSrc {
 			for m := 0; m < msgs; m++ {
-				reqs = append(reqs, c.Irecv(src, m, make([]byte, size)))
+				off := (i*msgs + m) * size
+				reqs = append(reqs, c.Irecv(src, m, recvSlab[off:off+size]))
 			}
 		}
-		for _, dst := range sendDst {
+		for i, dst := range sendDst {
 			for m := 0; m < msgs; m++ {
-				reqs = append(reqs, c.Isend(dst, m, make([]byte, size)))
+				off := (i*msgs + m) * size
+				reqs = append(reqs, c.Isend(dst, m, sendSlab[off:off+size]))
 			}
 		}
 		if goroutines != nil {
@@ -328,9 +356,9 @@ func ConnScalingTable(doc ScalingDoc) Table {
 // the migration's receipt — progress engines no longer park goroutines.
 func ConnScalingHostTable(doc ScalingDoc) Table {
 	t := Table{
-		Title:   "Connection scaling: host footprint (goroutines live mid-run / wall-clock ms per cell)",
+		Title:   "Connection scaling: host footprint (goroutines live mid-run / wall-clock ms / heap allocs per msg per cell)",
 		Columns: []string{"ranks"},
-		Note:    "goroutines = rank mains + constant; wall clock is machine-dependent (recorded for the committed run)",
+		Note:    "goroutines = rank mains + constant; wall clock is machine-dependent; allocs/msg differences the process malloc counter, valid only for serial (-parallel 1) runs",
 	}
 	for _, s := range doc.Series {
 		t.Columns = append(t.Columns, s.Scheme)
@@ -338,7 +366,7 @@ func ConnScalingHostTable(doc ScalingDoc) Table {
 	for i, n := range doc.Ranks {
 		row := []string{fmt.Sprint(n)}
 		for _, s := range doc.Series {
-			row = append(row, fmt.Sprintf("%d / %.0f", s.Goroutines[i], s.WallMS[i]))
+			row = append(row, fmt.Sprintf("%d / %.0f / %.2f", s.Goroutines[i], s.WallMS[i], s.AllocsPerMsg[i]))
 		}
 		t.AddRow(row...)
 	}

@@ -50,9 +50,9 @@ func Audit(devs []*Device) error {
 				if c.degraded {
 					return fmt.Errorf("chdev audit: rank %d -> %d still degraded", d.rank, c.peer)
 				}
-				if len(c.backlog) > 0 || c.vc.BacklogLen() > 0 {
+				if c.backlog.Len() > 0 || c.vc.BacklogLen() > 0 {
 					return fmt.Errorf("chdev audit: rank %d -> %d: %d messages stranded in backlog",
-						d.rank, c.peer, len(c.backlog))
+						d.rank, c.peer, c.backlog.Len())
 				}
 				if n := c.qp.QueuedSends(); n > 0 {
 					return fmt.Errorf("chdev audit: rank %d -> %d: %d WQEs still queued", d.rank, c.peer, n)
@@ -97,7 +97,7 @@ func Audit(devs []*Device) error {
 							d.rank, c.peer, c.vc.Credits(), rc.vc.Owed(), got, want)
 					}
 					if d.cfg.RDMAEager {
-						if got, want := len(c.slotFree), c.vc.Credits(); got != want {
+						if got, want := c.slotFree.Len(), c.vc.Credits(); got != want {
 							return fmt.Errorf(
 								"chdev audit: slot/credit skew on %d -> %d: %d free slots, %d credits",
 								d.rank, c.peer, got, want)

@@ -89,6 +89,15 @@ type Config struct {
 	// All devices of a job share one registry.
 	Metrics *metrics.Registry
 
+	// PoolMetrics additionally registers the pre-pinned buffer pool's
+	// health gauges (chdev_pool_outstanding / chdev_pool_out_hwm /
+	// chdev_pool_allocated / chdev_pool_recycled) in Metrics. Opt-in,
+	// mirroring the endpoint-metrics gate: the fcstats key goldens pin
+	// the classic inventories byte-identically, so new keys only appear
+	// when explicitly requested (fcstats -allow-new-keys accepts the
+	// strict superset).
+	PoolMetrics bool
+
 	// Debug enables per-progress invariant checking.
 	Debug bool
 

@@ -111,7 +111,7 @@ type conn struct {
 	ep       int // index within the peer's endpoint set
 	qp       *ib.QP
 	vc       *core.VC
-	backlog  []backlogEntry
+	backlog  fifo[backlogEntry]
 	sendRndv map[uint64]*rndvOut
 	recvRndv map[uint64]*RndvIn
 
@@ -144,8 +144,8 @@ type conn struct {
 	// moment the slot count grows mid-stream.)
 	slots    [][]byte       // receiver-side slot views
 	slotsOut []ib.RemoteKey // sender-side remote slot addresses
-	slotFree []int          // sender-side free slot indices, FIFO
-	slotUsed []int          // sender-side in-flight slot indices, FIFO
+	slotFree fifo[int]      // sender-side free slot indices, FIFO
+	slotUsed fifo[int]      // sender-side in-flight slot indices, FIFO
 
 	// Ring channel state (core.KindRDMA): the persistent-slot design
 	// where flow control IS the ring geometry. ringOut is the sender's
@@ -368,6 +368,18 @@ func New(eng *sim.Engine, hca *ib.HCA, cfg Config, params core.Params, rank, siz
 	}
 	d.cfg.Metrics.GaugeFunc("chdev_buf_bytes_hwm",
 		func() int64 { return int64(d.prov.postedHWMBytes()) }, metrics.RankLabel(rank))
+	if cfg.PoolMetrics {
+		// Buffer-pool health, registered only on request so the classic
+		// fcstats key inventories stay byte-identical (see Config).
+		d.cfg.Metrics.GaugeFunc("chdev_pool_outstanding",
+			func() int64 { return int64(d.pool.Outstanding()) }, metrics.RankLabel(rank))
+		d.cfg.Metrics.GaugeFunc("chdev_pool_out_hwm",
+			func() int64 { return int64(d.pool.MaxOutstanding()) }, metrics.RankLabel(rank))
+		d.cfg.Metrics.GaugeFunc("chdev_pool_allocated",
+			func() int64 { return int64(d.pool.Allocated()) }, metrics.RankLabel(rank))
+		d.cfg.Metrics.GaugeFunc("chdev_pool_recycled",
+			func() int64 { return int64(d.pool.Recycled()) }, metrics.RankLabel(rank))
+	}
 	if d.epN > 1 {
 		// Endpoint-set observability, registered only for true sets: a
 		// size-1 device keeps exactly the pre-endpoint metric inventory
@@ -632,6 +644,7 @@ func establish(a, b *Device) *epGroup {
 // allocSlots allocates and registers n persistent eager slots on the
 // receiver side of c and returns the backing region.
 func (d *Device) allocSlots(c *conn, n int) *ib.MR {
+	//fclint:allow hotalloc one-time slot provisioning at connection setup/growth, not per message
 	region := make([]byte, n*d.cfg.BufSize)
 	mr := d.hca.RegisterMemory(region)
 	for i := 0; i < n; i++ {
@@ -669,7 +682,7 @@ func (d *Device) adoptRing(c *conn, mr *ib.MR, n, sz int) {
 func (d *Device) announceSlots(c *conn, mr *ib.MR, n int) {
 	base := mr.Len()/d.cfg.BufSize - n // new slots are the region's tail
 	for i := 0; i < n; i++ {
-		c.slotFree = append(c.slotFree, len(c.slotsOut))
+		c.slotFree.push(len(c.slotsOut))
 		c.slotsOut = append(c.slotsOut, ib.RemoteKey{MR: mr, Offset: (base + i) * d.cfg.BufSize})
 	}
 }
@@ -678,25 +691,24 @@ func (d *Device) announceSlots(c *conn, mr *ib.MR, n int) {
 // The queue and the VC's backlog counter move together; fclint's creditmut
 // analyzer keeps all other code out of the field.
 func (c *conn) pushBacklog(e backlogEntry) {
-	c.backlog = append(c.backlog, e)
+	c.backlog.push(e)
 }
 
 // popBacklog removes and returns the backlog head.
 func (c *conn) popBacklog() backlogEntry {
-	e := c.backlog[0]
-	c.backlog = c.backlog[1:]
-	return e
+	return c.backlog.pop()
 }
 
 // releaseSlots moves n slots from the in-flight list back to the free
 // list; the receiver processes (and therefore frees) slots in write
 // order, so the FIFO head is always the slot a returning credit means.
 func (c *conn) releaseSlots(n int) {
-	if n > len(c.slotUsed) {
-		n = len(c.slotUsed)
+	if n > c.slotUsed.Len() {
+		n = c.slotUsed.Len()
 	}
-	c.slotFree = append(c.slotFree, c.slotUsed[:n]...)
-	c.slotUsed = c.slotUsed[n:]
+	for i := 0; i < n; i++ {
+		c.slotFree.push(c.slotUsed.pop())
+	}
 }
 
 // tr records a trace event if tracing is enabled.
@@ -741,6 +753,11 @@ func (d *Device) Config() *Config { return d.cfg }
 
 // Params returns the flow control parameters.
 func (d *Device) Params() core.Params { return d.params }
+
+// Pool returns the device's pre-pinned wire-buffer pool. The MPI layer
+// stages unexpected eager payloads through it so matching a late receive
+// recycles the staging buffer instead of leaving garbage.
+func (d *Device) Pool() *mem.BufPool { return d.pool }
 
 // ChargeCopy charges the virtual clock for an n-byte host copy.
 func (d *Device) ChargeCopy(p *sim.Proc, n int) { p.Sleep(d.cfg.CopyTime(n)) }
@@ -878,11 +895,11 @@ func (d *Device) SendSync(p *sim.Proc, dst, tag int, comm uint16, data []byte, t
 // head update arrives (slot-exhaustion backpressure — never a handler);
 // a non-blocking one joins the backlog and drains as heads come back.
 func (d *Device) sendRingEager(p *sim.Proc, c *conn, tag int, comm uint16, data []byte, token any, blocking bool) {
-	if blocking && !c.degraded && len(c.backlog) == 0 && c.ringOut.Free() == 0 {
+	if blocking && !c.degraded && c.backlog.Len() == 0 && c.ringOut.Free() == 0 {
 		d.tr(trace.Backlogged, c.peer, int64(len(data)))
 		d.WaitProgress(p, func() bool { return c.degraded || c.ringOut.Free() > 0 })
 	}
-	if !c.degraded && len(c.backlog) == 0 && c.ringOut.Free() > 0 {
+	if !c.degraded && c.backlog.Len() == 0 && c.ringOut.Free() > 0 {
 		c.vc.DecideEager(false) // non-user-level: counts EagerSent, always sends
 		d.postRingEager(p, c, tag, comm, data)
 		d.handler.SendDone(token)
@@ -925,7 +942,7 @@ func (d *Device) sendRndvPath(p *sim.Proc, c *conn, tag int, comm uint16, data [
 		// Control traffic rides the descriptor pool, outside the
 		// slot credit system — but it must not overtake backlogged
 		// eager traffic (MPI's non-overtaking order).
-		if len(c.backlog) > 0 {
+		if c.backlog.Len() > 0 {
 			out.starved = true
 			c.vc.QueueFree()
 			c.pushBacklog(backlogEntry{rndv: out})
@@ -986,7 +1003,7 @@ func (d *Device) postEagerPacket(c *conn, buf []byte, n int) {
 		d.postPacket(c, buf, n, sendCtx{kind: ctxBuf})
 		return
 	}
-	if len(c.slotFree) == 0 {
+	if c.slotFree.Len() == 0 {
 		// No free persistent slot. User-level schemes never get here
 		// (credits equal free slots); the hardware scheme has no
 		// bookkeeping, so it falls back to the send/receive channel
@@ -994,9 +1011,8 @@ func (d *Device) postEagerPacket(c *conn, buf []byte, n int) {
 		d.postPacket(c, buf, n, sendCtx{kind: ctxBuf})
 		return
 	}
-	idx := c.slotFree[0]
-	c.slotFree = c.slotFree[1:]
-	c.slotUsed = append(c.slotUsed, idx)
+	idx := c.slotFree.pop()
+	c.slotUsed.push(idx)
 	d.wridSeq++
 	d.sendCtxs[d.wridSeq] = sendCtx{kind: ctxBuf, buf: buf, conn: c}
 	c.noteOut()
@@ -1062,8 +1078,8 @@ func (d *Device) drainBacklog(p *sim.Proc, c *conn) bool {
 // RTS. Callers gate on c.degraded before starting a drain.
 func (d *Device) drainAdvance(c *conn) ([]byte, bool) {
 	did := false
-	for len(c.backlog) > 0 {
-		e := c.backlog[0]
+	for c.backlog.Len() > 0 {
+		e := c.backlog.peek()
 		if e.rndv != nil {
 			// RDMA-channel RTS entries queued only for ordering
 			// drain without a credit; an RC-channel RTS needs one
@@ -1358,7 +1374,7 @@ func (d *Device) debugCheckConn(c *conn) {
 		return
 	}
 	c.vc.CheckInvariants()
-	if got, want := len(c.backlog), c.vc.BacklogLen(); got != want {
+	if got, want := c.backlog.Len(), c.vc.BacklogLen(); got != want {
 		panic(fmt.Sprintf("chdev: rank %d peer %d: backlog queue has %d entries but VC counter says %d",
 			d.rank, c.peer, got, want))
 	}
@@ -1519,7 +1535,7 @@ func (d *Device) Quiescent() bool {
 			continue
 		}
 		for _, c := range g.eps {
-			if len(c.backlog) > 0 || len(c.sendRndv) > 0 {
+			if c.backlog.Len() > 0 || len(c.sendRndv) > 0 {
 				return false
 			}
 		}

@@ -20,6 +20,10 @@ type Fabric struct {
 
 	// udFree recycles udDeliverEvent arrivals (see ud.go) the same way.
 	udFree *udDeliverEvent
+
+	// udBufs recycles the MaxUDPayload staging buffers that ride those
+	// arrivals, so datagram sends stop allocating per message.
+	udBufs [][]byte
 }
 
 // NewFabric creates a fabric with nodes HCAs.

@@ -18,7 +18,19 @@ const (
 	opRead
 )
 
-// sendWQE is a queued work request on a QP's send queue.
+// sendWQE is a queued work request on a QP's send queue. WQEs are
+// recycled through a per-QP freelist: retireAcked releases the box when
+// the in-order completion posts, and the next Post* reuses it. Recycling
+// at retirement is safe without reference counting because per-pair
+// delivery is FIFO (links serialize reservations in call order and fault
+// jitter preserves per-pair order), so every in-flight attempt of a WQE —
+// including stale go-back-N duplicates — has reached the receiver's
+// deliver before the ack that retires it was even sent. The gen counter
+// records how many times the box has been recycled, and the pooled flag
+// lets ibdebug builds assert that no stale reference touches a freed box
+// (the bound events are embedded in the WQE itself, so a per-attempt
+// generation stamp would be overwritten by the reuse it is meant to
+// detect; the pooled assertions are the enforceable form of the check).
 type sendWQE struct {
 	kind     opKind
 	wrid     uint64
@@ -32,6 +44,10 @@ type sendWQE struct {
 	acked    bool      // delivery acknowledged, awaiting in-order retirement
 	wire     wireEvent // bound delivery callback, reused across retransmits
 	read     readEvent // bound read-response callback (opRead only)
+
+	nextFree *sendWQE // freelist link while pooled
+	gen      uint64   // recycle generation, bumped on release
+	pooled   bool     // on the freelist (ibdebug assertions)
 }
 
 // wireEvent is the delivery callback for one WQE, embedded in the WQE so
@@ -67,12 +83,15 @@ func (we *wireEvent) OnEvent(stage uint64) {
 // at the requester's port (reserve the ingress link, charge receive
 // overhead), 1 = land the data and retire the WQE. A read is delivered at
 // most once (a retransmitted read arrives out of order and is dropped
-// before reaching the opRead arm), so the per-response data snapshot
-// cannot be overwritten by an overlapping attempt.
+// before reaching the opRead arm), so no overlapping attempt can race the
+// response. The payload is copied out of the responder's registered
+// region at landing time rather than snapshotted into a fresh buffer at
+// the responder: a registered rendezvous source stays untouched until the
+// requester's FIN (which cannot be sent before this landing), so the
+// bytes are identical and the per-read allocation disappears.
 type readEvent struct {
 	w      *sendWQE
-	sender *QP    // requesting side, receives the response
-	data   []byte // response payload snapshot, taken at the responder
+	sender *QP // requesting side, receives the response
 }
 
 func (re *readEvent) OnEvent(stage uint64) {
@@ -85,8 +104,9 @@ func (re *readEvent) OnEvent(stage uint64) {
 		f.eng.AtCall(arrive+cfg.RecvOverhead, re, 1)
 		return
 	}
-	copy(re.w.readDst, re.data)
-	sender.retire(re.w)
+	w := re.w
+	copy(w.readDst, w.remote.MR.buf[w.remote.Offset:w.remote.Offset+len(w.readDst)])
+	sender.retire(w)
 }
 
 // nakEvent delivers a deferred RNR NAK (arg = rewound sequence) to its
@@ -158,6 +178,7 @@ type QP struct {
 
 	// sender state
 	queue    []*sendWQE // [0,next) in flight; [next,len) waiting
+	wqeFree  *sendWQE   // recycled WQE boxes (see sendWQE)
 	next     int
 	baseSeq  uint64 // seq of queue[0]
 	sendSeq  uint64 // next seq to assign
@@ -220,7 +241,9 @@ func (qp *QP) PostRecv(wrid uint64, buf []byte) {
 
 // PostSend posts a channel-semantics send of payload.
 func (qp *QP) PostSend(wrid uint64, payload []byte) {
-	qp.post(&sendWQE{kind: opSend, wrid: wrid, payload: payload})
+	w := qp.acquireWQE()
+	w.kind, w.wrid, w.payload = opSend, wrid, payload
+	qp.post(w)
 }
 
 // PostWrite posts an RDMA write of payload into remote memory. It consumes
@@ -229,7 +252,9 @@ func (qp *QP) PostWrite(wrid uint64, payload []byte, remote RemoteKey) {
 	if remote.Offset+len(payload) > len(remote.MR.buf) {
 		panic("ib: RDMA write beyond registered region")
 	}
-	qp.post(&sendWQE{kind: opWrite, wrid: wrid, payload: payload, remote: remote})
+	w := qp.acquireWQE()
+	w.kind, w.wrid, w.payload, w.remote = opWrite, wrid, payload, remote
+	qp.post(w)
 }
 
 // PostWriteNotify is an RDMA write that additionally surfaces a completion
@@ -240,7 +265,9 @@ func (qp *QP) PostWriteNotify(wrid uint64, payload []byte, remote RemoteKey, imm
 	if remote.Offset+len(payload) > len(remote.MR.buf) {
 		panic("ib: RDMA write beyond registered region")
 	}
-	qp.post(&sendWQE{kind: opWriteImm, wrid: wrid, payload: payload, remote: remote, imm: imm})
+	w := qp.acquireWQE()
+	w.kind, w.wrid, w.payload, w.remote, w.imm = opWriteImm, wrid, payload, remote, imm
+	qp.post(w)
 }
 
 // PostRead posts an RDMA read of len(dst) bytes from remote memory into dst.
@@ -248,7 +275,34 @@ func (qp *QP) PostRead(wrid uint64, dst []byte, remote RemoteKey) {
 	if remote.Offset+len(dst) > len(remote.MR.buf) {
 		panic("ib: RDMA read beyond registered region")
 	}
-	qp.post(&sendWQE{kind: opRead, wrid: wrid, readDst: dst, remote: remote})
+	w := qp.acquireWQE()
+	w.kind, w.wrid, w.readDst, w.remote = opRead, wrid, dst, remote
+	qp.post(w)
+}
+
+// acquireWQE pops a recycled WQE box off the QP's freelist, or allocates
+// a fresh one while the pool is still warming up. The returned box is
+// zeroed except for its recycle generation.
+func (qp *QP) acquireWQE() *sendWQE {
+	w := qp.wqeFree
+	if w == nil {
+		return &sendWQE{}
+	}
+	debug.Assert(w.pooled, "ib: QP %d freelist holds an unpooled WQE", qp.num)
+	qp.wqeFree = w.nextFree
+	w.nextFree = nil
+	w.pooled = false
+	return w
+}
+
+// releaseWQE clears a retired WQE (dropping its payload and destination
+// references so pooled buffers can recycle independently) and pushes it
+// on the freelist for the next post. Callers must guarantee no event
+// still references the box — see the sendWQE recycling comment.
+func (qp *QP) releaseWQE(w *sendWQE) {
+	debug.Assert(!w.pooled, "ib: double release of WQE seq %d on QP %d", w.seq, qp.num)
+	*w = sendWQE{gen: w.gen + 1, pooled: true, nextFree: qp.wqeFree}
+	qp.wqeFree = w
 }
 
 func (qp *QP) post(w *sendWQE) {
@@ -297,6 +351,7 @@ func (qp *QP) pump() {
 // transmit puts one message on the wire: egress serialization, switch
 // latency, ingress serialization at the peer, then delivery processing.
 func (qp *QP) transmit(w *sendWQE) {
+	debug.Assert(!w.pooled, "ib: QP %d transmitting a recycled WQE (gen %d)", qp.num, w.gen)
 	eng := qp.hca.fabric.eng
 	cfg := qp.hca.fabric.Config()
 	n := w.wireLen()
@@ -325,6 +380,7 @@ func (qp *QP) transmit(w *sendWQE) {
 
 // deliver processes message w arriving at the receiving QP.
 func (qp *QP) deliver(w *sendWQE, sender *QP) {
+	debug.Assert(!w.pooled, "ib: QP %d delivering a recycled WQE (gen %d)", qp.num, w.gen)
 	eng := qp.hca.fabric.eng
 	cfg := qp.hca.fabric.Config()
 
@@ -383,13 +439,13 @@ func (qp *QP) deliver(w *sendWQE, sender *QP) {
 		qp.expected++
 		qp.stats.Delivered++
 		qp.hca.stats.MsgsDelivered++
-		// The read response streams back on this side's egress link.
+		// The read response streams back on this side's egress link. No
+		// payload snapshot is taken: the registered source region stays
+		// stable until the response lands (see readEvent).
 		n := len(w.readDst)
-		data := make([]byte, n)
-		copy(data, w.remote.MR.buf[w.remote.Offset:w.remote.Offset+n])
 		tx := cfg.TxTime(n)
 		start := qp.hca.egress.reserve(eng.Now(), tx)
-		w.read = readEvent{w: w, sender: sender, data: data}
+		w.read = readEvent{w: w, sender: sender}
 		eng.AtCall(start+cfg.SwitchLatency, &w.read, 0)
 	}
 }
@@ -429,10 +485,15 @@ func (qp *QP) retire(w *sendWQE) {
 }
 
 // retireAcked pops the acked prefix of the send queue, posting
-// completions in FIFO order, then refills the in-flight window.
+// completions in FIFO order and recycling each retired WQE box, then
+// refills the in-flight window. Recycling here is the release point of
+// the WQE freelist: the ack that marked the head arrived a full
+// AckLatency after the last delivery of that WQE, so no wire or read
+// event still references the box (see sendWQE).
 func (qp *QP) retireAcked() {
 	for len(qp.queue) > 0 && qp.queue[0].acked {
 		head := qp.queue[0]
+		qp.queue[0] = nil
 		qp.queue = qp.queue[1:]
 		qp.next--
 		qp.baseSeq++
@@ -443,7 +504,9 @@ func (qp *QP) retireAcked() {
 		case opRead:
 			op = OpReadComplete
 		}
-		qp.sendCQ.push(WC{QP: qp, Opcode: op, Status: StatusSuccess, WRID: head.wrid, Len: head.wireLen()})
+		wc := WC{QP: qp, Opcode: op, Status: StatusSuccess, WRID: head.wrid, Len: head.wireLen()}
+		qp.releaseWQE(head)
+		qp.sendCQ.push(wc)
 	}
 	qp.debugCheckQueue()
 	qp.pump()

@@ -100,24 +100,29 @@ func (qp *UDQP) SendTo(wrid uint64, dstNode, dstQPN int, payload []byte) {
 
 	start := qp.hca.egress.reserve(eng.Now()+cfg.SendOverhead, tx)
 	eng.AtCall(start+tx, &qp.sendEv, wrid)
-	data := make([]byte, len(payload))
-	copy(data, payload)
+	// Snapshot the payload into a pooled staging buffer (the caller may
+	// reuse its slice the moment SendTo returns); the buffer rides the
+	// delivery event and is recycled as soon as the receiver copies out.
+	buf := f.acquireUDBuf()
+	n := copy(buf, payload)
 	de := f.acquireUDDeliver()
-	*de = udDeliverEvent{f: f, dst: dst, srcNode: qp.hca.node, data: data, tx: tx}
+	*de = udDeliverEvent{f: f, dst: dst, srcNode: qp.hca.node, buf: buf, n: n, tx: tx}
 	f.deliverTo(qp.hca, dstHCA, start, tx, len(payload), de)
 }
 
 // udDeliverEvent walks one datagram through the destination port as a
 // bound two-stage handler (the deliverTo convention, see topology.go):
 // stage 0 reserves the destination ingress link and charges the receive
-// overhead, stage 1 hands the payload to the destination queue pair and
-// returns the event to the fabric's freelist. The payload copy is the
-// only per-datagram allocation left on the UD path.
+// overhead, stage 1 hands the payload to the destination queue pair,
+// recycles the staging buffer and returns the event to the fabric's
+// freelist. With both the event and the staging buffer pooled, a UD
+// datagram in steady state allocates nothing.
 type udDeliverEvent struct {
 	f       *Fabric
 	dst     *UDQP
 	srcNode int
-	data    []byte
+	buf     []byte // pooled staging buffer, MaxUDPayload capacity
+	n       int    // datagram length within buf
 	tx      sim.Time
 	next    *udDeliverEvent // freelist link, valid only while released
 }
@@ -129,7 +134,8 @@ func (de *udDeliverEvent) OnEvent(stage uint64) {
 		de.f.eng.AtCall(arrive+cfg.RecvOverhead, de, 1)
 		return
 	}
-	de.dst.deliver(de.srcNode, de.data)
+	de.dst.deliver(de.srcNode, de.buf[:de.n])
+	de.f.releaseUDBuf(de.buf)
 	de.f.releaseUDDeliver(de)
 }
 
@@ -147,6 +153,23 @@ func (f *Fabric) acquireUDDeliver() *udDeliverEvent {
 func (f *Fabric) releaseUDDeliver(de *udDeliverEvent) {
 	*de = udDeliverEvent{next: f.udFree}
 	f.udFree = de
+}
+
+// acquireUDBuf pops a pooled MaxUDPayload staging buffer or allocates one.
+func (f *Fabric) acquireUDBuf() []byte {
+	if n := len(f.udBufs); n > 0 {
+		b := f.udBufs[n-1]
+		f.udBufs[n-1] = nil
+		f.udBufs = f.udBufs[:n-1]
+		return b
+	}
+	//fclint:allow hotalloc freelist warm-up; every staging buffer is recycled at delivery
+	return make([]byte, MaxUDPayload)
+}
+
+// releaseUDBuf recycles a staging buffer once its datagram is delivered.
+func (f *Fabric) releaseUDBuf(b []byte) {
+	f.udBufs = append(f.udBufs, b[:MaxUDPayload])
 }
 
 // deliver hands a datagram to a posted descriptor, or drops it.

@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"runtime"
 	"testing"
 
 	"ibflow/internal/ib"
@@ -27,6 +28,44 @@ func TestBufPoolRecycles(t *testing.T) {
 	}
 	if p.MaxOutstanding() != 2 {
 		t.Errorf("max outstanding = %d", p.MaxOutstanding())
+	}
+}
+
+func TestBufPoolSlabGrowth(t *testing.T) {
+	p := NewBufPool(16)
+	var ms0, ms1 runtime.MemStats
+	bufs := make([][]byte, 0, slabBufs)
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	for i := 0; i < slabBufs; i++ {
+		bufs = append(bufs, p.Get())
+	}
+	runtime.ReadMemStats(&ms1)
+	if p.Allocated() != slabBufs {
+		t.Fatalf("allocated %d, want %d", p.Allocated(), slabBufs)
+	}
+	// One slab backs all slabBufs carves; allow slack for the ibdebug
+	// tracking map, but a per-buffer make([]byte) regression (one malloc
+	// per Get) must fail.
+	if got := ms1.Mallocs - ms0.Mallocs; got > slabBufs/2 {
+		t.Errorf("%d mallocs for %d carves; slab growth should amortize", got, slabBufs)
+	}
+	// Carved buffers must still be independent spans.
+	for i := range bufs {
+		bufs[i][0] = byte(i)
+	}
+	for i := range bufs {
+		if bufs[i][0] != byte(i) {
+			t.Fatalf("carved buffers overlap at %d", i)
+		}
+	}
+	if p.Recycled() != 0 {
+		t.Errorf("recycled = %d before any Put", p.Recycled())
+	}
+	p.Put(bufs[0])
+	p.Get()
+	if p.Recycled() != 1 {
+		t.Errorf("recycled = %d after one recycle", p.Recycled())
 	}
 }
 

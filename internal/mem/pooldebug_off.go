@@ -1,0 +1,12 @@
+//go:build !ibdebug
+
+package mem
+
+// poolDebug is empty without the ibdebug build tag; all hooks compile to
+// nothing so Get/Put stay allocation- and branch-free beyond the freelist
+// bookkeeping itself.
+type poolDebug struct{}
+
+func (p *BufPool) debugCarve(b []byte) {}
+func (p *BufPool) debugGet(b []byte)   {}
+func (p *BufPool) debugPut(b []byte)   {}

@@ -1,0 +1,80 @@
+//go:build ibdebug
+
+package mem
+
+import "testing"
+
+// mustPanic runs f and asserts it panics with a message containing want.
+func mustPanic(t *testing.T, want string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q, got none", want)
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %v (%T), want string", r, r)
+		}
+		if !contains(msg, want) {
+			t.Fatalf("panic %q does not mention %q", msg, want)
+		}
+	}()
+	f()
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestBufPoolDoublePut(t *testing.T) {
+	p := NewBufPool(32)
+	b := p.Get()
+	c := p.Get() // keep out > 0 so the release-build counter check cannot fire first
+	_ = c
+	p.Put(b)
+	mustPanic(t, "double Put", func() { p.Put(b) })
+}
+
+func TestBufPoolForeignPut(t *testing.T) {
+	p := NewBufPool(32)
+	p.Get() // out > 0, so only ownership tracking can catch this
+	mustPanic(t, "foreign buffer", func() { p.Put(make([]byte, 32)) })
+}
+
+func TestBufPoolUseAfterPutPoisoning(t *testing.T) {
+	p := NewBufPool(16)
+	b := p.Get()
+	p.Put(b)
+	// The freed buffer must be poisoned immediately.
+	for i, c := range b {
+		if c != poisonByte {
+			t.Fatalf("freed buffer not poisoned at offset %d: %#x", i, c)
+		}
+	}
+	// A stale write through the old reference is caught on recycle.
+	b[7] = 0x42
+	mustPanic(t, "use-after-Put", func() { p.Get() })
+}
+
+func TestBufPoolCleanRecycleKeepsWorking(t *testing.T) {
+	p := NewBufPool(16)
+	b := p.Get()
+	p.Put(b)
+	c := p.Get() // clean recycle: poison intact, no panic
+	if &c[0] != &b[0] {
+		t.Error("expected the freed buffer back")
+	}
+	for i := range c {
+		c[i] = byte(i) // owner may write freely once checked out again
+	}
+	p.Put(c)
+	if p.Recycled() != 1 {
+		t.Errorf("recycled = %d, want 1", p.Recycled())
+	}
+}

@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 
+	"ibflow/internal/debug"
 	"ibflow/internal/sim"
 )
 
@@ -13,7 +14,16 @@ type Status struct {
 	Len    int
 }
 
-// Request is a non-blocking operation handle.
+// Request is a non-blocking operation handle. Requests are recycled
+// through a per-rank freelist: Wait and Waitall release the handle once
+// the operation completed (as MPI deallocates a request at MPI_Wait), and
+// the next Isend/Irecv on the rank reuses the box. The status and done
+// flag survive release until the box is reacquired, so the classic
+// "Waitall, then read the status" pattern keeps working; holding a handle
+// past the next acquisition is the same use-after-free it would be in
+// MPI. Test and Waitany never release (their MPI counterparts leave the
+// request live), and a request never waited on is simply garbage
+// collected instead of recycled.
 type Request struct {
 	done   bool
 	isRecv bool
@@ -23,9 +33,13 @@ type Request struct {
 	comm   uint16
 	owner  *Comm // for translating the status source to a comm rank
 	status Status
+
+	nextFree *Request // freelist link while released
+	released bool     // on the freelist; release is idempotent
 }
 
 func (r *Request) complete(st Status) {
+	debug.Assert(!r.released, "mpi: completing a released request (tag %d)", r.tag)
 	if r.done {
 		panic("mpi: request completed twice")
 	}
@@ -127,7 +141,7 @@ func (c *Comm) Isend(dst, tag int, data []byte) *Request {
 }
 
 func (c *Comm) isend(dst, tag int, data []byte, blocking bool) *Request {
-	req := &Request{}
+	req := c.r.acquireReq()
 	world := c.worldRank(dst)
 	if world == c.r.idx {
 		c.selfSend(tag, data)
@@ -151,8 +165,9 @@ func (c *Comm) selfSend(tag int, data []byte) {
 // Irecv posts a non-blocking receive into buf for a message matching
 // (src, tag); src may be AnySource and tag AnyTag.
 func (c *Comm) Irecv(src, tag int, buf []byte) *Request {
-	req := &Request{isRecv: true, buf: buf, src: c.worldRank(src), tag: tag,
-		comm: c.id, owner: c}
+	req := c.r.acquireReq()
+	req.isRecv, req.buf, req.src, req.tag, req.comm, req.owner =
+		true, buf, c.worldRank(src), tag, c.id, c
 	if c.r.matchUnex(req) {
 		return req
 	}
@@ -177,7 +192,7 @@ func (c *Comm) Ssend(dst, tag int, data []byte) {
 
 // Issend starts a non-blocking synchronous-mode send.
 func (c *Comm) Issend(dst, tag int, data []byte) *Request {
-	req := &Request{}
+	req := c.r.acquireReq()
 	world := c.worldRank(dst)
 	if world == c.r.idx {
 		// Self sends are matched locally and immediately.
@@ -213,10 +228,13 @@ func (c *Comm) Recv(src, tag int, buf []byte) Status {
 	return c.Wait(c.Irecv(src, tag, buf))
 }
 
-// Wait blocks until req completes, driving communication progress.
+// Wait blocks until req completes, driving communication progress. The
+// request is released for reuse, as MPI_Wait deallocates the handle.
 func (c *Comm) Wait(req *Request) Status {
 	c.r.dev.WaitProgress(c.r.proc, func() bool { return req.done })
-	return req.status
+	st := req.status
+	c.r.releaseReq(req)
+	return st
 }
 
 // Test polls req without blocking, making one progress pass.
@@ -227,7 +245,8 @@ func (c *Comm) Test(req *Request) (Status, bool) {
 	return req.status, req.done
 }
 
-// Waitall blocks until every request completes.
+// Waitall blocks until every request completes, then releases them all
+// for reuse (as MPI_Waitall deallocates its handles).
 func (c *Comm) Waitall(reqs ...*Request) {
 	c.r.dev.WaitProgress(c.r.proc, func() bool {
 		for _, r := range reqs {
@@ -237,6 +256,9 @@ func (c *Comm) Waitall(reqs ...*Request) {
 		}
 		return true
 	})
+	for _, r := range reqs {
+		c.r.releaseReq(r)
+	}
 }
 
 // Waitany blocks until at least one of reqs completes and returns the
@@ -260,8 +282,11 @@ func (c *Comm) Waitany(reqs ...*Request) int {
 func (c *Comm) Sendrecv(dst, stag int, sdata []byte, src, rtag int, rbuf []byte) Status {
 	rr := c.Irecv(src, rtag, rbuf)
 	sr := c.Isend(dst, stag, sdata)
-	c.Waitall(rr, sr)
-	return rr.status
+	c.r.dev.WaitProgress(c.r.proc, func() bool { return rr.done && sr.done })
+	st := rr.status
+	c.r.releaseReq(rr)
+	c.r.releaseReq(sr)
+	return st
 }
 
 // Probe blocks until a message matching (src, tag) is available without

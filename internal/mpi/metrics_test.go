@@ -116,6 +116,49 @@ func TestMetricsDoNotChangeMakespan(t *testing.T) {
 	}
 }
 
+// TestPoolHealthMetricsAreGated: the buffer-pool health gauges appear
+// only when Config.PoolMetrics opts in (the classic fcstats key goldens
+// pin the default inventory), and when they do, they show the pool
+// recycling buffers rather than growing without bound.
+func TestPoolHealthMetricsAreGated(t *testing.T) {
+	poolKeys := func(w *World) map[string]int64 {
+		keys := make(map[string]int64)
+		d := w.Metrics().Snapshot()
+		for i := range d.Metrics {
+			m := &d.Metrics[i]
+			if len(m.Series) == 0 {
+				continue
+			}
+			switch m.Name {
+			case "chdev_pool_outstanding", "chdev_pool_out_hwm",
+				"chdev_pool_allocated", "chdev_pool_recycled":
+				keys[m.Name] += m.Series[len(m.Series)-1]
+			}
+		}
+		return keys
+	}
+
+	opts := DefaultOptions(core.Static(4))
+	opts.Metrics = metrics.New()
+	if got := poolKeys(runInstrumented(t, opts, 3)); len(got) != 0 {
+		t.Fatalf("pool metrics leaked into the default inventory: %v", got)
+	}
+
+	opts = DefaultOptions(core.Static(4))
+	opts.Metrics = metrics.New()
+	opts.Chan.PoolMetrics = true
+	got := poolKeys(runInstrumented(t, opts, 3))
+	if len(got) != 4 {
+		t.Fatalf("opt-in run exposed %d pool metric names, want 4: %v", len(got), got)
+	}
+	if got["chdev_pool_recycled"] == 0 {
+		t.Error("steady-state traffic recycled no pool buffers")
+	}
+	if got["chdev_pool_allocated"] == 0 || got["chdev_pool_out_hwm"] == 0 {
+		t.Errorf("pool health gauges implausible: %v", got)
+	}
+}
+
 // TestMetricsOnDemandMidRunRegistration: with on-demand connections the
 // fc/ib instruments register only when two ranks first talk, so their
 // series start mid-run (FirstSample > 0) and must still align with the

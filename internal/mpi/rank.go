@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ibflow/internal/chdev"
+	"ibflow/internal/debug"
 	"ibflow/internal/sim"
 )
 
@@ -51,6 +52,46 @@ type Rank struct {
 	// and DeliverEagerDone (the device charges the payload copy between
 	// the two upcalls; at most one delivery is in flight per rank).
 	pending pendingEager
+
+	// reqFree recycles Request boxes (see Request). Boxes are carved in
+	// reqChunk batches so a storm of in-flight requests costs one
+	// allocation per chunk, not one per request.
+	reqFree *Request
+}
+
+// reqChunk is the request-freelist carve size.
+const reqChunk = 64
+
+// acquireReq pops a recycled Request box, carving a fresh chunk when the
+// freelist runs dry. The box is returned zeroed.
+func (r *Rank) acquireReq() *Request {
+	if r.reqFree == nil {
+		chunk := make([]Request, reqChunk)
+		for i := range chunk {
+			chunk[i].released = true
+			chunk[i].nextFree = r.reqFree
+			r.reqFree = &chunk[i]
+		}
+	}
+	q := r.reqFree
+	r.reqFree = q.nextFree
+	*q = Request{}
+	return q
+}
+
+// releaseReq returns a completed request to the freelist. It is
+// idempotent — a second Waitall over the same handles is a no-op, as it
+// is in MPI — and keeps done/status readable until the box is reacquired.
+func (r *Rank) releaseReq(q *Request) {
+	if q.released {
+		return
+	}
+	debug.Assert(q.done, "mpi: rank %d releasing an incomplete request (tag %d)", r.idx, q.tag)
+	q.buf = nil
+	q.owner = nil
+	q.released = true
+	q.nextFree = r.reqFree
+	r.reqFree = q
 }
 
 // pendingEager records a matched-or-queued eager message whose copy
@@ -94,10 +135,33 @@ func (r *Rank) DeliverEagerStart(src, tag int, comm uint16, data []byte) {
 			st: Status{Source: src, Tag: tag, Len: len(data)}}
 		return
 	}
+	r.pending = pendingEager{
+		entry: unexEntry{kind: unexEager, src: src, tag: tag, comm: comm, data: r.stageUnex(data)}}
+}
+
+// stageUnex copies an unmatched eager payload into library-owned storage:
+// a pooled wire-size buffer when it fits (recycled when the matching
+// receive consumes the entry), or a dedicated allocation for oversized
+// self-sends, which bypass the wire and its size limit.
+func (r *Rank) stageUnex(data []byte) []byte {
+	pool := r.dev.Pool()
+	if len(data) <= pool.BufSize() {
+		buf := pool.Get()
+		return buf[:copy(buf, data)]
+	}
 	owned := make([]byte, len(data))
 	copy(owned, data)
-	r.pending = pendingEager{
-		entry: unexEntry{kind: unexEager, src: src, tag: tag, comm: comm, data: owned}}
+	return owned
+}
+
+// unstageUnex recycles a consumed unexpected-eager payload. Pooled
+// stagings are recognizable by their exact wire-size capacity (an
+// oversized fallback is always strictly larger).
+func (r *Rank) unstageUnex(data []byte) {
+	pool := r.dev.Pool()
+	if cap(data) == pool.BufSize() {
+		pool.Put(data[:cap(data)])
+	}
 }
 
 // DeliverEagerDone implements chdev.Handler.
@@ -162,7 +226,9 @@ func (r *Rank) matchUnex(req *Request) bool {
 			}
 			copy(req.buf, e.data)
 			r.dev.ChargeCopy(r.proc, len(e.data))
-			req.complete(Status{Source: e.src, Tag: e.tag, Len: len(e.data)})
+			n := len(e.data)
+			r.unstageUnex(e.data)
+			req.complete(Status{Source: e.src, Tag: e.tag, Len: n})
 		case unexRndv:
 			if e.rndv.Len > len(req.buf) {
 				panic(fmt.Sprintf("mpi: rank %d: %d-byte rendezvous truncates %d-byte receive",

@@ -68,14 +68,15 @@ func TestCommIsolationSameTag(t *testing.T) {
 		peerSub := sub.localRankPublic(peerWorld)
 		// Send on both the world comm and subcomm with the same tag.
 		const tag = 7
-		wreq := c.Irecv(peerWorld, tag, make([]byte, 1))
-		sreq := sub.Irecv(peerSub, tag, make([]byte, 1))
+		wbuf, sbuf := make([]byte, 1), make([]byte, 1)
+		wreq := c.Irecv(peerWorld, tag, wbuf)
+		sreq := sub.Irecv(peerSub, tag, sbuf)
 		c.Send(peerWorld, tag, []byte{1})
 		sub.Send(peerSub, tag, []byte{2})
 		c.Waitall(wreq, sreq)
-		if wreq.buf[0] != 1 || sreq.buf[0] != 2 {
+		if wbuf[0] != 1 || sbuf[0] != 2 {
 			c.Abort(fmt.Sprintf("comm crossover: world got %d, sub got %d",
-				wreq.buf[0], sreq.buf[0]))
+				wbuf[0], sbuf[0]))
 		}
 	})
 }

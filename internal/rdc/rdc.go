@@ -105,25 +105,35 @@ type Endpoint struct {
 	// pend is an arrived datagram whose software-receive charge is
 	// elapsing; the next OnEvent delivers it before draining the CQ.
 	pend []byte
+
+	// recvFree and pktFree recycle receive-pool and send-packet buffers
+	// (all MaxUDPayload-capacity) so the steady-state datagram path
+	// allocates nothing; deliverBuf is the single staging buffer handed
+	// to the OnMessage callback, reused across deliveries.
+	recvFree   [][]byte
+	pktFree    [][]byte
+	deliverBuf []byte
 }
 
 // New creates an endpoint on hca able to talk to nPeers ranks (rank ==
 // node in this substrate). OnMessage runs in simulation context and must
-// not block.
+// not block; data is valid only for the duration of the callback (the
+// endpoint reuses the delivery buffer) — copy it out if retained.
 func New(eng *sim.Engine, hca *ib.HCA, cfg Config, nPeers int, onMessage func(src int, data []byte)) *Endpoint {
 	if cfg.Pool < 1 || cfg.Window < 1 {
 		panic("rdc: pool and window must be positive")
 	}
 	cq := hca.NewCQ()
 	e := &Endpoint{
-		eng:     eng,
-		cfg:     cfg,
-		node:    hca.Node(),
-		qp:      hca.NewUDQP(cq, cq),
-		cq:      cq,
-		peers:   make([]*peerState, nPeers),
-		handler: onMessage,
-		bufs:    make(map[uint64][]byte),
+		eng:        eng,
+		cfg:        cfg,
+		node:       hca.Node(),
+		qp:         hca.NewUDQP(cq, cq),
+		cq:         cq,
+		peers:      make([]*peerState, nPeers),
+		handler:    onMessage,
+		bufs:       make(map[uint64][]byte),
+		deliverBuf: make([]byte, MaxPayload),
 	}
 	for i := range e.peers {
 		e.peers[i] = &peerState{}
@@ -145,9 +155,22 @@ func (e *Endpoint) UDStats() ib.UDStats { return e.qp.Stats() }
 
 func (e *Endpoint) postRecv() {
 	e.wrid++
-	buf := make([]byte, ib.MaxUDPayload)
+	buf := e.acquireBuf(&e.recvFree)
 	e.bufs[e.wrid] = buf
 	e.qp.PostRecv(e.wrid, buf)
+}
+
+// acquireBuf pops a recycled MaxUDPayload buffer from the given freelist
+// or allocates one (pool warm-up only; the steady state recycles).
+func (e *Endpoint) acquireBuf(free *[][]byte) []byte {
+	if n := len(*free); n > 0 {
+		b := (*free)[n-1]
+		(*free)[n-1] = nil
+		*free = (*free)[:n-1]
+		return b
+	}
+	//fclint:allow hotalloc freelist warm-up; every buffer is recycled once retired
+	return make([]byte, ib.MaxUDPayload)
 }
 
 // Send queues data for reliable in-order delivery to dst. The data is
@@ -158,8 +181,8 @@ func (e *Endpoint) Send(dst int, data []byte) {
 			len(data), MaxPayload))
 	}
 	p := e.peers[dst]
-	pkt := make([]byte, hdrSize+len(data))
-	pkt[0] = pktData
+	pkt := e.acquireBuf(&e.pktFree)[:hdrSize+len(data)]
+	pkt[0], pkt[1] = pktData, 0 // recycled buffers carry stale bytes: write the full header
 	binary.LittleEndian.PutUint16(pkt[2:], uint16(e.node))
 	binary.LittleEndian.PutUint32(pkt[4:], p.nextSeq)
 	p.nextSeq++
@@ -217,6 +240,7 @@ func (e *Endpoint) OnEvent(uint64) {
 		buf := e.pend
 		e.pend = nil
 		e.handlePacket(buf)
+		e.recvFree = append(e.recvFree, buf[:ib.MaxUDPayload])
 		e.postRecv()
 	}
 	for {
@@ -259,8 +283,10 @@ func (e *Endpoint) handlePacket(pkt []byte) {
 	}
 	p.expected++
 	e.stats.Delivered++
-	data := make([]byte, len(pkt)-hdrSize)
-	copy(data, pkt[hdrSize:])
+	// Stage the payload in the endpoint's reusable delivery buffer: the
+	// OnMessage contract is borrow-until-return, so the copy out of the
+	// receive-pool buffer (which postRecv reuses) is the only one needed.
+	data := e.deliverBuf[:copy(e.deliverBuf, pkt[hdrSize:])]
 	e.scheduleAck(src, p)
 	e.handler(src, data)
 }
@@ -273,6 +299,12 @@ func (e *Endpoint) onAck(src int, p *peerState, ack uint32) {
 	n := int(ack - p.baseSeq)
 	if n > len(p.outq) {
 		n = len(p.outq)
+	}
+	// Retired packets can never be retransmitted again: recycle their
+	// buffers and drop the queue's references to them.
+	for i := 0; i < n; i++ {
+		e.pktFree = append(e.pktFree, p.outq[i][:ib.MaxUDPayload])
+		p.outq[i] = nil
 	}
 	p.outq = p.outq[n:]
 	p.baseSeq += uint32(n)
@@ -306,12 +338,16 @@ func (e *Endpoint) scheduleAck(src int, p *peerState) {
 func (e *Endpoint) sendAck(dst int, p *peerState) {
 	p.ackOwed = false
 	p.lastAcked = p.expected
-	pkt := make([]byte, hdrSize)
-	pkt[0] = pktAck
+	pkt := e.acquireBuf(&e.pktFree)[:hdrSize]
+	pkt[0], pkt[1] = pktAck, 0 // recycled buffers carry stale bytes: write the full header
 	binary.LittleEndian.PutUint16(pkt[2:], uint16(e.node))
+	binary.LittleEndian.PutUint32(pkt[4:], 0)
 	binary.LittleEndian.PutUint32(pkt[8:], p.expected)
 	e.wrid++
+	// SendTo copies the payload into the fabric's staging buffer before
+	// returning, so a pure ack (never retransmitted) recycles immediately.
 	e.qp.SendTo(e.wrid, dst, 0, pkt)
+	e.pktFree = append(e.pktFree, pkt[:ib.MaxUDPayload])
 	e.stats.AcksSent++
 }
 
